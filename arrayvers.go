@@ -1,0 +1,193 @@
+// Package arrayvers is a versioned storage manager for scientific array
+// data, a from-scratch Go reproduction of "Efficient Versioning for
+// Scientific Array Databases" (Seering, Cudré-Mauroux, Madden,
+// Stonebraker — ICDE 2012), the versioning prototype built for SciDB.
+//
+// The library exposes a "no-overwrite" storage model: each update to a
+// named array creates a new version, and versions form trees (via
+// Branch) or DAGs (via Merge). Versions are stored chunk-by-chunk,
+// delta-encoded against one another to minimize disk space or I/O cost,
+// and optionally compressed. The layout optimizer decides which versions
+// to materialize and which to delta — including the paper's
+// spanning-tree Algorithm 1, spanning-forest Algorithm 2, an exact
+// optimal layout, and workload-aware layouts.
+//
+// Quick start:
+//
+//	store, err := arrayvers.Open(dir, arrayvers.DefaultOptions())
+//	...
+//	err = store.CreateArray(arrayvers.Schema{
+//		Name:  "Weather",
+//		Dims:  []arrayvers.Dimension{{Name: "X", Lo: 0, Hi: 255}, {Name: "Y", Lo: 0, Hi: 255}},
+//		Attrs: []arrayvers.Attribute{{Name: "Temp", Type: arrayvers.Float32}},
+//	})
+//	id, err := store.Insert("Weather", arrayvers.DensePayload(grid))
+//	plane, err := store.Select("Weather", id)
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// mapping from the paper's sections to packages.
+package arrayvers
+
+import (
+	"arrayvers/internal/aql"
+	"arrayvers/internal/array"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/core"
+	"arrayvers/internal/delta"
+	"arrayvers/internal/layout"
+)
+
+// Store is the versioned storage manager (paper §II). It supports the
+// five basic operations — create array, delete array, create version,
+// delete version, query version — plus Branch, Merge, four Select forms,
+// metadata queries, and background reorganization.
+type Store = core.Store
+
+// Options configures a Store (chunk size, compression codec, delta
+// method, automatic delta-ing, chain co-location).
+type Options = core.Options
+
+// Open creates or reopens a store rooted at a directory.
+func Open(dir string, opts Options) (*Store, error) { return core.Open(dir, opts) }
+
+// DefaultOptions returns the paper's defaults (10 MB chunks, hybrid
+// deltas, co-located chains, automatic delta-ing).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Schema, dimensions, and attributes describe named arrays (§II-A).
+type (
+	Schema    = array.Schema
+	Dimension = array.Dimension
+	Attribute = array.Attribute
+)
+
+// DataType identifies a fixed-size cell type.
+type DataType = array.DataType
+
+// Cell types.
+const (
+	Int8    = array.Int8
+	Int16   = array.Int16
+	Int32   = array.Int32
+	Int64   = array.Int64
+	UInt8   = array.UInt8
+	UInt16  = array.UInt16
+	UInt32  = array.UInt32
+	Float32 = array.Float32
+	Float64 = array.Float64
+)
+
+// Dense is an N-dimensional row-major array; Sparse is a coordinate-list
+// array with a default fill value; Box is a hyper-rectangle query region.
+type (
+	Dense  = array.Dense
+	Sparse = array.Sparse
+	Box    = array.Box
+)
+
+// NewDense allocates a zero-filled dense array.
+func NewDense(dtype DataType, shape []int64) (*Dense, error) { return array.NewDense(dtype, shape) }
+
+// NewSparse allocates an empty sparse array with the given fill pattern.
+func NewSparse(dtype DataType, shape []int64, fill int64) (*Sparse, error) {
+	return array.NewSparse(dtype, shape, fill)
+}
+
+// NewBox builds a query region from inclusive-lo / exclusive-hi corners.
+func NewBox(lo, hi []int64) Box { return array.NewBox(lo, hi) }
+
+// Stack combines same-shaped N-dimensional arrays into one
+// (N+1)-dimensional array.
+func Stack(arrays []*Dense) (*Dense, error) { return array.Stack(arrays) }
+
+// Payload forms for Insert (§II-A): dense, sparse, and delta-list.
+type (
+	Payload    = core.Payload
+	Plane      = core.Plane
+	CellUpdate = core.CellUpdate
+)
+
+// DensePayload wraps a single-attribute dense version content.
+func DensePayload(d *Dense) Payload { return core.DensePayload(d) }
+
+// SparsePayload wraps a single-attribute sparse version content.
+func SparsePayload(sp *Sparse) Payload { return core.SparsePayload(sp) }
+
+// DeltaListPayload builds the delta-list insert form: the new version
+// equals the base version except at the listed cell updates.
+func DeltaListPayload(base int, updates []CellUpdate) Payload {
+	return core.DeltaListPayload(base, updates)
+}
+
+// Version metadata types (§II-C).
+type (
+	VersionInfo = core.VersionInfo
+	VersionRef  = core.VersionRef
+	ArrayInfo   = core.ArrayInfo
+	BranchRef   = core.BranchRef
+	IOStats     = core.IOStats
+)
+
+// VerifyReport is the result of Store.Verify, an offline integrity check
+// of one array (readability of every version, delta-chain sanity, and
+// space reclaimable by Compact).
+type VerifyReport = core.VerifyReport
+
+// Reorganization (§IV): layout policies and options.
+type (
+	ReorganizeOptions = core.ReorganizeOptions
+	LayoutPolicy      = core.LayoutPolicy
+)
+
+// Layout policies.
+const (
+	PolicyOptimal       = core.PolicyOptimal
+	PolicyAlgorithm1    = core.PolicyAlgorithm1
+	PolicyAlgorithm2    = core.PolicyAlgorithm2
+	PolicyLinearChain   = core.PolicyLinearChain
+	PolicyHeadBiased    = core.PolicyHeadBiased
+	PolicyWorkloadAware = core.PolicyWorkloadAware
+)
+
+// Query is one weighted workload element for workload-aware layouts
+// (§IV-D).
+type Query = layout.Query
+
+// Snapshot builds a single-version query; Range builds a contiguous
+// version-range query.
+func Snapshot(v int, w float64) Query   { return layout.Snapshot(v, w) }
+func Range(lo, hi int, w float64) Query { return layout.Range(lo, hi, w) }
+
+// Compression codecs (§III-B.2).
+type Codec = compress.Codec
+
+// Codecs.
+const (
+	CodecNone     = compress.None
+	CodecLZ       = compress.LZ
+	CodecRLE      = compress.RLE
+	CodecNullSupp = compress.NullSupp
+	CodecPNG      = compress.PNG
+	CodecWavelet  = compress.Wavelet
+)
+
+// Delta methods (§III-B.3).
+type DeltaMethod = delta.Method
+
+// Delta methods.
+const (
+	DeltaDense      = delta.Dense
+	DeltaSparse     = delta.Sparse
+	DeltaHybrid     = delta.Hybrid
+	DeltaBlockMatch = delta.BlockMatch
+	DeltaBSDiff     = delta.BSDiff
+)
+
+// Engine executes AQL statements (Appendix A) against a store.
+type Engine = aql.Engine
+
+// NewEngine wraps a store in an AQL executor.
+func NewEngine(store *Store) *Engine { return aql.NewEngine(store) }
+
+// AQLResult is the outcome of one AQL statement.
+type AQLResult = aql.Result

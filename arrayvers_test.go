@@ -1,0 +1,125 @@
+package arrayvers_test
+
+// End-to-end test of the public facade: everything a downstream user
+// touches must be reachable through the arrayvers package alone.
+
+import (
+	"testing"
+
+	"arrayvers"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	store, err := arrayvers.Open(t.TempDir(), arrayvers.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = store.CreateArray(arrayvers.Schema{
+		Name:  "Example",
+		Dims:  []arrayvers.Dimension{{Name: "I", Lo: 0, Hi: 31}, {Name: "J", Lo: 0, Hi: 31}},
+		Attrs: []arrayvers.Attribute{{Name: "A", Type: arrayvers.Int32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		g, err := arrayvers.NewDense(arrayvers.Int32, []int64{32, 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < g.NumCells(); i++ {
+			g.SetBits(i, int64(v)*10+i%7)
+		}
+		if _, err := store.Insert("Example", arrayvers.DensePayload(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// select forms
+	if _, err := store.Select("Example", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SelectRegion("Example", 3, arrayvers.NewBox([]int64{0, 0}, []int64{4, 4})); err != nil {
+		t.Fatal(err)
+	}
+	stack, err := store.SelectMulti("Example", []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.NDim() != 3 {
+		t.Fatalf("stack shape %v", stack.Shape())
+	}
+
+	// branch + delta-list + reorganize through the facade
+	if err := store.Branch("Example", 2, "Fork"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Insert("Fork", arrayvers.DeltaListPayload(1, []arrayvers.CellUpdate{
+		{Coords: []int64{0, 0}, Bits: 777},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	err = store.Reorganize("Example", arrayvers.ReorganizeOptions{
+		Policy:   arrayvers.PolicyWorkloadAware,
+		Workload: []arrayvers.Query{arrayvers.Snapshot(4, 0.9), arrayvers.Range(1, 4, 0.1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := store.Select("Fork", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Dense.Bits(0) != 777 {
+		t.Fatal("delta-list content lost through the facade")
+	}
+
+	// AQL through the facade
+	engine := arrayvers.NewEngine(store)
+	res, err := engine.Execute("VERSIONS(Example);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 4 {
+		t.Fatalf("AQL versions: %v", res.Names)
+	}
+
+	// stats and info
+	if store.Stats().ChunksWritten == 0 {
+		t.Fatal("no writes counted")
+	}
+	info, err := store.Info("Example")
+	if err != nil || info.NumVersions != 4 {
+		t.Fatalf("info: %+v, %v", info, err)
+	}
+}
+
+func TestPublicSparseAPI(t *testing.T) {
+	store, err := arrayvers.Open(t.TempDir(), arrayvers.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = store.CreateArray(arrayvers.Schema{
+		Name:  "S",
+		Dims:  []arrayvers.Dimension{{Name: "I", Lo: 0, Hi: 999}, {Name: "J", Lo: 0, Hi: 999}},
+		Attrs: []arrayvers.Attribute{{Name: "W", Type: arrayvers.Int32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := arrayvers.NewSparse(arrayvers.Int32, []int64{1000, 1000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetBits(5, 9)
+	if _, err := store.Insert("S", arrayvers.SparsePayload(sp)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Select("S", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() || got.Sparse.Bits(5) != 9 {
+		t.Fatal("sparse roundtrip through facade failed")
+	}
+}

@@ -1,0 +1,85 @@
+package arrayvers_test
+
+// One testing.B benchmark per evaluation artifact (Tables I–VII and the
+// two §V-D experiments), each running the corresponding experiment
+// harness at QuickScale. `cmd/avbench` runs the same experiments at full
+// laptop scale and prints the paper-style tables; EXPERIMENTS.md records
+// paper-vs-measured.
+
+import (
+	"testing"
+
+	"arrayvers/internal/bench"
+)
+
+func BenchmarkTable1Differencing(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2DeltaCompression(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3And4OSMQueries(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Table3And4(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Workloads(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table5(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6VCSOnOSM(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table6(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7VCSOnNOAA(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table7(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializationVsLinear(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Materialization(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadAwareLayout(b *testing.B) {
+	sc := bench.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.WorkloadAware(b.TempDir(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

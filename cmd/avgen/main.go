@@ -1,0 +1,87 @@
+// Command avgen generates the synthetic dataset substitutes as array
+// blob files consumable by `avstore load` and AQL's LOAD.
+//
+// Usage:
+//
+//	avgen -dataset noaa     -out DIR [-side 256] [-versions 10] [-seed 42]
+//	avgen -dataset osm      -out DIR [-side 1024] [-versions 16]
+//	avgen -dataset cnet     -out DIR [-dim 1000000] [-nnz 430000] [-versions 8]
+//	avgen -dataset panorama -out DIR [-side 256] [-versions 24] [-scenes 4]
+//	avgen -dataset periodic -out DIR [-period 2] [-versions 40] [-bytes 262144]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/datasets"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "noaa | osm | cnet | panorama | periodic")
+	out := flag.String("out", "", "output directory (required)")
+	side := flag.Int64("side", 256, "grid side for dense datasets")
+	versions := flag.Int("versions", 10, "number of versions")
+	seed := flag.Int64("seed", 42, "generator seed")
+	dim := flag.Int64("dim", 1_000_000, "cnet matrix side")
+	nnz := flag.Int("nnz", 430_000, "cnet entries per snapshot")
+	scenes := flag.Int("scenes", 4, "panorama recurring scenes")
+	period := flag.Int("period", 2, "periodic pattern length")
+	sizeBytes := flag.Int64("bytes", 256<<10, "periodic array size in bytes")
+	flag.Parse()
+
+	if *out == "" || *dataset == "" {
+		fmt.Fprintln(os.Stderr, "avgen: -dataset and -out are required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	write := func(i int, blob []byte) {
+		path := filepath.Join(*out, fmt.Sprintf("%s-v%03d.dat", *dataset, i+1))
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	}
+
+	switch *dataset {
+	case "noaa":
+		vs := datasets.NOAA(datasets.NOAAConfig{Side: *side, Versions: *versions, Attrs: 1, Seed: *seed})
+		for i, v := range vs {
+			write(i, array.MarshalDense(v[0]))
+		}
+	case "osm":
+		vs := datasets.OSM(datasets.OSMConfig{Side: *side, Versions: *versions, Seed: *seed})
+		for i, v := range vs {
+			write(i, array.MarshalDense(v))
+		}
+	case "cnet":
+		vs := datasets.ConceptNet(datasets.ConceptNetConfig{Dim: *dim, NNZ: *nnz, Versions: *versions, Seed: *seed})
+		for i, v := range vs {
+			write(i, array.MarshalSparse(v))
+		}
+	case "panorama":
+		vs := datasets.Panorama(datasets.PanoramaConfig{Side: *side, Versions: *versions, Scenes: *scenes, Seed: *seed})
+		for i, v := range vs {
+			write(i, array.MarshalDense(v))
+		}
+	case "periodic":
+		vs := datasets.Periodic(datasets.PeriodicConfig{Period: *period, Versions: *versions, SizeBytes: *sizeBytes, Seed: *seed})
+		for i, v := range vs {
+			write(i, array.MarshalDense(v))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "avgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "avgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command avql is an interactive AQL shell (Appendix A) over a versioned
+// array store.
+//
+// Usage:
+//
+//	avql -store DIR            # interactive REPL
+//	echo "VERSIONS(A);" | avql -store DIR
+//
+// Supported statements: CREATE UPDATABLE ARRAY, LOAD ... FROM 'file',
+// SELECT * FROM arr@N | arr@'M-D-YYYY' | arr@*, SUBSAMPLE, VERSIONS(arr),
+// BRANCH(arr@N NewName), DROP ARRAY, LIST ARRAYS.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arrayvers"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "store directory (required)")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "avql: -store is required")
+		os.Exit(2)
+	}
+	store, err := arrayvers.Open(*storeDir, arrayvers.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avql: %v\n", err)
+		os.Exit(1)
+	}
+	engine := arrayvers.NewEngine(store)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("avql — AQL versioning shell (end statements with ';', 'quit' to exit)")
+	}
+	var pending strings.Builder
+	prompt(interactive, pending.Len() > 0)
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && (trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		// execute once a statement terminator arrives
+		if strings.Contains(line, ";") || trimmed == "" {
+			stmt := strings.TrimSpace(pending.String())
+			pending.Reset()
+			if stmt == "" {
+				prompt(interactive, false)
+				continue
+			}
+			res, err := engine.Execute(stmt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else if out := res.String(); out != "" {
+				fmt.Println(out)
+			}
+		}
+		prompt(interactive, pending.Len() > 0)
+	}
+	// execute any trailing statement without a semicolon
+	if stmt := strings.TrimSpace(pending.String()); stmt != "" {
+		res, err := engine.Execute(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if out := res.String(); out != "" {
+			fmt.Println(out)
+		}
+	}
+}
+
+func prompt(interactive, continuation bool) {
+	if !interactive {
+		return
+	}
+	if continuation {
+		fmt.Print("...> ")
+	} else {
+		fmt.Print("aql> ")
+	}
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

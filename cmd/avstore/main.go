@@ -1,0 +1,289 @@
+// Command avstore administers a versioned array store from the command
+// line: create arrays, load versions from array blob files, select
+// versions or regions, inspect metadata, and reorganize layouts.
+//
+// Usage:
+//
+//	avstore -store DIR create  -name A -dims Y:0:255,X:0:255 -attrs V:float32
+//	avstore -store DIR load    -name A -file v1.dat
+//	avstore -store DIR select  -name A -version 3 [-box 0,0:16,16] [-out f.dat]
+//	avstore -store DIR versions -name A
+//	avstore -store DIR info    -name A
+//	avstore -store DIR list
+//	avstore -store DIR reorganize -name A -policy optimal|algorithm1|algorithm2|linear|head
+//	avstore -store DIR delete-version -name A -version 2
+//	avstore -store DIR verify  -name A
+//	avstore -store DIR drop    -name A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"arrayvers"
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "avstore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("avstore", flag.ContinueOnError)
+	storeDir := global.String("store", "", "store directory (required)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if *storeDir == "" || len(rest) == 0 {
+		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|list|reorganize|verify|delete-version|drop> [flags]")
+	}
+	store, err := arrayvers.Open(*storeDir, arrayvers.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	name := fs.String("name", "", "array name")
+	file := fs.String("file", "", "array blob file")
+	out := fs.String("out", "", "output file (default: print summary)")
+	version := fs.Int("version", 0, "version id")
+	dims := fs.String("dims", "", "dimensions, e.g. Y:0:255,X:0:255")
+	attrs := fs.String("attrs", "", "attributes, e.g. V:float32")
+	boxSpec := fs.String("box", "", "region, e.g. 0,0:16,16 (lo:hi, hi exclusive)")
+	policy := fs.String("policy", "optimal", "layout policy for reorganize")
+	if err := fs.Parse(cmdArgs); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "create":
+		schema, err := parseSchema(*name, *dims, *attrs)
+		if err != nil {
+			return err
+		}
+		if err := store.CreateArray(schema); err != nil {
+			return err
+		}
+		fmt.Printf("created array %s\n", *name)
+	case "load":
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		v, err := array.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		var payload arrayvers.Payload
+		switch a := v.(type) {
+		case *arrayvers.Dense:
+			payload = arrayvers.DensePayload(a)
+		case *arrayvers.Sparse:
+			payload = arrayvers.SparsePayload(a)
+		}
+		id, err := store.Insert(*name, payload)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s@%d\n", *name, id)
+	case "select":
+		var pl arrayvers.Plane
+		var err error
+		if *boxSpec != "" {
+			box, berr := parseBox(*boxSpec)
+			if berr != nil {
+				return berr
+			}
+			pl, err = store.SelectRegion(*name, *version, box)
+		} else {
+			pl, err = store.Select(*name, *version)
+		}
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			var blob []byte
+			if pl.IsSparse() {
+				blob = array.MarshalSparse(pl.Sparse)
+			} else {
+				blob = array.MarshalDense(pl.Dense)
+			}
+			if err := os.WriteFile(*out, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
+		} else if pl.IsSparse() {
+			fmt.Printf("sparse %v, %d non-default cells\n", pl.Sparse.Shape(), pl.Sparse.NNZ())
+		} else {
+			fmt.Printf("dense %v, %d cells, %d bytes\n", pl.Dense.Shape(), pl.Dense.NumCells(), pl.Dense.SizeBytes())
+		}
+	case "versions":
+		infos, err := store.Versions(*name)
+		if err != nil {
+			return err
+		}
+		for _, vi := range infos {
+			bases := "materialized"
+			if len(vi.DeltaBases) > 0 {
+				bases = fmt.Sprintf("delta vs %v", vi.DeltaBases)
+			}
+			fmt.Printf("%s@%d  %s  kind=%s  %d bytes  %s\n",
+				*name, vi.ID, vi.Time.Format("2006-01-02 15:04:05"), vi.Kind, vi.Bytes, bases)
+		}
+	case "info":
+		info, err := store.Info(*name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("array %s: %d versions, %s on disk, logical %s/version, %d chunks (side %v), sparse=%v\n",
+			*name, info.NumVersions, human(info.DiskBytes), human(info.LogicalSize), info.NumChunks, info.ChunkSide, info.SparseRep)
+	case "list":
+		for _, n := range store.ListArrays() {
+			fmt.Println(n)
+		}
+	case "reorganize":
+		p, err := parsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		if err := store.Reorganize(*name, arrayvers.ReorganizeOptions{Policy: p}); err != nil {
+			return err
+		}
+		info, _ := store.Info(*name)
+		fmt.Printf("reorganized %s with %s layout: %s on disk\n", *name, *policy, human(info.DiskBytes))
+	case "delete-version":
+		if err := store.DeleteVersion(*name, *version); err != nil {
+			return err
+		}
+		if err := store.Compact(*name); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %s@%d and compacted\n", *name, *version)
+	case "verify":
+		rep, err := store.Verify(*name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("array %s: %d versions, %d chunk payloads, %s dangling\n",
+			rep.Array, rep.Versions, rep.Chunks, human(rep.DanglingBytes))
+		maxDepth := 0
+		for _, d := range rep.ChainDepths {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		fmt.Printf("longest delta chain: %d\n", maxDepth)
+		if rep.Ok() {
+			fmt.Println("OK")
+		} else {
+			for _, p := range rep.Problems {
+				fmt.Printf("PROBLEM: %s\n", p)
+			}
+			return fmt.Errorf("%d integrity problem(s)", len(rep.Problems))
+		}
+	case "drop":
+		if err := store.DeleteArray(*name); err != nil {
+			return err
+		}
+		fmt.Printf("dropped array %s\n", *name)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func parseSchema(name, dims, attrs string) (arrayvers.Schema, error) {
+	if name == "" || dims == "" || attrs == "" {
+		return arrayvers.Schema{}, fmt.Errorf("create needs -name, -dims and -attrs")
+	}
+	schema := arrayvers.Schema{Name: name}
+	for _, d := range strings.Split(dims, ",") {
+		parts := strings.Split(d, ":")
+		if len(parts) != 3 {
+			return arrayvers.Schema{}, fmt.Errorf("bad dimension %q (want name:lo:hi)", d)
+		}
+		lo, err1 := strconv.ParseInt(parts[1], 10, 64)
+		hi, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return arrayvers.Schema{}, fmt.Errorf("bad dimension bounds in %q", d)
+		}
+		schema.Dims = append(schema.Dims, arrayvers.Dimension{Name: parts[0], Lo: lo, Hi: hi})
+	}
+	for _, a := range strings.Split(attrs, ",") {
+		parts := strings.Split(a, ":")
+		if len(parts) != 2 {
+			return arrayvers.Schema{}, fmt.Errorf("bad attribute %q (want name:type)", a)
+		}
+		dt, err := array.ParseDataType(parts[1])
+		if err != nil {
+			return arrayvers.Schema{}, err
+		}
+		schema.Attrs = append(schema.Attrs, arrayvers.Attribute{Name: parts[0], Type: dt})
+	}
+	return schema, schema.Validate()
+}
+
+func parseBox(spec string) (arrayvers.Box, error) {
+	halves := strings.Split(spec, ":")
+	if len(halves) != 2 {
+		return arrayvers.Box{}, fmt.Errorf("bad box %q (want lo,lo:hi,hi)", spec)
+	}
+	parse := func(s string) ([]int64, error) {
+		var out []int64
+		for _, p := range strings.Split(s, ",") {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad box coordinate %q", p)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	lo, err := parse(halves[0])
+	if err != nil {
+		return arrayvers.Box{}, err
+	}
+	hi, err := parse(halves[1])
+	if err != nil {
+		return arrayvers.Box{}, err
+	}
+	return arrayvers.NewBox(lo, hi), nil
+}
+
+func parsePolicy(s string) (arrayvers.LayoutPolicy, error) {
+	switch s {
+	case "optimal":
+		return core.PolicyOptimal, nil
+	case "algorithm1":
+		return core.PolicyAlgorithm1, nil
+	case "algorithm2":
+		return core.PolicyAlgorithm2, nil
+	case "linear":
+		return core.PolicyLinearChain, nil
+	case "head":
+		return core.PolicyHeadBiased, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

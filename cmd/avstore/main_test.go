@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arrayvers"
+	"arrayvers/internal/array"
+)
+
+func TestParseSchema(t *testing.T) {
+	sch, err := parseSchema("A", "Y:0:255,X:0:127", "V:float32,W:int64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.Dims) != 2 || sch.Dims[0].Hi != 255 || sch.Dims[1].Size() != 128 {
+		t.Fatalf("dims: %+v", sch.Dims)
+	}
+	if len(sch.Attrs) != 2 || sch.Attrs[0].Type != arrayvers.Float32 || sch.Attrs[1].Type != arrayvers.Int64 {
+		t.Fatalf("attrs: %+v", sch.Attrs)
+	}
+	bad := [][3]string{
+		{"", "Y:0:1", "V:int32"},
+		{"A", "", "V:int32"},
+		{"A", "Y:0:1", ""},
+		{"A", "Y:0", "V:int32"},
+		{"A", "Y:x:1", "V:int32"},
+		{"A", "Y:0:1", "V"},
+		{"A", "Y:0:1", "V:bogus"},
+		{"A", "Y:1:0", "V:int32"},
+	}
+	for _, b := range bad {
+		if _, err := parseSchema(b[0], b[1], b[2]); err == nil {
+			t.Errorf("parseSchema(%q,%q,%q) accepted", b[0], b[1], b[2])
+		}
+	}
+}
+
+func TestParseBox(t *testing.T) {
+	box, err := parseBox("0,0:16,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Lo[0] != 0 || box.Hi[1] != 16 {
+		t.Fatalf("box: %v", box)
+	}
+	for _, b := range []string{"", "1,2", "1:2:3", "a,0:1,1"} {
+		if _, err := parseBox(b); err == nil {
+			t.Errorf("parseBox(%q) accepted", b)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]arrayvers.LayoutPolicy{
+		"optimal": arrayvers.PolicyOptimal, "algorithm1": arrayvers.PolicyAlgorithm1,
+		"algorithm2": arrayvers.PolicyAlgorithm2, "linear": arrayvers.PolicyLinearChain,
+		"head": arrayvers.PolicyHeadBiased,
+	} {
+		got, err := parsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	// generate a payload file
+	d := array.MustDense(array.Int32, []int64{4, 4})
+	for i := int64(0); i < 16; i++ {
+		d.SetBits(i, i)
+	}
+	payload := filepath.Join(dir, "v.dat")
+	if err := os.WriteFile(payload, array.MarshalDense(d), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	steps := [][]string{
+		{"-store", store, "create", "-name", "A", "-dims", "Y:0:3,X:0:3", "-attrs", "V:int32"},
+		{"-store", store, "load", "-name", "A", "-file", payload},
+		{"-store", store, "load", "-name", "A", "-file", payload},
+		{"-store", store, "versions", "-name", "A"},
+		{"-store", store, "info", "-name", "A"},
+		{"-store", store, "list"},
+		{"-store", store, "select", "-name", "A", "-version", "2"},
+		{"-store", store, "select", "-name", "A", "-version", "1", "-box", "0,0:2,2", "-out", filepath.Join(dir, "out.dat")},
+		{"-store", store, "reorganize", "-name", "A", "-policy", "optimal"},
+		{"-store", store, "verify", "-name", "A"},
+		{"-store", store, "delete-version", "-name", "A", "-version", "1"},
+		{"-store", store, "drop", "-name", "A"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("avstore %v: %v", args, err)
+		}
+	}
+	// the exported region must be loadable
+	raw, err := os.ReadFile(filepath.Join(dir, "out.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := array.UnmarshalDense(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shape()[0] != 2 || got.BitsAt([]int64{1, 1}) != 5 {
+		t.Fatalf("exported region wrong: %v", got.Shape())
+	}
+	// error paths
+	if err := run([]string{"-store", store, "bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"-store", store}); err == nil {
+		t.Error("missing command accepted")
+	}
+}

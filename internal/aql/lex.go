@@ -1,0 +1,87 @@
+// Package aql implements the versioning surface of SciDB's query
+// language described in the paper's Appendix A: CREATE UPDATABLE ARRAY,
+// LOAD ... FROM, SELECT * FROM arr@version (by ID, by date, or @* for
+// all versions), SUBSAMPLE over version stacks, VERSIONS(arr), and
+// BRANCH(arr@v NewName). Statements execute against a core.Store.
+package aql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokString
+	tokPunct // single punctuation rune, or "::"
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits a statement into tokens. Strings use single quotes.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("aql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (isIdentRune(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i + 1
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == '-') {
+				// dates like 1-5-2011 lex as one "number" token
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case c == ':' && i+1 < len(src) && src[i+1] == ':':
+			toks = append(toks, token{tokPunct, "::", i})
+			i += 2
+		case strings.ContainsRune("()[]{},;:@*=", c):
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("aql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,504 @@
+package aql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"arrayvers/internal/array"
+)
+
+// Stmt is a parsed AQL statement.
+type Stmt interface{ stmt() }
+
+// CreateStmt is CREATE [UPDATABLE] ARRAY Name ( A::TYPE, ... ) [ I=0:2, ... ].
+type CreateStmt struct {
+	Schema array.Schema
+}
+
+// LoadStmt is LOAD Name FROM 'file'.
+type LoadStmt struct {
+	Array string
+	File  string
+}
+
+// VersionSel addresses versions in a SELECT: a numeric ID, a date, or
+// all versions (@*).
+type VersionSel struct {
+	All  bool
+	Date *time.Time
+	ID   int
+}
+
+// SelectStmt is SELECT * FROM Name@sel, optionally wrapped in
+// SUBSAMPLE(Name@sel, lo, hi, lo, hi, ...).
+type SelectStmt struct {
+	Array   string
+	Version VersionSel
+	// Ranges holds inclusive (lo, hi) pairs per output dimension when
+	// the select is SUBSAMPLE'd; nil means the whole array.
+	Ranges [][2]int64
+}
+
+// VersionsStmt is VERSIONS(Name).
+type VersionsStmt struct {
+	Array string
+}
+
+// BranchStmt is BRANCH(Name@v NewName).
+type BranchStmt struct {
+	Array   string
+	Version int
+	NewName string
+}
+
+// DropStmt is DROP ARRAY Name.
+type DropStmt struct {
+	Array string
+}
+
+// MergeStmt is MERGE(A@1, B@2, ... NewName): combine two or more parent
+// versions into a new array whose version sequence is the parents in
+// order (§II-A).
+type MergeStmt struct {
+	Parents []VersionedRef
+	NewName string
+}
+
+// VersionedRef addresses one version of one array.
+type VersionedRef struct {
+	Array   string
+	Version int
+}
+
+// DeleteVersionStmt is DELETE VERSION Name@v.
+type DeleteVersionStmt struct {
+	Array   string
+	Version int
+}
+
+// InfoStmt is INFO(Name).
+type InfoStmt struct {
+	Array string
+}
+
+// ListStmt is LIST ARRAYS.
+type ListStmt struct{}
+
+func (CreateStmt) stmt()        {}
+func (LoadStmt) stmt()          {}
+func (SelectStmt) stmt()        {}
+func (VersionsStmt) stmt()      {}
+func (BranchStmt) stmt()        {}
+func (DropStmt) stmt()          {}
+func (ListStmt) stmt()          {}
+func (MergeStmt) stmt()         {}
+func (DeleteVersionStmt) stmt() {}
+func (InfoStmt) stmt()          {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one AQL statement (a trailing semicolon is optional).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("aql: unexpected %v after statement", p.peek())
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(s string) bool {
+	t := p.peek()
+	if (t.kind == tokPunct || t.kind == tokIdent) && strings.EqualFold(t.text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return fmt.Errorf("aql: expected %q, found %v", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("aql: expected identifier, found %v", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) integer() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("aql: expected number, found %v", t)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("aql: bad number %q", t.text)
+	}
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("aql: expected statement keyword, found %v", t)
+	}
+	switch strings.ToUpper(t.text) {
+	case "CREATE":
+		return p.create()
+	case "LOAD":
+		return p.load()
+	case "SELECT":
+		return p.selectStmt()
+	case "VERSIONS":
+		return p.versions()
+	case "BRANCH":
+		return p.branch()
+	case "DROP":
+		return p.drop()
+	case "MERGE":
+		return p.merge()
+	case "DELETE":
+		return p.deleteVersion()
+	case "INFO":
+		return p.info()
+	case "LIST":
+		p.next()
+		p.accept("ARRAYS")
+		return ListStmt{}, nil
+	default:
+		return nil, fmt.Errorf("aql: unknown statement %q", t.text)
+	}
+}
+
+// CREATE [UPDATABLE|UPDATEABLE] ARRAY Name ( A::INTEGER, B::DOUBLE )
+// [ I=0:2, J=0:2 ]
+func (p *parser) create() (Stmt, error) {
+	p.next() // CREATE
+	if !p.accept("UPDATABLE") {
+		p.accept("UPDATEABLE") // the paper uses both spellings
+	}
+	if err := p.expect("ARRAY"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	schema := array.Schema{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("::"); err != nil {
+			return nil, err
+		}
+		typ, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		dt, err := array.ParseDataType(strings.ToLower(typ))
+		if err != nil {
+			return nil, err
+		}
+		schema.Attrs = append(schema.Attrs, array.Attribute{Name: attr, Type: dt})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	for {
+		dim, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lo, hi, err := p.dimRange()
+		if err != nil {
+			return nil, err
+		}
+		schema.Dims = append(schema.Dims, array.Dimension{Name: dim, Lo: lo, Hi: hi})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return CreateStmt{Schema: schema}, nil
+}
+
+// dimRange parses lo:hi. The lexer may merge "0:2" digits with '-' signs
+// but ':' always splits, so this is lo ':' hi.
+func (p *parser) dimRange() (int64, int64, error) {
+	lo, err := p.integer()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := p.expect(":"); err != nil {
+		return 0, 0, err
+	}
+	hi, err := p.integer()
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+func (p *parser) load() (Stmt, error) {
+	p.next() // LOAD
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, fmt.Errorf("aql: expected file string, found %v", t)
+	}
+	p.pos++
+	return LoadStmt{Array: name, File: t.text}, nil
+}
+
+// SELECT * FROM Example@2 | Example@'1-5-2011' | Example@* |
+// SUBSAMPLE(Example@*, 0, 1, 1, 2, 2, 3)
+func (p *parser) selectStmt() (Stmt, error) {
+	p.next() // SELECT
+	if err := p.expect("*"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	if p.accept("SUBSAMPLE") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st, err := p.versionedArray()
+		if err != nil {
+			return nil, err
+		}
+		for p.accept(",") {
+			lo, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			hi, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			st.Ranges = append(st.Ranges, [2]int64{lo, hi})
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return p.versionedArray()
+}
+
+// versionedArray parses Name@<ver> where <ver> is a number, a quoted
+// date, or '*'.
+func (p *parser) versionedArray() (SelectStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return SelectStmt{}, err
+	}
+	if err := p.expect("@"); err != nil {
+		return SelectStmt{}, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokPunct && t.text == "*":
+		p.pos++
+		return SelectStmt{Array: name, Version: VersionSel{All: true}}, nil
+	case t.kind == tokString:
+		p.pos++
+		// the appendix selects by date as Example@'1-5-2011' (M-D-YYYY)
+		d, err := time.Parse("1-2-2006", t.text)
+		if err != nil {
+			return SelectStmt{}, fmt.Errorf("aql: bad date %q (want M-D-YYYY)", t.text)
+		}
+		// a date selects the newest version of that calendar day
+		endOfDay := d.AddDate(0, 0, 1).Add(-time.Nanosecond)
+		return SelectStmt{Array: name, Version: VersionSel{Date: &endOfDay}}, nil
+	case t.kind == tokNumber:
+		v, err := p.integer()
+		if err != nil {
+			return SelectStmt{}, err
+		}
+		if v <= 0 {
+			return SelectStmt{}, fmt.Errorf("aql: version numbers start at 1")
+		}
+		return SelectStmt{Array: name, Version: VersionSel{ID: int(v)}}, nil
+	default:
+		return SelectStmt{}, fmt.Errorf("aql: expected version id, date, or *, found %v", t)
+	}
+}
+
+func (p *parser) versions() (Stmt, error) {
+	p.next() // VERSIONS
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return VersionsStmt{Array: name}, nil
+}
+
+// BRANCH(Example@2 NewBranch)
+func (p *parser) branch() (Stmt, error) {
+	p.next() // BRANCH
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("@"); err != nil {
+		return nil, err
+	}
+	v, err := p.integer()
+	if err != nil {
+		return nil, err
+	}
+	newName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return BranchStmt{Array: name, Version: int(v), NewName: newName}, nil
+}
+
+// MERGE(A@1, B@2 NewName)
+func (p *parser) merge() (Stmt, error) {
+	p.next() // MERGE
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var st MergeStmt
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept("@") {
+			// final identifier without @version is the new array name
+			st.NewName = name
+			break
+		}
+		v, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		st.Parents = append(st.Parents, VersionedRef{Array: name, Version: int(v)})
+		p.accept(",")
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(st.Parents) < 2 {
+		return nil, fmt.Errorf("aql: MERGE needs at least two parent versions")
+	}
+	if st.NewName == "" {
+		return nil, fmt.Errorf("aql: MERGE needs a new array name")
+	}
+	return st, nil
+}
+
+// DELETE VERSION Name@v
+func (p *parser) deleteVersion() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expect("VERSION"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("@"); err != nil {
+		return nil, err
+	}
+	v, err := p.integer()
+	if err != nil {
+		return nil, err
+	}
+	return DeleteVersionStmt{Array: name, Version: int(v)}, nil
+}
+
+// INFO(Name)
+func (p *parser) info() (Stmt, error) {
+	p.next() // INFO
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return InfoStmt{Array: name}, nil
+}
+
+func (p *parser) drop() (Stmt, error) {
+	p.next() // DROP
+	if err := p.expect("ARRAY"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return DropStmt{Array: name}, nil
+}

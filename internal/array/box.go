@@ -1,0 +1,164 @@
+package array
+
+import "fmt"
+
+// Box is an axis-aligned hyper-rectangle in cell coordinates, the unit of
+// sub-array selection ("a slice of one or a collection of versions",
+// paper §I). Lo is inclusive, Hi is exclusive, one entry per dimension.
+type Box struct {
+	Lo []int64
+	Hi []int64
+}
+
+// NewBox constructs a Box from corner coordinates.
+func NewBox(lo, hi []int64) Box {
+	return Box{Lo: append([]int64(nil), lo...), Hi: append([]int64(nil), hi...)}
+}
+
+// BoxOf returns the full box covering an array of the given shape.
+func BoxOf(shape []int64) Box {
+	lo := make([]int64, len(shape))
+	hi := append([]int64(nil), shape...)
+	return Box{Lo: lo, Hi: hi}
+}
+
+// NDim returns the box's dimensionality.
+func (b Box) NDim() int { return len(b.Lo) }
+
+// Validate checks structural sanity: matching corner lengths and Lo <= Hi.
+func (b Box) Validate() error {
+	if len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("array: box corners have mismatched dimensionality %d vs %d", len(b.Lo), len(b.Hi))
+	}
+	for i := range b.Lo {
+		if b.Lo[i] > b.Hi[i] {
+			return fmt.Errorf("array: box dimension %d has Lo %d > Hi %d", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the box covers no cells.
+func (b Box) Empty() bool {
+	for i := range b.Lo {
+		if b.Lo[i] >= b.Hi[i] {
+			return true
+		}
+	}
+	return len(b.Lo) == 0
+}
+
+// NumCells returns the number of cells covered by the box.
+func (b Box) NumCells() int64 {
+	if len(b.Lo) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for i := range b.Lo {
+		side := b.Hi[i] - b.Lo[i]
+		if side <= 0 {
+			return 0
+		}
+		n *= side
+	}
+	return n
+}
+
+// Shape returns the per-dimension extent of the box.
+func (b Box) Shape() []int64 {
+	s := make([]int64, len(b.Lo))
+	for i := range s {
+		s[i] = b.Hi[i] - b.Lo[i]
+		if s[i] < 0 {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// Intersect returns the overlap of two boxes (possibly empty).
+func (b Box) Intersect(o Box) Box {
+	lo := make([]int64, len(b.Lo))
+	hi := make([]int64, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = max64(b.Lo[i], o.Lo[i])
+		hi[i] = min64(b.Hi[i], o.Hi[i])
+		if hi[i] < lo[i] {
+			hi[i] = lo[i]
+		}
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Contains reports whether the coordinate pt lies inside the box.
+func (b Box) Contains(pt []int64) bool {
+	for i := range b.Lo {
+		if pt[i] < b.Lo[i] || pt[i] >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b Box) ContainsBox(o Box) bool {
+	for i := range b.Lo {
+		if o.Lo[i] < b.Lo[i] || o.Hi[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether the two boxes share at least one cell.
+func (b Box) Overlaps(o Box) bool {
+	for i := range b.Lo {
+		if b.Lo[i] >= o.Hi[i] || o.Lo[i] >= b.Hi[i] {
+			return false
+		}
+	}
+	return len(b.Lo) > 0
+}
+
+// Translate returns the box shifted by -origin, i.e. re-expressed in a
+// coordinate system whose origin is at `origin`.
+func (b Box) Translate(origin []int64) Box {
+	lo := make([]int64, len(b.Lo))
+	hi := make([]int64, len(b.Lo))
+	for i := range b.Lo {
+		lo[i] = b.Lo[i] - origin[i]
+		hi[i] = b.Hi[i] - origin[i]
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Equal reports structural equality.
+func (b Box) Equal(o Box) bool {
+	if len(b.Lo) != len(o.Lo) {
+		return false
+	}
+	for i := range b.Lo {
+		if b.Lo[i] != o.Lo[i] || b.Hi[i] != o.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("[%v,%v)", b.Lo, b.Hi)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

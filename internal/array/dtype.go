@@ -1,0 +1,197 @@
+// Package array implements the N-dimensional array model underlying the
+// versioned storage manager (paper §II, §III-A): dense and sparse arrays
+// of typed cells, hyper-rectangle (box) slicing, version stacking, and a
+// compact binary serialization.
+//
+// Cells are carried uniformly as int64 "bit patterns": integer dtypes are
+// sign-extended, floating-point dtypes are reinterpreted via their IEEE-754
+// bits. Cellwise deltas are wrapping differences of these patterns, which
+// is lossless for every dtype and keeps differences of similar values
+// narrow (similar floats share exponent and high mantissa bits).
+package array
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DataType identifies the fixed-size cell type of an array. The paper's
+// arrays are homogeneous: every cell of an array holds the same type
+// (§III-A).
+type DataType uint8
+
+// Supported cell types.
+const (
+	Int8 DataType = iota + 1
+	Int16
+	Int32
+	Int64
+	UInt8
+	UInt16
+	UInt32
+	Float32
+	Float64
+)
+
+// Size returns the on-disk size of one cell in bytes.
+func (d DataType) Size() int {
+	switch d {
+	case Int8, UInt8:
+		return 1
+	case Int16, UInt16:
+		return 2
+	case Int32, UInt32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		panic(fmt.Sprintf("array: invalid DataType %d", d))
+	}
+}
+
+// IsFloat reports whether the dtype holds IEEE-754 values.
+func (d DataType) IsFloat() bool { return d == Float32 || d == Float64 }
+
+// Valid reports whether d is a known dtype.
+func (d DataType) Valid() bool { return d >= Int8 && d <= Float64 }
+
+func (d DataType) String() string {
+	switch d {
+	case Int8:
+		return "int8"
+	case Int16:
+		return "int16"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case UInt8:
+		return "uint8"
+	case UInt16:
+		return "uint16"
+	case UInt32:
+		return "uint32"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(d))
+	}
+}
+
+// ParseDataType converts a dtype name (as used in schemas and AQL) into a
+// DataType.
+func ParseDataType(s string) (DataType, error) {
+	switch s {
+	case "int8":
+		return Int8, nil
+	case "int16":
+		return Int16, nil
+	case "int32", "integer", "INTEGER":
+		return Int32, nil
+	case "int64":
+		return Int64, nil
+	case "uint8":
+		return UInt8, nil
+	case "uint16":
+		return UInt16, nil
+	case "uint32":
+		return UInt32, nil
+	case "float32":
+		return Float32, nil
+	case "float64", "double", "DOUBLE":
+		return Float64, nil
+	default:
+		return 0, fmt.Errorf("array: unknown data type %q", s)
+	}
+}
+
+// GetBits reads cell i of a raw little-endian buffer as an int64 bit
+// pattern. Integer types are sign-extended (unsigned types zero-extended);
+// float types are reinterpreted bitwise.
+func GetBits(data []byte, d DataType, i int) int64 {
+	switch d {
+	case Int8:
+		return int64(int8(data[i]))
+	case UInt8:
+		return int64(data[i])
+	case Int16:
+		return int64(int16(binary.LittleEndian.Uint16(data[i*2:])))
+	case UInt16:
+		return int64(binary.LittleEndian.Uint16(data[i*2:]))
+	case Int32:
+		return int64(int32(binary.LittleEndian.Uint32(data[i*4:])))
+	case UInt32, Float32:
+		return int64(binary.LittleEndian.Uint32(data[i*4:]))
+	case Int64, Float64:
+		return int64(binary.LittleEndian.Uint64(data[i*8:]))
+	default:
+		panic(fmt.Sprintf("array: invalid DataType %d", d))
+	}
+}
+
+// PutBits writes bit pattern v into cell i of a raw little-endian buffer,
+// truncating to the dtype's width.
+func PutBits(data []byte, d DataType, i int, v int64) {
+	switch d {
+	case Int8, UInt8:
+		data[i] = byte(v)
+	case Int16, UInt16:
+		binary.LittleEndian.PutUint16(data[i*2:], uint16(v))
+	case Int32, UInt32, Float32:
+		binary.LittleEndian.PutUint32(data[i*4:], uint32(v))
+	case Int64, Float64:
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(v))
+	default:
+		panic(fmt.Sprintf("array: invalid DataType %d", d))
+	}
+}
+
+// FloatToBits converts a float value into the bit pattern stored for the
+// given dtype. For integer dtypes the value is truncated toward zero.
+func FloatToBits(d DataType, f float64) int64 {
+	switch d {
+	case Float32:
+		return int64(math.Float32bits(float32(f)))
+	case Float64:
+		return int64(math.Float64bits(f))
+	default:
+		return int64(f)
+	}
+}
+
+// BitsToFloat converts a stored bit pattern back into a float value.
+func BitsToFloat(d DataType, v int64) float64 {
+	switch d {
+	case Float32:
+		return float64(math.Float32frombits(uint32(v)))
+	case Float64:
+		return math.Float64frombits(uint64(v))
+	default:
+		return float64(v)
+	}
+}
+
+// TruncateBits reduces v to the canonical bit pattern for dtype d, i.e.
+// the value GetBits would return after PutBits(v). Encoders use this to
+// normalize generated values.
+func TruncateBits(d DataType, v int64) int64 {
+	switch d {
+	case Int8:
+		return int64(int8(v))
+	case UInt8:
+		return int64(uint8(v))
+	case Int16:
+		return int64(int16(v))
+	case UInt16:
+		return int64(uint16(v))
+	case Int32:
+		return int64(int32(v))
+	case UInt32, Float32:
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}

@@ -1,0 +1,101 @@
+package array
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// Dimension is a typed, fixed-size array dimension with an inclusive
+// integer coordinate range, e.g. "I=0:2" in AQL (Appendix A) spans the
+// three coordinates 0, 1, 2.
+type Dimension struct {
+	Name string `json:"name"`
+	Lo   int64  `json:"lo"`
+	Hi   int64  `json:"hi"` // inclusive, per the paper's AQL syntax
+}
+
+// Size returns the number of coordinates along the dimension.
+func (d Dimension) Size() int64 { return d.Hi - d.Lo + 1 }
+
+// Attribute is a typed per-cell value, e.g. "A::INTEGER".
+type Attribute struct {
+	Name string   `json:"name"`
+	Type DataType `json:"type"`
+}
+
+// Schema describes a named array: its dimensions (which define the cells)
+// and its attributes (the data stored in each cell), per §II-A.
+type Schema struct {
+	Name  string      `json:"name"`
+	Dims  []Dimension `json:"dims"`
+	Attrs []Attribute `json:"attrs"`
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+// Validate checks structural sanity of the schema.
+func (s Schema) Validate() error {
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("array: invalid array name %q", s.Name)
+	}
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("array %q: at least one dimension required", s.Name)
+	}
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("array %q: at least one attribute required", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, d := range s.Dims {
+		if !nameRE.MatchString(d.Name) {
+			return fmt.Errorf("array %q: invalid dimension name %q", s.Name, d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("array %q: duplicate dimension %q", s.Name, d.Name)
+		}
+		seen[d.Name] = true
+		if d.Hi < d.Lo {
+			return fmt.Errorf("array %q: dimension %q has Hi %d < Lo %d", s.Name, d.Name, d.Hi, d.Lo)
+		}
+	}
+	for _, a := range s.Attrs {
+		if !nameRE.MatchString(a.Name) {
+			return fmt.Errorf("array %q: invalid attribute name %q", s.Name, a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("array %q: duplicate attribute %q", s.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if !a.Type.Valid() {
+			return fmt.Errorf("array %q: attribute %q has invalid type", s.Name, a.Name)
+		}
+	}
+	return nil
+}
+
+// Shape returns the per-dimension extents.
+func (s Schema) Shape() []int64 {
+	shape := make([]int64, len(s.Dims))
+	for i, d := range s.Dims {
+		shape[i] = d.Size()
+	}
+	return shape
+}
+
+// NumCells returns the total number of cells defined by the dimensions.
+func (s Schema) NumCells() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		n *= d.Size()
+	}
+	return n
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,270 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a coordinate-list sparse array: a sorted list of (flat index,
+// value) pairs plus a fill value used for every unspecified cell. This is
+// the paper's sparse representation, "a list of (dimension, attribute)
+// value pairs ... along with a default-value which is used to populate the
+// attribute values for unspecified dimension values" (§II-A).
+type Sparse struct {
+	dtype DataType
+	shape []int64
+	fill  int64   // bit pattern of the default value
+	idx   []int64 // sorted, unique flat indices
+	vals  []int64 // bit patterns, parallel to idx
+}
+
+// NewSparse creates an empty sparse array where every cell holds the fill
+// bit pattern.
+func NewSparse(dtype DataType, shape []int64, fill int64) (*Sparse, error) {
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("array: invalid dtype %d", dtype)
+	}
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("array: sparse array needs at least one dimension")
+	}
+	for i, s := range shape {
+		if s <= 0 {
+			return nil, fmt.Errorf("array: dimension %d has non-positive extent %d", i, s)
+		}
+	}
+	return &Sparse{
+		dtype: dtype,
+		shape: append([]int64(nil), shape...),
+		fill:  TruncateBits(dtype, fill),
+	}, nil
+}
+
+// MustSparse is NewSparse panicking on error; for tests and generators.
+func MustSparse(dtype DataType, shape []int64, fill int64) *Sparse {
+	s, err := NewSparse(dtype, shape, fill)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SparseFromPairs builds a sparse array from unsorted (flat index, bits)
+// pairs. Duplicate indices keep the last value.
+func SparseFromPairs(dtype DataType, shape []int64, fill int64, idx, vals []int64) (*Sparse, error) {
+	if len(idx) != len(vals) {
+		return nil, fmt.Errorf("array: %d indices but %d values", len(idx), len(vals))
+	}
+	s, err := NewSparse(dtype, shape, fill)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NumCells()
+	type pair struct{ i, v int64 }
+	pairs := make([]pair, len(idx))
+	for k := range idx {
+		if idx[k] < 0 || idx[k] >= n {
+			return nil, fmt.Errorf("array: index %d out of range [0,%d)", idx[k], n)
+		}
+		pairs[k] = pair{idx[k], TruncateBits(dtype, vals[k])}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	for k := range pairs {
+		if k > 0 && pairs[k].i == pairs[k-1].i {
+			s.vals[len(s.vals)-1] = pairs[k].v // keep last
+			continue
+		}
+		if pairs[k].v == s.fill {
+			continue // storing fill explicitly is redundant
+		}
+		s.idx = append(s.idx, pairs[k].i)
+		s.vals = append(s.vals, pairs[k].v)
+	}
+	return s, nil
+}
+
+// DType returns the cell type.
+func (s *Sparse) DType() DataType { return s.dtype }
+
+// Shape returns the per-dimension extents. The caller must not modify it.
+func (s *Sparse) Shape() []int64 { return s.shape }
+
+// NDim returns the dimensionality.
+func (s *Sparse) NDim() int { return len(s.shape) }
+
+// NumCells returns the total (logical) cell count.
+func (s *Sparse) NumCells() int64 {
+	n := int64(1)
+	for _, d := range s.shape {
+		n *= d
+	}
+	return n
+}
+
+// NNZ returns the number of explicitly stored cells.
+func (s *Sparse) NNZ() int { return len(s.idx) }
+
+// Fill returns the default value's bit pattern.
+func (s *Sparse) Fill() int64 { return s.fill }
+
+// Density returns the fraction of cells explicitly stored.
+func (s *Sparse) Density() float64 {
+	n := s.NumCells()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(s.idx)) / float64(n)
+}
+
+// SizeBytes estimates the serialized payload size: 8 bytes of index plus
+// one cell per stored entry (matching the paper's "series of values
+// preceded by their position in the array", §III-B.1).
+func (s *Sparse) SizeBytes() int64 {
+	return int64(len(s.idx)) * int64(8+s.dtype.Size())
+}
+
+// Bits returns the bit pattern at the given flat index.
+func (s *Sparse) Bits(flat int64) int64 {
+	k := sort.Search(len(s.idx), func(i int) bool { return s.idx[i] >= flat })
+	if k < len(s.idx) && s.idx[k] == flat {
+		return s.vals[k]
+	}
+	return s.fill
+}
+
+// SetBits stores a bit pattern at the given flat index. Setting a cell to
+// the fill value removes it from the explicit list.
+func (s *Sparse) SetBits(flat int64, v int64) {
+	v = TruncateBits(s.dtype, v)
+	k := sort.Search(len(s.idx), func(i int) bool { return s.idx[i] >= flat })
+	present := k < len(s.idx) && s.idx[k] == flat
+	switch {
+	case present && v == s.fill:
+		s.idx = append(s.idx[:k], s.idx[k+1:]...)
+		s.vals = append(s.vals[:k], s.vals[k+1:]...)
+	case present:
+		s.vals[k] = v
+	case v != s.fill:
+		s.idx = append(s.idx, 0)
+		copy(s.idx[k+1:], s.idx[k:])
+		s.idx[k] = flat
+		s.vals = append(s.vals, 0)
+		copy(s.vals[k+1:], s.vals[k:])
+		s.vals[k] = v
+	}
+}
+
+// Pairs invokes fn for every explicitly stored (flat index, bits) pair in
+// ascending index order.
+func (s *Sparse) Pairs(fn func(flat int64, bits int64)) {
+	for k := range s.idx {
+		fn(s.idx[k], s.vals[k])
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sparse) Clone() *Sparse {
+	return &Sparse{
+		dtype: s.dtype,
+		shape: append([]int64(nil), s.shape...),
+		fill:  s.fill,
+		idx:   append([]int64(nil), s.idx...),
+		vals:  append([]int64(nil), s.vals...),
+	}
+}
+
+// Equal reports whether two sparse arrays are logically identical (same
+// dtype, shape and cell contents; fill values may differ if unused).
+func (s *Sparse) Equal(o *Sparse) bool {
+	if o == nil || s.dtype != o.dtype || len(s.shape) != len(o.shape) {
+		return false
+	}
+	for i := range s.shape {
+		if s.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	if s.fill != o.fill {
+		// different fills can still be logically equal only if every cell
+		// is explicit in at least one; cheap path: compare via ToDense for
+		// small arrays is wasteful, so require identical fills here.
+		return false
+	}
+	if len(s.idx) != len(o.idx) {
+		return false
+	}
+	for k := range s.idx {
+		if s.idx[k] != o.idx[k] || s.vals[k] != o.vals[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ToDense materializes the sparse array.
+func (s *Sparse) ToDense() (*Dense, error) {
+	d, err := NewDense(s.dtype, s.shape)
+	if err != nil {
+		return nil, err
+	}
+	if s.fill != 0 {
+		d.Fill(s.fill)
+	}
+	for k := range s.idx {
+		d.SetBits(s.idx[k], s.vals[k])
+	}
+	return d, nil
+}
+
+// SparseFromDense converts a dense array into a sparse one, treating the
+// given bit pattern as the fill value.
+func SparseFromDense(d *Dense, fill int64) (*Sparse, error) {
+	s, err := NewSparse(d.DType(), d.Shape(), fill)
+	if err != nil {
+		return nil, err
+	}
+	n := d.NumCells()
+	for i := int64(0); i < n; i++ {
+		if v := d.Bits(i); v != s.fill {
+			s.idx = append(s.idx, i)
+			s.vals = append(s.vals, v)
+		}
+	}
+	return s, nil
+}
+
+// Slice extracts the sub-array covered by box into a new sparse array
+// with the same fill value.
+func (s *Sparse) Slice(box Box) (*Sparse, error) {
+	if err := box.Validate(); err != nil {
+		return nil, err
+	}
+	if box.NDim() != s.NDim() {
+		return nil, fmt.Errorf("array: slice box has %d dims, array has %d", box.NDim(), s.NDim())
+	}
+	if !BoxOf(s.shape).ContainsBox(box) {
+		return nil, fmt.Errorf("array: slice box %v exceeds array shape %v", box, s.shape)
+	}
+	out, err := NewSparse(s.dtype, box.Shape(), s.fill)
+	if err != nil {
+		return nil, err
+	}
+	outShape := box.Shape()
+	coords := make([]int64, s.NDim())
+	for k := range s.idx {
+		flat := s.idx[k]
+		for i := len(s.shape) - 1; i >= 0; i-- {
+			coords[i] = flat % s.shape[i]
+			flat /= s.shape[i]
+		}
+		if !box.Contains(coords) {
+			continue
+		}
+		outFlat := int64(0)
+		for i := range coords {
+			outFlat = outFlat*outShape[i] + (coords[i] - box.Lo[i])
+		}
+		out.idx = append(out.idx, outFlat)
+		out.vals = append(out.vals, s.vals[k])
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/datasets"
+	"arrayvers/internal/delta"
+)
+
+// E1 — Table I: performance of selected differencing algorithms on the
+// NOAA substitute (the paper used the first 10 versions × ~9 measurement
+// types = 88 array objects). Each method imports the series as a linear
+// chain (first version materialized, each later version delta'ed against
+// its predecessor), then queries every version back.
+func Table1(sc Scale) (Table, error) {
+	series := noaaSeries(sc)
+	type method struct {
+		name   string
+		encode func(target, base *array.Dense) ([]byte, error)
+		decode func(blob []byte, base *array.Dense) (*array.Dense, error)
+	}
+	methods := []method{
+		{"Uncompressed", nil, nil},
+		{"Dense", enc(delta.Dense), delta.Apply},
+		{"Sparse", enc(delta.Sparse), delta.Apply},
+		{"Hybrid", enc(delta.Hybrid), delta.Apply},
+		{fmt.Sprintf("MPEG-2-like (r=%d)", sc.BlockRadius), func(t, b *array.Dense) ([]byte, error) {
+			return delta.EncodeBlockMatchRadius(t, b, delta.DefaultBlockSize, sc.BlockRadius)
+		}, delta.Apply},
+		{"BSDiff", enc(delta.BSDiff), delta.Apply},
+	}
+	t := Table{
+		Title:   "Table I — Performance of Selected Differencing Algorithms (NOAA substitute)",
+		Columns: []string{"Delta Algorithm", "Import Time", "Size", "Query Time"},
+	}
+	for _, m := range methods {
+		var size int64
+		var blobs [][][]byte // [attr][version]
+		importTime, err := timed(func() error {
+			blobs = make([][][]byte, len(series))
+			for ai, chain := range series {
+				blobs[ai] = make([][]byte, len(chain))
+				for v, arr := range chain {
+					if v == 0 || m.encode == nil {
+						blobs[ai][v] = array.MarshalDense(arr)
+					} else {
+						blob, err := m.encode(arr, chain[v-1])
+						if err != nil {
+							return err
+						}
+						// "if an array would use less space on disk if
+						// stored without delta compression, the system
+						// will choose not to use it"
+						if nat := array.MarshalDense(arr); len(nat) < len(blob) {
+							blob = nat
+						}
+						blobs[ai][v] = blob
+					}
+					size += int64(len(blobs[ai][v]))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("table1 %s: %w", m.name, err)
+		}
+		queryTime, err := timed(func() error {
+			for ai := range blobs {
+				var prev *array.Dense
+				for v, blob := range blobs[ai] {
+					var arr *array.Dense
+					var err error
+					if mm, _ := delta.MethodOf(blob); v == 0 || m.decode == nil || mm == 0 {
+						arr, err = array.UnmarshalDense(blob)
+					} else {
+						arr, err = m.decode(blob, prev)
+					}
+					if err != nil {
+						return err
+					}
+					if !arr.Equal(series[ai][v]) {
+						return fmt.Errorf("%s: version %d corrupted", m.name, v)
+					}
+					prev = arr
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("table1 %s: %w", m.name, err)
+		}
+		t.Rows = append(t.Rows, []string{m.name, fmtDur(importTime), fmtBytes(size), fmtDur(queryTime)})
+	}
+	return t, nil
+}
+
+func enc(m delta.Method) func(t, b *array.Dense) ([]byte, error) {
+	return func(t, b *array.Dense) ([]byte, error) { return delta.Encode(m, t, b) }
+}
+
+// noaaSeries generates the NOAA substitute organized as one chain per
+// attribute ("each type of measurement was stored ... in its own
+// versioned matrix").
+func noaaSeries(sc Scale) [][]*array.Dense {
+	raw := datasets.NOAA(datasets.NOAAConfig{
+		Side: sc.NOAASide, Versions: sc.NOAAVersions, Attrs: sc.NOAAAttrs, Seed: sc.Seed,
+	})
+	series := make([][]*array.Dense, sc.NOAAAttrs)
+	for ai := 0; ai < sc.NOAAAttrs; ai++ {
+		chain := make([]*array.Dense, len(raw))
+		for v := range raw {
+			chain[v] = raw[v][ai]
+		}
+		series[ai] = chain
+	}
+	return series
+}
+
+// E2 — Table II: compression algorithm performance on delta arrays. The
+// difference arrays of the NOAA chains (hybrid-style cellwise diffs,
+// stored as int32 grids) are compressed with each codec; query time
+// includes decompression plus applying the diff.
+func Table2(sc Scale) (Table, error) {
+	series := noaaSeries(sc)
+	// build raw difference grids once
+	type diffed struct {
+		grid *array.Dense // int32 cellwise wrapping differences
+		base *array.Dense
+	}
+	var diffs []diffed
+	var deltaOnly int64
+	for _, chain := range series {
+		for v := 1; v < len(chain); v++ {
+			grid := array.MustDense(array.Int32, chain[v].Shape())
+			n := grid.NumCells()
+			for i := int64(0); i < n; i++ {
+				grid.SetBits(i, int64(int32(uint32(chain[v].Bits(i))-uint32(chain[v-1].Bits(i)))))
+			}
+			diffs = append(diffs, diffed{grid, chain[v-1]})
+			hb, err := delta.Encode(delta.Hybrid, chain[v], chain[v-1])
+			if err != nil {
+				return Table{}, err
+			}
+			deltaOnly += int64(len(hb))
+		}
+	}
+	t := Table{
+		Title:   "Table II — Compression Algorithm Performance on Delta Arrays (NOAA substitute)",
+		Columns: []string{"Compression", "Size", "Query Time"},
+	}
+	// the paper's first row is the uncompressed hybrid delta
+	hybridQuery, err := timed(func() error {
+		for _, d := range diffs {
+			if err := applyDiffGrid(d.grid, d.base); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows, []string{"Hybrid Delta only", fmtBytes(deltaOnly), fmtDur(hybridQuery)})
+
+	codecs := []struct {
+		name  string
+		codec compress.Codec
+	}{
+		{"Lempel-Ziv", compress.LZ},
+		{"Run-Length Encoding", compress.RLE},
+		{"PNG compression", compress.PNG},
+		{"JPEG 2000 compression", compress.Wavelet},
+	}
+	for _, c := range codecs {
+		var size int64
+		var packed [][]byte
+		params := make([]compress.Params, len(diffs))
+		for i, d := range diffs {
+			shape := d.grid.Shape()
+			params[i] = compress.Params{Elem: 4, Width: int(shape[1]), Height: int(shape[0])}
+			blob, err := compress.Compress(c.codec, d.grid.Bytes(), params[i])
+			if err != nil {
+				return Table{}, fmt.Errorf("table2 %s: %w", c.name, err)
+			}
+			packed = append(packed, blob)
+			size += int64(len(blob))
+		}
+		queryTime, err := timed(func() error {
+			for i, blob := range packed {
+				raw, err := compress.Decompress(c.codec, blob, params[i])
+				if err != nil {
+					return err
+				}
+				grid, err := array.DenseFromBytes(array.Int32, diffs[i].grid.Shape(), raw)
+				if err != nil {
+					return err
+				}
+				if err := applyDiffGrid(grid, diffs[i].base); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("table2 %s: %w", c.name, err)
+		}
+		t.Rows = append(t.Rows, []string{c.name, fmtBytes(size), fmtDur(queryTime)})
+	}
+
+	// the surrounding text's comparison: compressing the original arrays
+	// directly, without deltas
+	var lzAlone, rleAlone int64
+	for _, chain := range series {
+		for _, arr := range chain {
+			shape := arr.Shape()
+			p := compress.Params{Elem: 4, Width: int(shape[1]), Height: int(shape[0])}
+			lz, err := compress.Compress(compress.LZ, arr.Bytes(), p)
+			if err != nil {
+				return Table{}, err
+			}
+			rle, err := compress.Compress(compress.RLE, arr.Bytes(), p)
+			if err != nil {
+				return Table{}, err
+			}
+			lzAlone += int64(len(lz))
+			rleAlone += int64(len(rle))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("LZ alone on original arrays (no deltas): %s", fmtBytes(lzAlone)),
+		fmt.Sprintf("RLE alone on original arrays (no deltas): %s", fmtBytes(rleAlone)),
+	)
+	return t, nil
+}
+
+// applyDiffGrid reconstructs target cells from a difference grid and the
+// base array (float32 bit patterns + int32 wrapping diffs).
+func applyDiffGrid(grid, base *array.Dense) error {
+	n := grid.NumCells()
+	out := array.MustDense(base.DType(), base.Shape())
+	for i := int64(0); i < n; i++ {
+		out.SetBits(i, int64(uint32(base.Bits(i))+uint32(grid.Bits(i))))
+	}
+	_ = out
+	return nil
+}

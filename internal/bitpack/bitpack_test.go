@@ -1,0 +1,259 @@
+package bitpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagKnownValues(t *testing.T) {
+	cases := []struct {
+		v int64
+		u uint64
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4},
+		{math.MaxInt64, math.MaxUint64 - 1},
+		{math.MinInt64, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := Zigzag(c.v); got != c.u {
+			t.Errorf("Zigzag(%d) = %d, want %d", c.v, got, c.u)
+		}
+		if got := Unzigzag(c.u); got != c.v {
+			t.Errorf("Unzigzag(%d) = %d, want %d", c.u, got, c.v)
+		}
+	}
+}
+
+func TestZigzagRoundtripProperty(t *testing.T) {
+	f := func(v int64) bool { return Unzigzag(Zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		u uint64
+		w int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := Width(c.u); got != c.w {
+			t.Errorf("Width(%d) = %d, want %d", c.u, got, c.w)
+		}
+	}
+}
+
+func TestSignedWidth(t *testing.T) {
+	cases := []struct {
+		v int64
+		w int
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 2}, {127, 8}, {-128, 8}, {128, 9},
+		{math.MinInt64, 64}, {math.MaxInt64, 64},
+	}
+	for _, c := range cases {
+		if got := SignedWidth(c.v); got != c.w {
+			t.Errorf("SignedWidth(%d) = %d, want %d", c.v, got, c.w)
+		}
+	}
+}
+
+func TestMaxSignedWidth(t *testing.T) {
+	if got := MaxSignedWidth(nil); got != 0 {
+		t.Errorf("MaxSignedWidth(nil) = %d, want 0", got)
+	}
+	if got := MaxSignedWidth([]int64{0, 0, 0}); got != 0 {
+		t.Errorf("MaxSignedWidth(zeros) = %d, want 0", got)
+	}
+	if got := MaxSignedWidth([]int64{1, -200, 3}); got != SignedWidth(-200) {
+		t.Errorf("MaxSignedWidth = %d, want %d", got, SignedWidth(-200))
+	}
+}
+
+func TestPackedLen(t *testing.T) {
+	if got := PackedLen(10, 0); got != 0 {
+		t.Errorf("PackedLen(10,0) = %d, want 0", got)
+	}
+	if got := PackedLen(3, 3); got != 2 {
+		t.Errorf("PackedLen(3,3) = %d, want 2", got)
+	}
+	if got := PackedLen(8, 8); got != 8 {
+		t.Errorf("PackedLen(8,8) = %d, want 8", got)
+	}
+}
+
+func TestWriterReaderAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := 0; width <= 64; width++ {
+		n := 100
+		vals := make([]uint64, n)
+		var mask uint64
+		if width == 64 {
+			mask = math.MaxUint64
+		} else {
+			mask = (1 << uint(width)) - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		buf := PackUnsigned(vals, width)
+		if len(buf) != PackedLen(n, width) {
+			t.Fatalf("width %d: len=%d want %d", width, len(buf), PackedLen(n, width))
+		}
+		got, err := UnpackUnsigned(buf, n, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("width %d idx %d: got %d want %d", width, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestSignedRoundtripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for width := 1; width <= 64; width++ {
+		n := 64
+		vals := make([]int64, n)
+		for i := range vals {
+			// generate a value fitting in `width` signed-zigzag bits
+			var mask uint64
+			if width == 64 {
+				mask = math.MaxUint64
+			} else {
+				mask = (1 << uint(width)) - 1
+			}
+			vals[i] = Unzigzag(rng.Uint64() & mask)
+		}
+		buf := PackSigned(vals, width)
+		got, err := UnpackSigned(buf, n, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("width %d idx %d: got %d want %d", width, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestMixedWidthStream(t *testing.T) {
+	w := NewWriter()
+	w.Write(0b101, 3)
+	w.WriteSigned(-7, 5)
+	w.Write(0xDEADBEEF, 32)
+	w.Write(1, 1)
+	buf := w.Bytes()
+	r := NewReader(buf)
+	if u, _ := r.Read(3); u != 0b101 {
+		t.Errorf("first = %b", u)
+	}
+	if v, _ := r.ReadSigned(5); v != -7 {
+		t.Errorf("second = %d", v)
+	}
+	if u, _ := r.Read(32); u != 0xDEADBEEF {
+		t.Errorf("third = %x", u)
+	}
+	if u, _ := r.Read(1); u != 1 {
+		t.Errorf("fourth = %d", u)
+	}
+}
+
+func TestReaderOverrun(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.Read(8); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := r.Read(1); err == nil {
+		t.Fatal("expected overrun error")
+	}
+}
+
+func TestZeroWidthStream(t *testing.T) {
+	buf := PackSigned([]int64{0, 0, 0, 0}, 0)
+	if len(buf) != 0 {
+		t.Fatalf("zero-width pack produced %d bytes", len(buf))
+	}
+	got, err := UnpackSigned(buf, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("zero-width decode gave %d", v)
+		}
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+	r.Read(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestPackSignedWidthFromMax(t *testing.T) {
+	f := func(raw []int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := MaxSignedWidth(raw)
+		buf := PackSigned(raw, w)
+		got, err := UnpackSigned(buf, len(raw), w)
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPackSigned(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1024) - 512)
+	}
+	w := MaxSignedWidth(vals)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackSigned(vals, w)
+	}
+}
+
+func BenchmarkUnpackSigned(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]int64, 1<<16)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1024) - 512)
+	}
+	w := MaxSignedWidth(vals)
+	buf := PackSigned(vals, w)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnpackSigned(buf, len(vals), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allCodecs = []Codec{None, LZ, RLE, NullSupp, PNG, Wavelet}
+
+func imageParams(w, h, elem int) Params {
+	return Params{Elem: elem, Width: w, Height: h}
+}
+
+// makeSmooth generates a compressible "image": smooth gradient plus noise.
+func makeSmooth(w, h, elem int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, w*h*elem)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			v := int64(r*2+c) + int64(rng.Intn(3))
+			writeCell(data, elem, r*w+c, v)
+		}
+	}
+	return data
+}
+
+func TestRoundtripAllCodecs(t *testing.T) {
+	for _, elem := range []int{1, 2, 4, 8} {
+		data := makeSmooth(32, 24, elem, int64(elem))
+		p := imageParams(32, 24, elem)
+		for _, c := range allCodecs {
+			blob, err := Compress(c, data, p)
+			if err != nil {
+				t.Fatalf("%v elem %d: compress: %v", c, elem, err)
+			}
+			back, err := Decompress(c, blob, p)
+			if err != nil {
+				t.Fatalf("%v elem %d: decompress: %v", c, elem, err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("%v elem %d: roundtrip mismatch", c, elem)
+			}
+		}
+	}
+}
+
+func TestRoundtripRandomDataProperty(t *testing.T) {
+	// Lossless property on arbitrary byte strings for the structural
+	// codecs (None/LZ/RLE/NullSupp operate on any elem-aligned buffer).
+	f := func(raw []byte) bool {
+		data := raw
+		if len(data)%4 != 0 {
+			data = data[:len(data)-len(data)%4]
+		}
+		p := Params{Elem: 4}
+		for _, c := range []Codec{None, LZ, RLE, NullSupp} {
+			blob, err := Compress(c, data, p)
+			if err != nil {
+				return false
+			}
+			back, err := Decompress(c, blob, p)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(back, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	data := bytes.Repeat([]byte{7, 0, 0, 0}, 1000) // 1000 identical int32 cells
+	blob, err := Compress(RLE, data, Params{Elem: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > 16 {
+		t.Fatalf("RLE of constant data used %d bytes", len(blob))
+	}
+}
+
+func TestNullSuppCompressesSmallValues(t *testing.T) {
+	// int64 cells holding values < 256 should compress ~4x or better
+	data := make([]byte, 8*1000)
+	for i := 0; i < 1000; i++ {
+		writeCell(data, 8, i, int64(i%200))
+	}
+	blob, err := Compress(NullSupp, data, Params{Elem: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) > len(data)/4 {
+		t.Fatalf("nullsupp of small values used %d of %d bytes", len(blob), len(data))
+	}
+}
+
+func TestPNGBeatsLZOnGradients(t *testing.T) {
+	data := makeSmooth(128, 128, 1, 42)
+	p := imageParams(128, 128, 1)
+	png, err := Compress(PNG, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := Compress(LZ, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(png) >= len(lz) {
+		t.Fatalf("png %d bytes >= lz %d bytes on smooth gradient", len(png), len(lz))
+	}
+}
+
+func TestWaveletRoundtripExtremeValues(t *testing.T) {
+	// Wavelet lifting must be exactly reversible even at dtype extremes.
+	w, h := 20, 20
+	data := make([]byte, w*h*4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < w*h; i++ {
+		writeCell(data, 4, i, int64(uint32(rng.Uint64())))
+	}
+	p := imageParams(w, h, 4)
+	blob, err := Compress(Wavelet, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(Wavelet, blob, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("wavelet roundtrip mismatch on random uint32 data")
+	}
+}
+
+func TestWaveletOddDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{17, 33}, {33, 17}, {1, 40}, {40, 1}, {19, 19}} {
+		w, h := dims[0], dims[1]
+		data := makeSmooth(w, h, 2, int64(w*h))
+		p := imageParams(w, h, 2)
+		blob, err := Compress(Wavelet, data, p)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		back, err := Decompress(Wavelet, blob, p)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("%dx%d: roundtrip mismatch", w, h)
+		}
+	}
+}
+
+func TestLifting1DRoundtripProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]int64, len(raw))
+		for i, v := range raw {
+			x[i] = int64(v)
+		}
+		orig := append([]int64(nil), x...)
+		fwd53(x, 0, 1, len(x))
+		inv53(x, 0, 1, len(x))
+		for i := range x {
+			if x[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := Compress(RLE, []byte{1, 2, 3}, Params{Elem: 2}); err == nil {
+		t.Error("misaligned RLE input accepted")
+	}
+	if _, err := Compress(NullSupp, []byte{1, 2, 3}, Params{Elem: 2}); err == nil {
+		t.Error("misaligned nullsupp input accepted")
+	}
+	if _, err := Compress(PNG, []byte{1, 2, 3}, imageParams(2, 2, 1)); err == nil {
+		t.Error("wrong-size png input accepted")
+	}
+	if _, err := Compress(Wavelet, []byte{1, 2, 3}, imageParams(0, 0, 1)); err == nil {
+		t.Error("missing wavelet dims accepted")
+	}
+	if _, err := Compress(Codec(99), nil, Params{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := Decompress(Codec(99), nil, Params{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+func TestCorruptBlobs(t *testing.T) {
+	data := makeSmooth(16, 16, 4, 5)
+	p := imageParams(16, 16, 4)
+	for _, c := range []Codec{LZ, RLE, NullSupp, PNG, Wavelet} {
+		blob, err := Compress(c, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) < 4 {
+			continue
+		}
+		if _, err := Decompress(c, blob[:2], p); err == nil {
+			t.Errorf("%v: heavily truncated blob accepted", c)
+		}
+	}
+}
+
+func TestParseCodecRoundtrip(t *testing.T) {
+	for _, c := range allCodecs {
+		got, err := ParseCodec(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCodec(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCodec("bogus"); err == nil {
+		t.Error("bogus codec accepted")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {8, 4, 2}, {-8, 4, -2}, {-1, 4, -1}, {1, 4, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, c := range []Codec{None, LZ, RLE, NullSupp} {
+		blob, err := Compress(c, nil, Params{Elem: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		back, err := Decompress(c, blob, Params{Elem: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if len(back) != 0 {
+			t.Fatalf("%v: empty roundtrip gave %d bytes", c, len(back))
+		}
+	}
+}
+
+func BenchmarkLZCompressSmooth(b *testing.B) {
+	data := makeSmooth(512, 512, 4, 1)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(LZ, data, Params{Elem: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPNGCompressSmooth(b *testing.B) {
+	data := makeSmooth(512, 512, 4, 1)
+	p := imageParams(512, 512, 4)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(PNG, data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaveletCompressSmooth(b *testing.B) {
+	data := makeSmooth(512, 512, 4, 1)
+	p := imageParams(512, 512, 4)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(Wavelet, data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

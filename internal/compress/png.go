@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PNG-style codec: each row of the 2D layout is transformed by one of the
+// five PNG filter types (None, Sub, Up, Average, Paeth), chosen per row by
+// the minimum-sum-of-absolute-values heuristic PNG encoders use, and the
+// filtered bytes are then DEFLATE-compressed. "PNG uses LZ with
+// pre-filtering" (paper §V-A).
+
+const (
+	filterNone = iota
+	filterSub
+	filterUp
+	filterAvg
+	filterPaeth
+)
+
+func pngCompress(data []byte, p Params) ([]byte, error) {
+	bpp := p.Elem
+	if bpp <= 0 {
+		bpp = 1
+	}
+	rowBytes := p.Width * bpp
+	if rowBytes <= 0 || len(data)%rowBytes != 0 {
+		return nil, fmt.Errorf("compress: png: %d bytes not divisible into rows of %d bytes", len(data), rowBytes)
+	}
+	rows := len(data) / rowBytes
+	filtered := make([]byte, 0, rows*(rowBytes+1))
+	prev := make([]byte, rowBytes) // zero row above the first
+	cand := make([]byte, rowBytes)
+	best := make([]byte, rowBytes)
+	for r := 0; r < rows; r++ {
+		row := data[r*rowBytes : (r+1)*rowBytes]
+		bestType, bestScore := 0, -1
+		for ft := filterNone; ft <= filterPaeth; ft++ {
+			applyFilter(ft, row, prev, bpp, cand)
+			score := 0
+			for _, b := range cand {
+				v := int(int8(b))
+				if v < 0 {
+					v = -v
+				}
+				score += v
+			}
+			if bestScore < 0 || score < bestScore {
+				bestScore = score
+				bestType = ft
+				copy(best, cand)
+			}
+		}
+		filtered = append(filtered, byte(bestType))
+		filtered = append(filtered, best...)
+		prev = data[r*rowBytes : (r+1)*rowBytes]
+	}
+	lz, err := lzCompress(filtered)
+	if err != nil {
+		return nil, err
+	}
+	out := binary.AppendUvarint(nil, uint64(rows))
+	out = binary.AppendUvarint(out, uint64(rowBytes))
+	return append(out, lz...), nil
+}
+
+func pngDecompress(blob []byte, p Params) ([]byte, error) {
+	rows64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, fmt.Errorf("compress: png: truncated header")
+	}
+	pos := k
+	rowBytes64, k := binary.Uvarint(blob[pos:])
+	if k <= 0 {
+		return nil, fmt.Errorf("compress: png: truncated header")
+	}
+	pos += k
+	rows, rowBytes := int(rows64), int(rowBytes64)
+	bpp := p.Elem
+	if bpp <= 0 {
+		bpp = 1
+	}
+	filtered, err := lzDecompress(blob[pos:])
+	if err != nil {
+		return nil, err
+	}
+	if len(filtered) != rows*(rowBytes+1) {
+		return nil, fmt.Errorf("compress: png: filtered stream has %d bytes, want %d", len(filtered), rows*(rowBytes+1))
+	}
+	out := make([]byte, rows*rowBytes)
+	prev := make([]byte, rowBytes)
+	for r := 0; r < rows; r++ {
+		ft := int(filtered[r*(rowBytes+1)])
+		src := filtered[r*(rowBytes+1)+1 : (r+1)*(rowBytes+1)]
+		dst := out[r*rowBytes : (r+1)*rowBytes]
+		if err := unapplyFilter(ft, src, prev, bpp, dst); err != nil {
+			return nil, err
+		}
+		prev = dst
+	}
+	return out, nil
+}
+
+// applyFilter computes dst = filter(row) given the reconstructed previous
+// row.
+func applyFilter(ft int, row, prev []byte, bpp int, dst []byte) {
+	for i := range row {
+		var left, up, upLeft byte
+		if i >= bpp {
+			left = row[i-bpp]
+			upLeft = prev[i-bpp]
+		}
+		up = prev[i]
+		switch ft {
+		case filterNone:
+			dst[i] = row[i]
+		case filterSub:
+			dst[i] = row[i] - left
+		case filterUp:
+			dst[i] = row[i] - up
+		case filterAvg:
+			dst[i] = row[i] - byte((int(left)+int(up))/2)
+		case filterPaeth:
+			dst[i] = row[i] - paeth(left, up, upLeft)
+		}
+	}
+}
+
+func unapplyFilter(ft int, src, prev []byte, bpp int, dst []byte) error {
+	for i := range src {
+		var left, up, upLeft byte
+		if i >= bpp {
+			left = dst[i-bpp]
+			upLeft = prev[i-bpp]
+		}
+		up = prev[i]
+		switch ft {
+		case filterNone:
+			dst[i] = src[i]
+		case filterSub:
+			dst[i] = src[i] + left
+		case filterUp:
+			dst[i] = src[i] + up
+		case filterAvg:
+			dst[i] = src[i] + byte((int(left)+int(up))/2)
+		case filterPaeth:
+			dst[i] = src[i] + paeth(left, up, upLeft)
+		default:
+			return fmt.Errorf("compress: png: unknown filter type %d", ft)
+		}
+	}
+	return nil
+}
+
+// paeth is the PNG Paeth predictor.
+func paeth(a, b, c byte) byte {
+	p := int(a) + int(b) - int(c)
+	pa, pb, pc := abs(p-int(a)), abs(p-int(b)), abs(p-int(c))
+	if pa <= pb && pa <= pc {
+		return a
+	}
+	if pb <= pc {
+		return b
+	}
+	return c
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,221 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// JPEG2000-style codec: a multi-level reversible LeGall 5/3 integer
+// wavelet transform ("JPEG 2000 uses wavelets", paper §V-A) followed by
+// zigzag-varint entropy coding of the coefficients and DEFLATE. The 5/3
+// lifting scheme with integer floors is exactly the reversible transform
+// used in lossless JPEG 2000, so this codec is lossless.
+
+const maxWaveletLevels = 4
+
+func waveletCompress(data []byte, p Params) ([]byte, error) {
+	elem := p.Elem
+	if elem <= 0 {
+		elem = 1
+	}
+	w, h := p.Width, p.Height
+	if w <= 0 || h <= 0 || w*h*elem != len(data) {
+		return nil, fmt.Errorf("compress: wavelet: %d bytes does not match %dx%d cells of %d bytes", len(data), h, w, elem)
+	}
+	cells := make([]int64, w*h)
+	for i := range cells {
+		cells[i] = readCell(data, elem, i)
+	}
+	levels := 0
+	cw, ch := w, h
+	for levels < maxWaveletLevels && cw >= 16 && ch >= 16 {
+		fwdRows(cells, w, cw, ch)
+		fwdCols(cells, w, cw, ch)
+		cw = (cw + 1) / 2
+		ch = (ch + 1) / 2
+		levels++
+	}
+	// entropy-code coefficients
+	coefs := make([]byte, 0, len(cells)*2)
+	for _, c := range cells {
+		coefs = binary.AppendVarint(coefs, c)
+	}
+	lz, err := lzCompress(coefs)
+	if err != nil {
+		return nil, err
+	}
+	out := binary.AppendUvarint(nil, uint64(levels))
+	return append(out, lz...), nil
+}
+
+func waveletDecompress(blob []byte, p Params) ([]byte, error) {
+	elem := p.Elem
+	if elem <= 0 {
+		elem = 1
+	}
+	w, h := p.Width, p.Height
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("compress: wavelet: missing 2D params")
+	}
+	levels64, k := binary.Uvarint(blob)
+	if k <= 0 {
+		return nil, fmt.Errorf("compress: wavelet: truncated header")
+	}
+	coefs, err := lzDecompress(blob[k:])
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]int64, w*h)
+	pos := 0
+	for i := range cells {
+		v, n := binary.Varint(coefs[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: wavelet: truncated coefficient %d", i)
+		}
+		cells[i] = v
+		pos += n
+	}
+	// reconstruct per-level sizes, then invert in reverse order
+	type lvl struct{ cw, ch int }
+	var lvls []lvl
+	cw, ch := w, h
+	for i := uint64(0); i < levels64; i++ {
+		lvls = append(lvls, lvl{cw, ch})
+		cw = (cw + 1) / 2
+		ch = (ch + 1) / 2
+	}
+	for i := len(lvls) - 1; i >= 0; i-- {
+		invCols(cells, w, lvls[i].cw, lvls[i].ch)
+		invRows(cells, w, lvls[i].cw, lvls[i].ch)
+	}
+	out := make([]byte, w*h*elem)
+	for i, c := range cells {
+		writeCell(out, elem, i, c)
+	}
+	return out, nil
+}
+
+func readCell(data []byte, elem, i int) int64 {
+	var v uint64
+	for b := 0; b < elem; b++ {
+		v |= uint64(data[i*elem+b]) << (8 * uint(b))
+	}
+	return int64(v)
+}
+
+func writeCell(data []byte, elem, i int, v int64) {
+	for b := 0; b < elem; b++ {
+		data[i*elem+b] = byte(uint64(v) >> (8 * uint(b)))
+	}
+}
+
+// fwd53 applies the forward reversible 5/3 lifting to the strided signal
+// x[0], x[stride], ..., of length n, rearranging into approx-first order.
+func fwd53(buf []int64, base, stride, n int) {
+	if n < 2 {
+		return
+	}
+	x := make([]int64, n)
+	for i := 0; i < n; i++ {
+		x[i] = buf[base+i*stride]
+	}
+	ns := (n + 1) / 2
+	nd := n / 2
+	s := make([]int64, ns)
+	d := make([]int64, nd)
+	for i := 0; i < nd; i++ {
+		right := 2*i + 2
+		if right >= n {
+			right = n - 2 // whole-sample symmetric extension
+		}
+		d[i] = x[2*i+1] - floorDiv(x[2*i]+x[right], 2)
+	}
+	for i := 0; i < ns; i++ {
+		dl, dr := i-1, i
+		if dl < 0 {
+			dl = 0
+		}
+		if dr >= nd {
+			dr = nd - 1
+		}
+		s[i] = x[2*i] + floorDiv(d[dl]+d[dr]+2, 4)
+	}
+	for i := 0; i < ns; i++ {
+		buf[base+i*stride] = s[i]
+	}
+	for i := 0; i < nd; i++ {
+		buf[base+(ns+i)*stride] = d[i]
+	}
+}
+
+// inv53 inverts fwd53.
+func inv53(buf []int64, base, stride, n int) {
+	if n < 2 {
+		return
+	}
+	ns := (n + 1) / 2
+	nd := n / 2
+	s := make([]int64, ns)
+	d := make([]int64, nd)
+	for i := 0; i < ns; i++ {
+		s[i] = buf[base+i*stride]
+	}
+	for i := 0; i < nd; i++ {
+		d[i] = buf[base+(ns+i)*stride]
+	}
+	x := make([]int64, n)
+	for i := 0; i < ns; i++ {
+		dl, dr := i-1, i
+		if dl < 0 {
+			dl = 0
+		}
+		if dr >= nd {
+			dr = nd - 1
+		}
+		x[2*i] = s[i] - floorDiv(d[dl]+d[dr]+2, 4)
+	}
+	for i := 0; i < nd; i++ {
+		right := 2*i + 2
+		if right >= n {
+			right = n - 2
+		}
+		x[2*i+1] = d[i] + floorDiv(x[2*i]+x[right], 2)
+	}
+	for i := 0; i < n; i++ {
+		buf[base+i*stride] = x[i]
+	}
+}
+
+func fwdRows(cells []int64, fullW, cw, ch int) {
+	for r := 0; r < ch; r++ {
+		fwd53(cells, r*fullW, 1, cw)
+	}
+}
+
+func fwdCols(cells []int64, fullW, cw, ch int) {
+	for c := 0; c < cw; c++ {
+		fwd53(cells, c, fullW, ch)
+	}
+}
+
+func invCols(cells []int64, fullW, cw, ch int) {
+	for c := 0; c < cw; c++ {
+		inv53(cells, c, fullW, ch)
+	}
+}
+
+func invRows(cells []int64, fullW, cw, ch int) {
+	for r := 0; r < ch; r++ {
+		inv53(cells, r*fullW, 1, cw)
+	}
+}
+
+// floorDiv is floor division for possibly-negative numerators, matching
+// the JPEG 2000 specification's floor operations.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

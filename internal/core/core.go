@@ -1,0 +1,489 @@
+// Package core implements the paper's primary contribution: the
+// no-overwrite versioned storage manager for array data (§II). A Store
+// manages named arrays, each with a tree (or, with Merge, a DAG) of
+// versions. Committed versions are immutable; every update creates a new
+// version.
+//
+// The insert path analyzes each new version so it can be encoded as a
+// delta off an existing version, splits it into fixed-stride chunks,
+// optionally compresses each chunk, and records the chunk locations in
+// the version metadata (Fig. 1). The select path looks up the chunks
+// overlapping the query region, reads and decompresses them, unwinds the
+// delta chains, and assembles the result array (Fig. 2).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/chunk"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/delta"
+)
+
+// Options configures a Store.
+type Options struct {
+	// ChunkBytes is the target uncompressed chunk size (the paper's
+	// compile-time parameter, 10 MB by default).
+	ChunkBytes int64
+	// Codec compresses chunk payloads after delta encoding (§III-B.2).
+	Codec compress.Codec
+	// DeltaMethod encodes dense chunk deltas; Hybrid by default.
+	DeltaMethod delta.Method
+	// AutoDelta makes Insert compare each new version against recent
+	// versions and delta-encode it when that is smaller ("delta-ing is
+	// performed automatically", §II-A). When false, every version is
+	// materialized.
+	AutoDelta bool
+	// DeltaCandidates is how many recent versions Insert considers as
+	// delta bases (1 = only the immediate predecessor).
+	DeltaCandidates int
+	// CoLocate stores all deltas of one chunk across versions in a single
+	// chain file (§III-B.3: "co-locates chains of deltas belonging to
+	// different versions but all corresponding to the same chunk"); when
+	// false each version's chunk gets its own file. Co-location is the
+	// default, "since they are more efficient".
+	CoLocate bool
+	// EstimateSample, when positive, sizes delta candidates from a cell
+	// sample instead of full encodes (§IV-A).
+	EstimateSample int
+	// AdaptiveCodec enables compression per chunk only when a sample of
+	// the payload predicts a worthwhile ratio — the adaptive scheme the
+	// paper's §V-B leaves to future work ("it might be interesting to
+	// adaptively enable LZ compression based on the data set size and the
+	// anticipated compression ratios").
+	AdaptiveCodec bool
+	// AutoBatchK, when > 1, re-encodes every completed batch of K
+	// versions with the optimal layout at insert time (§IV-E: "we can
+	// accumulate a batch of K new versions, and compute the optimal
+	// encoding of them together (in terms only of the other versions in
+	// the batch)"). Batches are kept separate, which "also has the effect
+	// of constraining the materialization matrix size and improving query
+	// performance by avoiding very long delta chains". Superseded blobs
+	// dangle until Compact.
+	AutoBatchK int
+}
+
+// DefaultOptions mirrors the paper's defaults at full scale.
+func DefaultOptions() Options {
+	return Options{
+		ChunkBytes:      chunk.DefaultChunkBytes,
+		Codec:           compress.None,
+		DeltaMethod:     delta.Hybrid,
+		AutoDelta:       true,
+		DeltaCandidates: 1,
+		CoLocate:        true,
+		EstimateSample:  4096,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = chunk.DefaultChunkBytes
+	}
+	if o.DeltaMethod == 0 {
+		o.DeltaMethod = delta.Hybrid
+	}
+	if o.DeltaCandidates <= 0 {
+		o.DeltaCandidates = 1
+	}
+}
+
+// Store is a single-node versioned storage system rooted at a directory.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	arrays map[string]*arrayState
+
+	statsMu sync.Mutex
+	stats   IOStats
+
+	// clock returns commit timestamps; replaceable in tests.
+	clock func() time.Time
+}
+
+// IOStats counts storage-level activity since the last Reset.
+type IOStats struct {
+	BytesRead     int64
+	BytesWritten  int64
+	ChunksRead    int64
+	ChunksWritten int64
+}
+
+// Open creates or reopens a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create store dir: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		arrays: make(map[string]*arrayState),
+		clock:  time.Now,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: read store dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		st, err := loadArrayState(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("core: load array %q: %w", e.Name(), err)
+		}
+		s.arrays[st.Schema.Name] = st
+	}
+	return s, nil
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() IOStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.stats = IOStats{}
+}
+
+func (s *Store) addRead(bytes int64) {
+	s.statsMu.Lock()
+	s.stats.BytesRead += bytes
+	s.stats.ChunksRead++
+	s.statsMu.Unlock()
+}
+
+func (s *Store) addWrite(bytes int64) {
+	s.statsMu.Lock()
+	s.stats.BytesWritten += bytes
+	s.stats.ChunksWritten++
+	s.statsMu.Unlock()
+}
+
+// --- per-array state and metadata ---
+
+// chunkEntry records where one chunk of one version lives on disk and how
+// it is encoded (the Version Metadata of Fig. 1).
+type chunkEntry struct {
+	File   string `json:"file"`
+	Offset int64  `json:"off"`
+	Length int64  `json:"len"`
+	Codec  uint8  `json:"codec"`
+	// Base is the version this chunk is delta'ed against, or -1 when the
+	// chunk is materialized.
+	Base int `json:"base"`
+}
+
+// versionMeta is the per-version metadata record.
+type versionMeta struct {
+	ID      int       `json:"id"`
+	Parents []int     `json:"parents,omitempty"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"` // "insert", "branch", "merge"
+	Deleted bool      `json:"deleted,omitempty"`
+	// Chunks maps attribute name -> chunk key -> location.
+	Chunks map[string]map[string]chunkEntry `json:"chunks"`
+}
+
+// BranchRef records the provenance of a branched array.
+type BranchRef struct {
+	Array   string `json:"array"`
+	Version int    `json:"version"`
+}
+
+// arrayState is the durable state of one named array.
+type arrayState struct {
+	Schema       array.Schema   `json:"schema"`
+	SparseRep    bool           `json:"sparseRep"`
+	Fill         int64          `json:"fill"`
+	ChunkSide    []int64        `json:"chunkSide"`
+	NextID       int            `json:"nextId"`
+	Versions     []*versionMeta `json:"versions"`
+	BranchedFrom *BranchRef     `json:"branchedFrom,omitempty"`
+
+	dir string `json:"-"`
+}
+
+func (st *arrayState) version(id int) (*versionMeta, error) {
+	for _, v := range st.Versions {
+		if v.ID == id && !v.Deleted {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("core: array %q has no version %d", st.Schema.Name, id)
+}
+
+func (st *arrayState) live() []*versionMeta {
+	var out []*versionMeta
+	for _, v := range st.Versions {
+		if !v.Deleted {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (st *arrayState) chunker() (*chunk.Chunker, error) {
+	return chunk.NewWithSide(st.Schema.Shape(), st.ChunkSide)
+}
+
+const metaFile = "versions.json"
+
+func loadArrayState(dir string) (*arrayState, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	var st arrayState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("corrupt metadata: %w", err)
+	}
+	if err := st.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("corrupt metadata: %w", err)
+	}
+	st.dir = dir
+	return &st, nil
+}
+
+func (st *arrayState) save() error {
+	raw, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(st.dir, metaFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(st.dir, metaFile))
+}
+
+// --- array lifecycle (the five basic operations, §II) ---
+
+// CreateArray initializes a named array with the given schema. The first
+// payload's representation (dense or sparse) is fixed at first insert.
+func (s *Store) CreateArray(schema array.Schema) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.createArrayLocked(schema, nil)
+}
+
+func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) error {
+	if _, ok := s.arrays[schema.Name]; ok {
+		return fmt.Errorf("core: array %q already exists", schema.Name)
+	}
+	dir := filepath.Join(s.dir, schema.Name)
+	if err := os.MkdirAll(filepath.Join(dir, "chunks"), 0o755); err != nil {
+		return err
+	}
+	elem := schema.Attrs[0].Type.Size()
+	ck, err := chunk.New(schema.Shape(), elem, s.opts.ChunkBytes)
+	if err != nil {
+		return err
+	}
+	st := &arrayState{
+		Schema:       schema,
+		ChunkSide:    ck.Side(),
+		NextID:       1,
+		BranchedFrom: branchedFrom,
+		dir:          dir,
+	}
+	if err := st.save(); err != nil {
+		return err
+	}
+	s.arrays[schema.Name] = st
+	return nil
+}
+
+// DeleteArray removes an array and all of its versions.
+func (s *Store) DeleteArray(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return fmt.Errorf("core: no array %q", name)
+	}
+	if err := os.RemoveAll(st.dir); err != nil {
+		return err
+	}
+	delete(s.arrays, name)
+	return nil
+}
+
+// ListArrays returns the names of all arrays, sorted (the List operation,
+// §II-C).
+func (s *Store) ListArrays() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.arrays))
+	for n := range s.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns the schema of a named array.
+func (s *Store) Schema(name string) (array.Schema, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return array.Schema{}, fmt.Errorf("core: no array %q", name)
+	}
+	return st.Schema, nil
+}
+
+// VersionInfo is the public view of a version's metadata.
+type VersionInfo struct {
+	ID      int
+	Parents []int
+	Time    time.Time
+	Kind    string
+	// Bytes is the total on-disk payload size of the version's chunks.
+	Bytes int64
+	// DeltaBases lists the distinct versions this version's chunks are
+	// delta'ed against (empty for fully materialized versions).
+	DeltaBases []int
+}
+
+// Versions returns the ordered list of all live versions of an array
+// (the Get Versions operation, §II-C).
+func (s *Store) Versions(name string) ([]VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	var out []VersionInfo
+	for _, v := range st.live() {
+		out = append(out, versionInfoOf(v))
+	}
+	return out, nil
+}
+
+func versionInfoOf(v *versionMeta) VersionInfo {
+	info := VersionInfo{ID: v.ID, Parents: append([]int(nil), v.Parents...), Time: v.Time, Kind: v.Kind}
+	bases := map[int]bool{}
+	for _, chunks := range v.Chunks {
+		for _, e := range chunks {
+			info.Bytes += e.Length
+			if e.Base >= 0 {
+				bases[e.Base] = true
+			}
+		}
+	}
+	for b := range bases {
+		info.DeltaBases = append(info.DeltaBases, b)
+	}
+	sort.Ints(info.DeltaBases)
+	return info
+}
+
+// VersionAt returns the ID of the newest version committed at or before
+// t ("facilities to look up versions that exist at a specific date and
+// time", §II-C).
+func (s *Store) VersionAt(name string, t time.Time) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no array %q", name)
+	}
+	best := 0
+	for _, v := range st.live() {
+		if !v.Time.After(t) && v.ID > best {
+			best = v.ID
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("core: array %q has no version at or before %v", name, t)
+	}
+	return best, nil
+}
+
+// ArrayInfo describes an array's size and sparsity (§II-C "methods to
+// retrieve properties (e.g., size, sparsity, etc.) of the arrays").
+type ArrayInfo struct {
+	Schema      array.Schema
+	SparseRep   bool
+	NumVersions int
+	DiskBytes   int64
+	LogicalSize int64 // uncompressed bytes of one dense version
+	ChunkSide   []int64
+	NumChunks   int64
+}
+
+// Info returns an array's properties.
+func (s *Store) Info(name string) (ArrayInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return ArrayInfo{}, fmt.Errorf("core: no array %q", name)
+	}
+	ck, err := st.chunker()
+	if err != nil {
+		return ArrayInfo{}, err
+	}
+	info := ArrayInfo{
+		Schema:      st.Schema,
+		SparseRep:   st.SparseRep,
+		NumVersions: len(st.live()),
+		ChunkSide:   append([]int64(nil), st.ChunkSide...),
+		NumChunks:   ck.Count(),
+	}
+	elem := int64(0)
+	for _, a := range st.Schema.Attrs {
+		elem += int64(a.Type.Size())
+	}
+	info.LogicalSize = st.Schema.NumCells() * elem
+	for _, v := range st.live() {
+		for _, chunks := range v.Chunks {
+			for _, e := range chunks {
+				info.DiskBytes += e.Length
+			}
+		}
+	}
+	return info, nil
+}
+
+// DiskBytes sums the on-disk payload bytes across all arrays.
+func (s *Store) DiskBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := int64(0)
+	for _, st := range s.arrays {
+		for _, v := range st.live() {
+			for _, chunks := range v.Chunks {
+				for _, e := range chunks {
+					total += e.Length
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"fmt"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/delta"
+	"arrayvers/internal/layout"
+)
+
+// Plane is the content of one attribute of one version: either a dense
+// or a sparse array over the schema's dimensions.
+type Plane struct {
+	Dense  *array.Dense
+	Sparse *array.Sparse
+}
+
+// IsSparse reports whether the plane uses the sparse representation.
+func (p Plane) IsSparse() bool { return p.Sparse != nil }
+
+func (p Plane) validate(schema array.Schema, attr array.Attribute) error {
+	switch {
+	case p.Dense != nil && p.Sparse != nil:
+		return fmt.Errorf("core: plane has both dense and sparse content")
+	case p.Dense != nil:
+		if p.Dense.DType() != attr.Type {
+			return fmt.Errorf("core: attribute %q expects %v, payload is %v", attr.Name, attr.Type, p.Dense.DType())
+		}
+		return checkShape(schema, p.Dense.Shape())
+	case p.Sparse != nil:
+		if p.Sparse.DType() != attr.Type {
+			return fmt.Errorf("core: attribute %q expects %v, payload is %v", attr.Name, attr.Type, p.Sparse.DType())
+		}
+		return checkShape(schema, p.Sparse.Shape())
+	default:
+		return fmt.Errorf("core: empty plane")
+	}
+}
+
+func checkShape(schema array.Schema, shape []int64) error {
+	want := schema.Shape()
+	if len(shape) != len(want) {
+		return fmt.Errorf("core: payload has %d dims, schema has %d", len(shape), len(want))
+	}
+	for i := range want {
+		if shape[i] != want[i] {
+			return fmt.Errorf("core: payload shape %v, schema shape %v", shape, want)
+		}
+	}
+	return nil
+}
+
+// CellUpdate is one element of a delta-list payload: set the cell at
+// Coords (for attribute Attr, default the first) to the given bit
+// pattern.
+type CellUpdate struct {
+	Attr   string
+	Coords []int64
+	Bits   int64
+}
+
+// Payload is the content of an Insert, in one of the paper's three forms
+// (§II-A): dense, sparse, or a delta-list against a base version.
+type Payload struct {
+	// Planes carries the full content, one plane per attribute (dense or
+	// sparse form).
+	Planes []Plane
+	// DeltaBase, when positive, selects the delta-list form: the new
+	// version equals version DeltaBase except at the listed updates.
+	DeltaBase int
+	Updates   []CellUpdate
+}
+
+// DensePayload wraps a single-attribute dense content.
+func DensePayload(d *array.Dense) Payload { return Payload{Planes: []Plane{{Dense: d}}} }
+
+// SparsePayload wraps a single-attribute sparse content.
+func SparsePayload(sp *array.Sparse) Payload { return Payload{Planes: []Plane{{Sparse: sp}}} }
+
+// DeltaListPayload builds the delta-list insert form.
+func DeltaListPayload(base int, updates []CellUpdate) Payload {
+	return Payload{DeltaBase: base, Updates: updates}
+}
+
+// Insert adds a new version to the named array and returns its ID
+// (temporal versions are numbered 1, 2, ... as in AQL's Example@1).
+func (s *Store) Insert(name string, p Payload) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(name, p, "insert", nil)
+}
+
+func (s *Store) insertLocked(name string, p Payload, kind string, extraParents []int) (int, error) {
+	st, ok := s.arrays[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no array %q", name)
+	}
+	planes, parents, err := s.resolvePayload(st, p)
+	if err != nil {
+		return 0, err
+	}
+	parents = append(parents, extraParents...)
+	// representation is fixed by the first inserted version
+	if len(st.Versions) == 0 {
+		st.SparseRep = planes[0].IsSparse()
+		if st.SparseRep {
+			st.Fill = planes[0].Sparse.Fill()
+		}
+	}
+	for i, pl := range planes {
+		if pl.IsSparse() != st.SparseRep {
+			return 0, fmt.Errorf("core: array %q uses the %s representation; payload attribute %d does not",
+				name, repName(st.SparseRep), i)
+		}
+		if st.SparseRep && pl.Sparse.Fill() != st.Fill {
+			return 0, fmt.Errorf("core: array %q has default value %d, payload has %d", name, st.Fill, pl.Sparse.Fill())
+		}
+	}
+	id := st.NextID
+	vm := &versionMeta{
+		ID:      id,
+		Parents: dedupInts(parents),
+		Time:    s.clock(),
+		Kind:    kind,
+		Chunks:  make(map[string]map[string]chunkEntry),
+	}
+	base := s.chooseDeltaBase(st, planes)
+	for ai, attr := range st.Schema.Attrs {
+		entries, err := s.encodePlane(st, id, attr, planes[ai], base)
+		if err != nil {
+			return 0, err
+		}
+		vm.Chunks[attr.Name] = entries
+	}
+	st.Versions = append(st.Versions, vm)
+	st.NextID++
+	if err := s.maybeBatchReencode(st); err != nil {
+		return 0, err
+	}
+	if err := st.save(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// maybeBatchReencode implements §IV-E's batched update heuristic: once
+// AutoBatchK versions have accumulated since the last batch boundary,
+// the newest K versions are re-encoded together under the optimal layout
+// computed over the batch alone. Earlier batches are left untouched.
+func (s *Store) maybeBatchReencode(st *arrayState) error {
+	k := s.opts.AutoBatchK
+	if k <= 1 {
+		return nil
+	}
+	live := st.live()
+	if len(live) == 0 || len(live)%k != 0 {
+		return nil
+	}
+	batch := live[len(live)-k:]
+	// load batch contents
+	planes := make([][]Plane, k)
+	for i, vm := range batch {
+		planes[i] = make([]Plane, len(st.Schema.Attrs))
+		for ai, attr := range st.Schema.Attrs {
+			pl, err := s.readPlaneLocked(st, vm.ID, attr.Name)
+			if err != nil {
+				return err
+			}
+			planes[i][ai] = pl
+		}
+	}
+	mm, err := s.buildMatrix(st, planes, s.opts.EstimateSample)
+	if err != nil {
+		return err
+	}
+	l := layout.Optimal(mm)
+	// re-encode every batch member per the layout; bases stay inside the
+	// batch, keeping batches separate as §IV-E prescribes
+	for i, vm := range batch {
+		base := 0
+		if p := l.Parent[i]; p != i {
+			base = batch[p].ID
+		}
+		for ai, attr := range st.Schema.Attrs {
+			entries, err := s.encodePlane(st, vm.ID, attr, planes[i][ai], base)
+			if err != nil {
+				return err
+			}
+			vm.Chunks[attr.Name] = entries
+		}
+	}
+	return nil
+}
+
+func repName(sparse bool) string {
+	if sparse {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// resolvePayload expands the three payload forms into full per-attribute
+// planes and the implied lineage parents.
+func (s *Store) resolvePayload(st *arrayState, p Payload) ([]Plane, []int, error) {
+	var parents []int
+	if last := lastLiveID(st); last > 0 {
+		parents = append(parents, last)
+	}
+	if p.DeltaBase > 0 {
+		// delta-list form: inherit the base version and apply updates
+		if _, err := st.version(p.DeltaBase); err != nil {
+			return nil, nil, err
+		}
+		planes := make([]Plane, len(st.Schema.Attrs))
+		for ai, attr := range st.Schema.Attrs {
+			pl, err := s.readPlaneLocked(st, p.DeltaBase, attr.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			planes[ai] = pl
+		}
+		for _, u := range p.Updates {
+			ai := 0
+			if u.Attr != "" {
+				ai = st.Schema.AttrIndex(u.Attr)
+				if ai < 0 {
+					return nil, nil, fmt.Errorf("core: delta-list update names unknown attribute %q", u.Attr)
+				}
+			}
+			if len(u.Coords) != len(st.Schema.Dims) {
+				return nil, nil, fmt.Errorf("core: delta-list update has %d coords, schema has %d dims", len(u.Coords), len(st.Schema.Dims))
+			}
+			if planes[ai].IsSparse() {
+				flat := flatIndex(st.Schema.Shape(), u.Coords)
+				planes[ai].Sparse.SetBits(flat, u.Bits)
+			} else {
+				planes[ai].Dense.SetBitsAt(u.Coords, u.Bits)
+			}
+		}
+		return planes, []int{p.DeltaBase}, nil
+	}
+	if len(p.Planes) != len(st.Schema.Attrs) {
+		return nil, nil, fmt.Errorf("core: payload has %d planes, schema has %d attributes", len(p.Planes), len(st.Schema.Attrs))
+	}
+	for ai, attr := range st.Schema.Attrs {
+		if err := p.Planes[ai].validate(st.Schema, attr); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p.Planes, parents, nil
+}
+
+func flatIndex(shape, coords []int64) int64 {
+	idx := int64(0)
+	for i, c := range coords {
+		idx = idx*shape[i] + c
+	}
+	return idx
+}
+
+func lastLiveID(st *arrayState) int {
+	best := 0
+	for _, v := range st.live() {
+		if v.ID > best {
+			best = v.ID
+		}
+	}
+	return best
+}
+
+func dedupInts(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if v > 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// chooseDeltaBase picks the version the new content should be delta'ed
+// against, comparing the estimated delta size against the newest
+// DeltaCandidates versions with the materialized size ("the payload is
+// analyzed so it can be encoded as a delta off of an existing version",
+// §II-A). Returns 0 to materialize.
+func (s *Store) chooseDeltaBase(st *arrayState, planes []Plane) int {
+	if !s.opts.AutoDelta || len(st.Versions) == 0 {
+		return 0
+	}
+	live := st.live()
+	if len(live) == 0 {
+		return 0
+	}
+	k := s.opts.DeltaCandidates
+	if k > len(live) {
+		k = len(live)
+	}
+	pl := planes[0]
+	var matSize int64
+	if pl.IsSparse() {
+		matSize = delta.SparseMaterializedSize(pl.Sparse)
+	} else {
+		matSize = delta.MaterializedSize(pl.Dense)
+	}
+	bestBase, bestSize := 0, matSize
+	for i := len(live) - k; i < len(live); i++ {
+		cand := live[i].ID
+		basePl, err := s.readPlaneLocked(st, cand, st.Schema.Attrs[0].Name)
+		if err != nil {
+			continue
+		}
+		var size int64
+		if pl.IsSparse() {
+			blob, err := delta.EncodeSparseOps(pl.Sparse, basePl.Sparse)
+			if err != nil {
+				continue
+			}
+			size = int64(len(blob))
+		} else {
+			size = delta.EstimateSize(pl.Dense, basePl.Dense, s.opts.EstimateSample, int64(cand))
+		}
+		if size < bestSize {
+			bestBase, bestSize = cand, size
+		}
+	}
+	return bestBase
+}
+
+// encodePlane chunks one attribute's content and writes every chunk,
+// delta-encoding against the corresponding chunk of the base version when
+// that is smaller ("disk space usage is calculated by trying both methods
+// and choosing the more economical one", §III-B.3).
+func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Plane, base int) (map[string]chunkEntry, error) {
+	entries := make(map[string]chunkEntry)
+	if st.SparseRep {
+		// sparse versions are stored as a single container (their entire
+		// coordinate list); chunk-level subdivision buys nothing when the
+		// data is this sparse.
+		key := "chunk-full"
+		payload, entryBase, err := s.encodeSparseChunk(st, attr.Name, pl.Sparse, base)
+		if err != nil {
+			return nil, err
+		}
+		codec := pickCodec(s.opts.Codec, false)
+		sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, compress.Params{Elem: 1})
+		if err != nil {
+			return nil, err
+		}
+		file, off, err := s.writeBlob(st, id, attr.Name, key, sealed)
+		if err != nil {
+			return nil, err
+		}
+		entries[key] = chunkEntry{File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: entryBase}
+		return entries, nil
+	}
+	ck, err := st.chunker()
+	if err != nil {
+		return nil, err
+	}
+	for _, origin := range ck.All() {
+		box := ck.Box(origin)
+		key := ck.Key(origin)
+		target, err := pl.Dense.Slice(box)
+		if err != nil {
+			return nil, err
+		}
+		payload := target.Bytes()
+		entryBase := -1
+		rawDense := true
+		if base > 0 {
+			baseChunk, err := s.resolveDenseChunk(st, base, attr.Name, ck, origin, nil)
+			if err != nil {
+				return nil, err
+			}
+			blob, err := delta.Encode(s.opts.DeltaMethod, target, baseChunk)
+			if err != nil {
+				return nil, err
+			}
+			if len(blob) < len(payload) {
+				payload = blob
+				entryBase = base
+				rawDense = false
+			}
+		}
+		codec := pickCodec(s.opts.Codec, rawDense)
+		sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, sealParams(rawDense, box, attr.Type))
+		if err != nil {
+			return nil, err
+		}
+		file, off, err := s.writeBlob(st, id, attr.Name, key, sealed)
+		if err != nil {
+			return nil, err
+		}
+		entries[key] = chunkEntry{File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: entryBase}
+	}
+	return entries, nil
+}
+
+// encodeSparseChunk encodes a sparse version either natively or as
+// sparse-ops against the base, whichever is smaller.
+func (s *Store) encodeSparseChunk(st *arrayState, attr string, sp *array.Sparse, base int) ([]byte, int, error) {
+	native := array.MarshalSparse(sp)
+	if base <= 0 {
+		return native, -1, nil
+	}
+	basePl, err := s.readPlaneLocked(st, base, attr)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err := delta.EncodeSparseOps(sp, basePl.Sparse)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(blob) < len(native) {
+		return blob, base, nil
+	}
+	return native, -1, nil
+}
+
+// Branch creates a new named array whose first version is a copy of the
+// given version of an existing array (§II-A: "Branch operates identically
+// to Insert except that a new named version is created"; Appendix A:
+// "branches are formed off of a particular version of an existing array
+// ... they create a new array with a new name").
+func (s *Store) Branch(srcName string, srcVersion int, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[srcName]
+	if !ok {
+		return fmt.Errorf("core: no array %q", srcName)
+	}
+	if _, err := st.version(srcVersion); err != nil {
+		return err
+	}
+	planes := make([]Plane, len(st.Schema.Attrs))
+	for ai, attr := range st.Schema.Attrs {
+		pl, err := s.readPlaneLocked(st, srcVersion, attr.Name)
+		if err != nil {
+			return err
+		}
+		planes[ai] = pl
+	}
+	schema := st.Schema
+	schema.Name = newName
+	if err := s.createArrayLocked(schema, &BranchRef{Array: srcName, Version: srcVersion}); err != nil {
+		return err
+	}
+	if _, err := s.insertLocked(newName, Payload{Planes: planes}, "branch", nil); err != nil {
+		// roll back the half-created array
+		delete(s.arrays, newName)
+		return err
+	}
+	return nil
+}
+
+// BranchedFrom returns the provenance of a branched array, or nil.
+func (s *Store) BranchedFrom(name string) (*BranchRef, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	return st.BranchedFrom, nil
+}
+
+// VersionRef addresses a version of a named array.
+type VersionRef struct {
+	Array   string
+	Version int
+}
+
+// Merge is the inverse of Branch (§II-A): it combines two or more parent
+// versions into a new array whose version sequence is the parents in
+// order. It does not combine data from two arrays into one array; the
+// result's history records all parents, making the version hierarchy a
+// graph rather than a tree.
+func (s *Store) Merge(newName string, parents []VersionRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(parents) < 2 {
+		return fmt.Errorf("core: merge requires at least two parent versions")
+	}
+	first, ok := s.arrays[parents[0].Array]
+	if !ok {
+		return fmt.Errorf("core: no array %q", parents[0].Array)
+	}
+	schema := first.Schema
+	schema.Name = newName
+	for _, p := range parents[1:] {
+		st, ok := s.arrays[p.Array]
+		if !ok {
+			return fmt.Errorf("core: no array %q", p.Array)
+		}
+		if err := checkShape(schema, st.Schema.Shape()); err != nil {
+			return fmt.Errorf("core: merge parents have incompatible shapes: %w", err)
+		}
+		if len(st.Schema.Attrs) != len(schema.Attrs) {
+			return fmt.Errorf("core: merge parents have different attribute counts")
+		}
+		for i := range schema.Attrs {
+			if st.Schema.Attrs[i].Type != schema.Attrs[i].Type {
+				return fmt.Errorf("core: merge parents disagree on attribute %d type", i)
+			}
+		}
+	}
+	if err := s.createArrayLocked(schema, nil); err != nil {
+		return err
+	}
+	for _, p := range parents {
+		st := s.arrays[p.Array]
+		if _, err := st.version(p.Version); err != nil {
+			s.rollbackArrayLocked(newName)
+			return err
+		}
+		planes := make([]Plane, len(st.Schema.Attrs))
+		for ai, attr := range st.Schema.Attrs {
+			pl, err := s.readPlaneLocked(st, p.Version, attr.Name)
+			if err != nil {
+				s.rollbackArrayLocked(newName)
+				return err
+			}
+			planes[ai] = pl
+		}
+		if _, err := s.insertLocked(newName, Payload{Planes: planes}, "merge", nil); err != nil {
+			s.rollbackArrayLocked(newName)
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) rollbackArrayLocked(name string) {
+	if st, ok := s.arrays[name]; ok {
+		_ = removeAllQuiet(st.dir)
+		delete(s.arrays, name)
+	}
+}

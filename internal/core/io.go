@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/compress"
+)
+
+// Chunk payload I/O. Two placements are supported (§III-B.3): per-version
+// files ("all the deltas belonging to a given version together"), and
+// co-located chain files where all frames of one chunk across versions
+// are appended to a single file, eliminating seeks when a delta chain is
+// read.
+
+// chainFileName returns the co-located chain file for one (attr, chunk).
+func chainFileName(attr, chunkKey string) string {
+	return attr + "-" + chunkKey + ".chain"
+}
+
+// versionFileName returns the per-version file for one (version, attr,
+// chunk).
+func versionFileName(id int, attr, chunkKey string) string {
+	return fmt.Sprintf("v%d-%s-%s.dat", id, attr, chunkKey)
+}
+
+// writeBlob stores an encoded chunk payload and returns its location.
+func (s *Store) writeBlob(st *arrayState, id int, attr, chunkKey string, blob []byte) (file string, off int64, err error) {
+	if s.opts.CoLocate {
+		file = chainFileName(attr, chunkKey)
+		path := filepath.Join(st.dir, "chunks", file)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return "", 0, err
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			return "", 0, err
+		}
+		off = info.Size()
+		if _, err := f.Write(blob); err != nil {
+			return "", 0, err
+		}
+	} else {
+		file = versionFileName(id, attr, chunkKey)
+		if err := os.WriteFile(filepath.Join(st.dir, "chunks", file), blob, 0o644); err != nil {
+			return "", 0, err
+		}
+	}
+	s.addWrite(int64(len(blob)))
+	return file, off, nil
+}
+
+// readBlob fetches an encoded chunk payload.
+func (s *Store) readBlob(st *arrayState, e chunkEntry) ([]byte, error) {
+	path := filepath.Join(st.dir, "chunks", e.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open chunk file: %w", err)
+	}
+	defer f.Close()
+	blob := make([]byte, e.Length)
+	if _, err := f.ReadAt(blob, e.Offset); err != nil {
+		return nil, fmt.Errorf("core: read chunk %s@%d+%d: %w", e.File, e.Offset, e.Length, err)
+	}
+	s.addRead(e.Length)
+	return blob, nil
+}
+
+// codecParams derives the compression hints for a chunk payload. The
+// image codecs (PNG, Wavelet) interpret the buffer as 2D cells; they are
+// only applicable to materialized dense chunks, so callers pass ok=false
+// payload kinds through pickCodec first.
+func codecParams(box array.Box, dt array.DataType) compress.Params {
+	shape := box.Shape()
+	w := int(shape[len(shape)-1])
+	h := 1
+	for _, s := range shape[:len(shape)-1] {
+		h *= int(s)
+	}
+	return compress.Params{Elem: dt.Size(), Width: w, Height: h}
+}
+
+// pickCodec decides the effective codec for a payload. Image codecs fall
+// back to LZ for payloads that are not raw dense cell grids (delta blobs,
+// sparse encodings), whose byte streams they cannot model.
+func pickCodec(requested compress.Codec, rawDense bool) compress.Codec {
+	if !rawDense && (requested == compress.PNG || requested == compress.Wavelet) {
+		return compress.LZ
+	}
+	return requested
+}
+
+// sealParams derives compression parameters: raw dense chunks expose
+// their 2D cell structure; everything else (delta blobs, sparse
+// encodings) is an opaque byte stream.
+func sealParams(rawDense bool, box array.Box, dt array.DataType) compress.Params {
+	if rawDense {
+		return codecParams(box, dt)
+	}
+	return compress.Params{Elem: 1}
+}
+
+// seal compresses an encoded payload with the effective codec. It
+// returns the stored bytes and the codec actually used; if compression
+// would grow the payload it is stored uncompressed ("each chunk is
+// optionally compressed", §II-A). With adaptive enabled, a prefix sample
+// is compressed first and the codec is skipped when the predicted ratio
+// is poor — the paper's future-work adaptive scheme.
+func seal(codec compress.Codec, adaptive bool, payload []byte, p compress.Params) ([]byte, compress.Codec, error) {
+	if codec == compress.None {
+		return payload, compress.None, nil
+	}
+	if adaptive && !predictCompressible(codec, payload) {
+		return payload, compress.None, nil
+	}
+	packed, err := compress.Compress(codec, payload, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(packed) >= len(payload) {
+		return payload, compress.None, nil
+	}
+	return packed, codec, nil
+}
+
+// unseal reverses seal.
+func unseal(codec compress.Codec, blob []byte, p compress.Params) ([]byte, error) {
+	return compress.Decompress(codec, blob, p)
+}
+
+// adaptiveSampleBytes is the prefix length used to predict
+// compressibility; adaptiveSkipRatio is the sample ratio above which
+// compression is skipped.
+const (
+	adaptiveSampleBytes = 4096
+	adaptiveSkipRatio   = 0.9
+)
+
+// predictCompressible compresses a prefix sample with LZ (the structural
+// codecs share its redundancy model closely enough for a skip decision)
+// and reports whether the full payload is worth compressing.
+func predictCompressible(codec compress.Codec, payload []byte) bool {
+	if len(payload) <= adaptiveSampleBytes {
+		return true // small payloads: just try the real thing
+	}
+	sample := payload[:adaptiveSampleBytes]
+	packed, err := compress.Compress(compress.LZ, sample, compress.Params{})
+	if err != nil {
+		return true
+	}
+	return float64(len(packed)) < adaptiveSkipRatio*float64(len(sample))
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/delta"
+	"arrayvers/internal/layout"
+	"arrayvers/internal/matmat"
+)
+
+// LayoutPolicy selects how Reorganize chooses version encodings (§IV).
+type LayoutPolicy int
+
+// Supported policies.
+const (
+	// PolicyOptimal uses the exact space-optimal layout (augmented-graph
+	// MST, generalizing Algorithms 1 and 2).
+	PolicyOptimal LayoutPolicy = iota
+	// PolicyAlgorithm1 uses the paper's Algorithm 1 (single
+	// materialization + MST of deltas).
+	PolicyAlgorithm1
+	// PolicyAlgorithm2 uses the paper's Algorithm 2 (minimum spanning
+	// forest refinement, Appendix B).
+	PolicyAlgorithm2
+	// PolicyLinearChain materializes the newest version and deltas each
+	// earlier version against its successor (the §V-D baseline).
+	PolicyLinearChain
+	// PolicyHeadBiased materializes the newest version and stores the
+	// rest most compactly given that root (§IV-E last paragraph).
+	PolicyHeadBiased
+	// PolicyWorkloadAware minimizes workload I/O cost (§IV-D).
+	PolicyWorkloadAware
+)
+
+func (p LayoutPolicy) String() string {
+	switch p {
+	case PolicyOptimal:
+		return "optimal"
+	case PolicyAlgorithm1:
+		return "algorithm1"
+	case PolicyAlgorithm2:
+		return "algorithm2"
+	case PolicyLinearChain:
+		return "linear"
+	case PolicyHeadBiased:
+		return "head"
+	case PolicyWorkloadAware:
+		return "workload"
+	default:
+		return fmt.Sprintf("LayoutPolicy(%d)", int(p))
+	}
+}
+
+// ReorganizeOptions parameterizes Reorganize.
+type ReorganizeOptions struct {
+	Policy LayoutPolicy
+	// Workload drives PolicyWorkloadAware; query version values are
+	// version IDs.
+	Workload []layout.Query
+	// MatrixSample, when positive, builds the materialization matrix from
+	// sampled cells (§IV-A).
+	MatrixSample int
+	// BatchK, when positive, re-encodes versions in independent
+	// consecutive batches of K versions (§IV-E), bounding matrix size and
+	// delta-chain length.
+	BatchK int
+}
+
+// ComputeLayout builds the materialization matrix for an array's live
+// versions and the layout the given policy selects, without rewriting
+// anything. The returned id slice maps layout indices to version IDs.
+func (s *Store) ComputeLayout(name string, opts ReorganizeOptions) (layout.Layout, *matmat.Matrix, []int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return layout.Layout{}, nil, nil, fmt.Errorf("core: no array %q", name)
+	}
+	ids, planes, err := s.loadAllPlanes(st)
+	if err != nil {
+		return layout.Layout{}, nil, nil, err
+	}
+	mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
+	if err != nil {
+		return layout.Layout{}, nil, nil, err
+	}
+	l, err := chooseLayout(mm, ids, opts)
+	if err != nil {
+		return layout.Layout{}, nil, nil, err
+	}
+	return l, mm, ids, nil
+}
+
+// Reorganize re-encodes every live version of an array according to the
+// chosen layout policy — the "background re-organization step" of §IV-E.
+// Old chunk payloads are dropped (the chunks directory is rewritten).
+func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return fmt.Errorf("core: no array %q", name)
+	}
+	ids, planes, err := s.loadAllPlanes(st)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	var l layout.Layout
+	if opts.BatchK > 0 && opts.BatchK < len(ids) {
+		// §IV-E: optimize each batch of K versions independently
+		l = layout.NewLayout(len(ids))
+		for lo := 0; lo < len(ids); lo += opts.BatchK {
+			hi := lo + opts.BatchK
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			sub, err := s.layoutForRange(st, planes, ids, lo, hi, opts)
+			if err != nil {
+				return err
+			}
+			for i := lo; i < hi; i++ {
+				p := sub.Parent[i-lo] + lo
+				l.Parent[i] = p
+			}
+		}
+	} else {
+		mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
+		if err != nil {
+			return err
+		}
+		l, err = chooseLayout(mm, ids, opts)
+		if err != nil {
+			return err
+		}
+	}
+	return s.rewriteLocked(st, ids, planes, l)
+}
+
+func (s *Store) layoutForRange(st *arrayState, planes [][]Plane, ids []int, lo, hi int, opts ReorganizeOptions) (layout.Layout, error) {
+	sub := planes[lo:hi]
+	mm, err := s.buildMatrix(st, sub, opts.MatrixSample)
+	if err != nil {
+		return layout.Layout{}, err
+	}
+	return chooseLayout(mm, ids[lo:hi], opts)
+}
+
+// loadAllPlanes reconstructs every live version's content (all
+// attributes), in version order.
+func (s *Store) loadAllPlanes(st *arrayState) ([]int, [][]Plane, error) {
+	live := st.live()
+	ids := make([]int, len(live))
+	planes := make([][]Plane, len(live))
+	for i, vm := range live {
+		ids[i] = vm.ID
+		planes[i] = make([]Plane, len(st.Schema.Attrs))
+		for ai, attr := range st.Schema.Attrs {
+			pl, err := s.readPlaneLocked(st, vm.ID, attr.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			planes[i][ai] = pl
+		}
+	}
+	return ids, planes, nil
+}
+
+// buildMatrix computes the materialization matrix over versions, summing
+// costs across attributes.
+func (s *Store) buildMatrix(st *arrayState, planes [][]Plane, sample int) (*matmat.Matrix, error) {
+	n := len(planes)
+	total := matmat.New(n)
+	for ai := range st.Schema.Attrs {
+		var mm *matmat.Matrix
+		var err error
+		if st.SparseRep {
+			vs := make([]*array.Sparse, n)
+			for i := range planes {
+				vs[i] = planes[i][ai].Sparse
+			}
+			mm, err = matmat.ComputeSparse(vs)
+		} else {
+			vs := make([]*array.Dense, n)
+			for i := range planes {
+				vs[i] = planes[i][ai].Dense
+			}
+			mm, err = matmat.Compute(vs, matmat.Options{Sample: sample, Seed: int64(ai)})
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				total.Cost[i][j] += mm.Cost[i][j]
+			}
+		}
+	}
+	return total, nil
+}
+
+func chooseLayout(mm *matmat.Matrix, ids []int, opts ReorganizeOptions) (layout.Layout, error) {
+	switch opts.Policy {
+	case PolicyOptimal:
+		return layout.Optimal(mm), nil
+	case PolicyAlgorithm1:
+		return layout.Algorithm1(mm), nil
+	case PolicyAlgorithm2:
+		return layout.Algorithm2(mm), nil
+	case PolicyLinearChain:
+		return layout.LinearChain(mm.N), nil
+	case PolicyHeadBiased:
+		return layout.HeadBiasedLayout(mm), nil
+	case PolicyWorkloadAware:
+		wl, err := remapWorkload(opts.Workload, ids)
+		if err != nil {
+			return layout.Layout{}, err
+		}
+		return layout.WorkloadAware(mm, wl), nil
+	default:
+		return layout.Layout{}, fmt.Errorf("core: unknown layout policy %d", opts.Policy)
+	}
+}
+
+// remapWorkload translates query version IDs into layout indices.
+func remapWorkload(wl []layout.Query, ids []int) ([]layout.Query, error) {
+	pos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	out := make([]layout.Query, len(wl))
+	for qi, q := range wl {
+		mapped := layout.Query{Weight: q.Weight}
+		for _, v := range q.Versions {
+			p, ok := pos[v]
+			if !ok {
+				return nil, fmt.Errorf("core: workload references unknown version %d", v)
+			}
+			mapped.Versions = append(mapped.Versions, p)
+		}
+		out[qi] = mapped
+	}
+	return out, nil
+}
+
+// rewriteLocked re-encodes all versions per the layout into a fresh
+// chunks directory, then swaps it in.
+func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l layout.Layout) error {
+	tmpDir := filepath.Join(st.dir, "chunks.tmp")
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return err
+	}
+	newEntries := make([]map[string]map[string]chunkEntry, len(ids))
+	for i := range ids {
+		newEntries[i] = make(map[string]map[string]chunkEntry)
+	}
+	for ai, attr := range st.Schema.Attrs {
+		if st.SparseRep {
+			for i := range ids {
+				payload, base, err := encodeSparseAgainst(planes, l, i, ai, ids)
+				if err != nil {
+					return err
+				}
+				codec := pickCodec(s.opts.Codec, false)
+				sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, compress.Params{Elem: 1})
+				if err != nil {
+					return err
+				}
+				file := chainFileName(attr.Name, "chunk-full")
+				off, err := appendTo(filepath.Join(tmpDir, file), sealed)
+				if err != nil {
+					return err
+				}
+				s.addWrite(int64(len(sealed)))
+				newEntries[i][attr.Name] = map[string]chunkEntry{
+					"chunk-full": {File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: base},
+				}
+			}
+			continue
+		}
+		ck, err := st.chunker()
+		if err != nil {
+			return err
+		}
+		for i := range ids {
+			newEntries[i][attr.Name] = make(map[string]chunkEntry)
+		}
+		for _, origin := range ck.All() {
+			box := ck.Box(origin)
+			key := ck.Key(origin)
+			for i := range ids {
+				target, err := planes[i][ai].Dense.Slice(box)
+				if err != nil {
+					return err
+				}
+				payload := target.Bytes()
+				entryBase := -1
+				rawDense := true
+				if p := l.Parent[i]; p != i {
+					baseChunk, err := planes[p][ai].Dense.Slice(box)
+					if err != nil {
+						return err
+					}
+					blob, err := delta.Encode(s.opts.DeltaMethod, target, baseChunk)
+					if err != nil {
+						return err
+					}
+					if len(blob) < len(payload) {
+						payload = blob
+						entryBase = ids[p]
+						rawDense = false
+					}
+				}
+				codec := pickCodec(s.opts.Codec, rawDense)
+				sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, sealParams(rawDense, box, attr.Type))
+				if err != nil {
+					return err
+				}
+				file := chainFileName(attr.Name, key)
+				off, err := appendTo(filepath.Join(tmpDir, file), sealed)
+				if err != nil {
+					return err
+				}
+				s.addWrite(int64(len(sealed)))
+				newEntries[i][attr.Name][key] = chunkEntry{
+					File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: entryBase,
+				}
+			}
+		}
+	}
+	// swap in the rewritten chunks and metadata
+	oldDir := filepath.Join(st.dir, "chunks")
+	if err := os.RemoveAll(oldDir); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpDir, oldDir); err != nil {
+		return err
+	}
+	idPos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idPos[id] = i
+	}
+	for _, vm := range st.Versions {
+		if i, ok := idPos[vm.ID]; ok {
+			vm.Chunks = newEntries[i]
+		}
+	}
+	return st.save()
+}
+
+func encodeSparseAgainst(planes [][]Plane, l layout.Layout, i, ai int, ids []int) ([]byte, int, error) {
+	sp := planes[i][ai].Sparse
+	if p := l.Parent[i]; p != i {
+		blob, err := delta.EncodeSparseOps(sp, planes[p][ai].Sparse)
+		if err != nil {
+			return nil, 0, err
+		}
+		native := array.MarshalSparse(sp)
+		if len(blob) < len(native) {
+			return blob, ids[p], nil
+		}
+		return native, -1, nil
+	}
+	return array.MarshalSparse(sp), -1, nil
+}
+
+func appendTo(path string, blob []byte) (int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(blob); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// DeleteVersion removes a version. Versions delta'ed against it are
+// first re-encoded (against the deleted version's own base, or
+// materialized), preserving the no-overwrite property for everything
+// still live. Space is reclaimed by Compact.
+func (s *Store) DeleteVersion(name string, id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return fmt.Errorf("core: no array %q", name)
+	}
+	vm, err := st.version(id)
+	if err != nil {
+		return err
+	}
+	// re-encode every live chunk that bases on the deleted version
+	for _, child := range st.live() {
+		if child.ID == id {
+			continue
+		}
+		for _, attr := range st.Schema.Attrs {
+			dirty := false
+			for _, e := range child.Chunks[attr.Name] {
+				if e.Base == id {
+					dirty = true
+					break
+				}
+			}
+			if !dirty {
+				continue
+			}
+			pl, err := s.readPlaneLocked(st, child.ID, attr.Name)
+			if err != nil {
+				return err
+			}
+			// choose the deleted version's base as the new base when it
+			// is still live, otherwise materialize
+			newBase := 0
+			for _, e := range vm.Chunks[attr.Name] {
+				if e.Base >= 0 {
+					if _, err := st.version(e.Base); err == nil {
+						newBase = e.Base
+					}
+				}
+				break
+			}
+			entries, err := s.encodePlane(st, child.ID, attr, pl, newBase)
+			if err != nil {
+				return err
+			}
+			child.Chunks[attr.Name] = entries
+		}
+	}
+	vm.Deleted = true
+	return st.save()
+}
+
+// Compact rewrites an array's chunk files keeping only payloads
+// referenced by live versions, reclaiming space left behind by
+// DeleteVersion and superseded encodings.
+func (s *Store) Compact(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return fmt.Errorf("core: no array %q", name)
+	}
+	tmpDir := filepath.Join(st.dir, "chunks.tmp")
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return err
+	}
+	// copy referenced payloads in a deterministic order
+	type ref struct {
+		vm   *versionMeta
+		attr string
+		key  string
+	}
+	var refs []ref
+	for _, vm := range st.live() {
+		for attr, chunks := range vm.Chunks {
+			for key := range chunks {
+				refs = append(refs, ref{vm, attr, key})
+			}
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		ra, rb := refs[a], refs[b]
+		if ra.attr != rb.attr {
+			return ra.attr < rb.attr
+		}
+		if ra.key != rb.key {
+			return ra.key < rb.key
+		}
+		return ra.vm.ID < rb.vm.ID
+	})
+	for _, r := range refs {
+		e := r.vm.Chunks[r.attr][r.key]
+		blob, err := s.readBlob(st, e)
+		if err != nil {
+			return err
+		}
+		file := e.File
+		if s.opts.CoLocate {
+			file = chainFileName(r.attr, r.key)
+		}
+		off, err := appendTo(filepath.Join(tmpDir, file), blob)
+		if err != nil {
+			return err
+		}
+		e.File = file
+		e.Offset = off
+		r.vm.Chunks[r.attr][r.key] = e
+	}
+	oldDir := filepath.Join(st.dir, "chunks")
+	if err := os.RemoveAll(oldDir); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpDir, oldDir); err != nil {
+		return err
+	}
+	return st.save()
+}

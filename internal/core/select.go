@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/chunk"
+	"arrayvers/internal/compress"
+	"arrayvers/internal/delta"
+)
+
+// The select path (§II-B, Fig. 1 right): look up the chunks needed to
+// answer the query in the version metadata, read them from disk,
+// decompress, unwind the delta chains, and assemble the result array.
+// Four select primitives are provided: whole version, version region,
+// stacked multi-version, and stacked multi-version region.
+
+// Select returns the full content of one version's first attribute.
+func (s *Store) Select(name string, id int) (Plane, error) {
+	return s.SelectAttr(name, id, "")
+}
+
+// SelectAttr returns the full content of one version's named attribute
+// (empty attr means the first).
+func (s *Store) SelectAttr(name string, id int, attr string) (Plane, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return Plane{}, fmt.Errorf("core: no array %q", name)
+	}
+	return s.readPlaneLocked(st, id, s.attrName(st, attr))
+}
+
+// SelectRegion returns the hyper-rectangle box of one version's first
+// attribute; only the chunks overlapping the region are read.
+func (s *Store) SelectRegion(name string, id int, box array.Box) (Plane, error) {
+	return s.SelectRegionAttr(name, id, "", box)
+}
+
+// SelectRegionAttr is SelectRegion for a named attribute.
+func (s *Store) SelectRegionAttr(name string, id int, attr string, box array.Box) (Plane, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return Plane{}, fmt.Errorf("core: no array %q", name)
+	}
+	return s.readRegionLocked(st, id, s.attrName(st, attr), box)
+}
+
+// SelectMulti returns an (N+1)-dimensional stack of the given dense
+// versions: "it returns an N+1-dimensional array that is effectively a
+// stack of the specified versions" (§II-B). The version order is
+// preserved.
+func (s *Store) SelectMulti(name string, ids []int) (*array.Dense, error) {
+	return s.SelectMultiRegion(name, ids, array.Box{})
+}
+
+// SelectMultiRegion stacks the given hyper-rectangle of each listed
+// version into a single (N+1)-dimensional array (the fourth select form).
+// A zero box selects the whole array.
+func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array.Dense, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: no versions selected")
+	}
+	if box.NDim() == 0 {
+		box = array.BoxOf(st.Schema.Shape())
+	}
+	attr := st.Schema.Attrs[0].Name
+	slabs := make([]*array.Dense, len(ids))
+	cache := newChunkCache()
+	for i, id := range ids {
+		pl, err := s.readRegionCached(st, id, attr, box, cache)
+		if err != nil {
+			return nil, err
+		}
+		if pl.IsSparse() {
+			d, err := pl.Sparse.ToDense()
+			if err != nil {
+				return nil, err
+			}
+			slabs[i] = d
+		} else {
+			slabs[i] = pl.Dense
+		}
+	}
+	return array.Stack(slabs)
+}
+
+// SelectSparseMulti returns the given region of each listed version of a
+// sparse array, preserving the sparse representation (stacking terabyte-
+// scale sparse coordinate spaces densely would be pathological).
+func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*array.Sparse, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	if !st.SparseRep {
+		return nil, fmt.Errorf("core: array %q is dense; use SelectMulti", name)
+	}
+	if box.NDim() == 0 {
+		box = array.BoxOf(st.Schema.Shape())
+	}
+	attr := st.Schema.Attrs[0].Name
+	out := make([]*array.Sparse, len(ids))
+	cache := newChunkCache()
+	for i, id := range ids {
+		pl, err := s.readRegionCached(st, id, attr, box, cache)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pl.Sparse
+	}
+	return out, nil
+}
+
+func (s *Store) attrName(st *arrayState, attr string) string {
+	if attr == "" {
+		return st.Schema.Attrs[0].Name
+	}
+	return attr
+}
+
+// chunkCache memoizes reconstructed chunk contents per (chunk key,
+// version) across a multi-version select, so a range query walks each
+// delta chain once rather than once per selected version (the paper's
+// range scans read each chunk chain a single time, Fig. 2).
+type chunkCache struct {
+	dense  map[string]map[int]*array.Dense
+	sparse map[int]*array.Sparse
+}
+
+func newChunkCache() *chunkCache {
+	return &chunkCache{dense: map[string]map[int]*array.Dense{}, sparse: map[int]*array.Sparse{}}
+}
+
+func (c *chunkCache) forChunk(key string) map[int]*array.Dense {
+	if c == nil {
+		return nil
+	}
+	m, ok := c.dense[key]
+	if !ok {
+		m = map[int]*array.Dense{}
+		c.dense[key] = m
+	}
+	return m
+}
+
+// readPlaneLocked reconstructs one full attribute plane of a version.
+func (s *Store) readPlaneLocked(st *arrayState, id int, attr string) (Plane, error) {
+	return s.readRegionLocked(st, id, attr, array.BoxOf(st.Schema.Shape()))
+}
+
+// readRegionLocked reconstructs the part of a version's attribute plane
+// covered by box, reading only the overlapping chunks.
+func (s *Store) readRegionLocked(st *arrayState, id int, attr string, box array.Box) (Plane, error) {
+	return s.readRegionCached(st, id, attr, box, nil)
+}
+
+// readRegionCached is readRegionLocked with an optional cross-version
+// chunk cache for multi-version selects.
+func (s *Store) readRegionCached(st *arrayState, id int, attr string, box array.Box, cache *chunkCache) (Plane, error) {
+	if _, err := st.version(id); err != nil {
+		return Plane{}, err
+	}
+	ai := st.Schema.AttrIndex(attr)
+	if ai < 0 {
+		return Plane{}, fmt.Errorf("core: array %q has no attribute %q", st.Schema.Name, attr)
+	}
+	if err := box.Validate(); err != nil {
+		return Plane{}, err
+	}
+	if box.NDim() != len(st.Schema.Dims) {
+		return Plane{}, fmt.Errorf("core: query box has %d dims, array has %d", box.NDim(), len(st.Schema.Dims))
+	}
+	full := array.BoxOf(st.Schema.Shape())
+	box = box.Intersect(full)
+	if box.Empty() {
+		return Plane{}, fmt.Errorf("core: query region is empty")
+	}
+	dt := st.Schema.Attrs[ai].Type
+	if st.SparseRep {
+		var spCache map[int]*array.Sparse
+		if cache != nil {
+			spCache = cache.sparse
+		}
+		sp, err := s.resolveSparse(st, id, attr, spCache)
+		if err != nil {
+			return Plane{}, err
+		}
+		if box.Equal(full) {
+			return Plane{Sparse: sp}, nil
+		}
+		sub, err := sp.Slice(box)
+		if err != nil {
+			return Plane{}, err
+		}
+		return Plane{Sparse: sub}, nil
+	}
+	ck, err := st.chunker()
+	if err != nil {
+		return Plane{}, err
+	}
+	out, err := array.NewDense(dt, box.Shape())
+	if err != nil {
+		return Plane{}, err
+	}
+	for _, origin := range ck.Overlapping(box) {
+		chunkArr, err := s.resolveDenseChunk(st, id, attr, ck, origin, cache.forChunk(ck.Key(origin)))
+		if err != nil {
+			return Plane{}, err
+		}
+		cbox := ck.Box(origin)
+		overlap := cbox.Intersect(box)
+		piece, err := chunkArr.Slice(overlap.Translate(cbox.Lo))
+		if err != nil {
+			return Plane{}, err
+		}
+		if err := out.WriteRegion(overlap.Translate(box.Lo).Lo, piece); err != nil {
+			return Plane{}, err
+		}
+	}
+	return Plane{Dense: out}, nil
+}
+
+// resolveDenseChunk reconstructs one chunk of one version by unwinding
+// its delta chain: "a chain of versions must be accessed, starting from
+// one that is stored in native form" (§II-B, Fig. 2). cache memoizes
+// chunk contents per version within one walk.
+func (s *Store) resolveDenseChunk(st *arrayState, id int, attr string, ck *chunk.Chunker, origin []int64, cache map[int]*array.Dense) (*array.Dense, error) {
+	if cache == nil {
+		cache = make(map[int]*array.Dense)
+	}
+	if got, ok := cache[id]; ok {
+		return got, nil
+	}
+	vm, err := st.version(id)
+	if err != nil {
+		return nil, err
+	}
+	key := ck.Key(origin)
+	e, ok := vm.Chunks[attr][key]
+	if !ok {
+		return nil, fmt.Errorf("core: version %d missing chunk %s/%s", id, attr, key)
+	}
+	blob, err := s.readBlob(st, e)
+	if err != nil {
+		return nil, err
+	}
+	box := ck.Box(origin)
+	ai := st.Schema.AttrIndex(attr)
+	dt := st.Schema.Attrs[ai].Type
+	raw, err := unseal(compress.Codec(e.Codec), blob, sealParams(e.Base < 0, box, dt))
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
+	}
+	var out *array.Dense
+	if e.Base < 0 {
+		out, err = array.DenseFromBytes(dt, box.Shape(), raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
+		}
+	} else {
+		baseArr, err := s.resolveDenseChunk(st, e.Base, attr, ck, origin, cache)
+		if err != nil {
+			return nil, err
+		}
+		out, err = delta.Apply(raw, baseArr)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
+		}
+	}
+	cache[id] = out
+	return out, nil
+}
+
+// resolveSparse reconstructs a sparse version by unwinding its delta
+// chain.
+func (s *Store) resolveSparse(st *arrayState, id int, attr string, cache map[int]*array.Sparse) (*array.Sparse, error) {
+	if cache == nil {
+		cache = make(map[int]*array.Sparse)
+	}
+	if got, ok := cache[id]; ok {
+		return got, nil
+	}
+	vm, err := st.version(id)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := vm.Chunks[attr]["chunk-full"]
+	if !ok {
+		return nil, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
+	}
+	blob, err := s.readBlob(st, e)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unseal(compress.Codec(e.Codec), blob, compress.Params{Elem: 1})
+	if err != nil {
+		return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+	}
+	var out *array.Sparse
+	if e.Base < 0 {
+		out, err = array.UnmarshalSparse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+		}
+	} else {
+		baseArr, err := s.resolveSparse(st, e.Base, attr, cache)
+		if err != nil {
+			return nil, err
+		}
+		out, err = delta.ApplySparseOps(raw, baseArr)
+		if err != nil {
+			return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+		}
+	}
+	cache[id] = out
+	return out, nil
+}
+
+func removeAllQuiet(dir string) error { return os.RemoveAll(dir) }

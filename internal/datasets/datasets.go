@@ -1,0 +1,338 @@
+// Package datasets generates deterministic synthetic stand-ins for the
+// four evaluation datasets of the paper's §V. The real data (NOAA RTMA
+// grids, the ConceptNet matrix, OpenStreetMaps tile renderings, and the
+// Switch Panorama webcam archive) is not redistributable and not
+// downloadable offline; each generator reproduces the statistical
+// property the paper selected that dataset for (see DESIGN.md §2):
+//
+//   - NOAA: dense float fields that are "very similar, but not quite
+//     identical" between 15-minute versions, with sharp edges carrying
+//     "scattered single-pixel variations" (Fig. 4).
+//   - ConceptNet: an extremely sparse square int32 matrix with small
+//     weekly churn.
+//   - OSM: large dense rasters where consecutive versions differ in just
+//     a few localized edits ("the street map evolves less quickly than
+//     weather does").
+//   - Panorama: periodic scene recurrence — adjacent frames differ
+//     substantially but the same scene re-occurs, defeating linear delta
+//     chains.
+//   - Periodic: the §V-D synthetic pattern A1..An,A1..An of mutually
+//     dissimilar arrays.
+//
+// All generators are seeded and reproducible.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"arrayvers/internal/array"
+)
+
+// NOAAConfig parameterizes the weather-field generator.
+type NOAAConfig struct {
+	Side     int64 // grid side (paper: ~1 MB float32 grids)
+	Versions int   // number of 15-minute snapshots
+	Attrs    int   // measurement types (wind, pressure, humidity, ...)
+	Seed     int64
+}
+
+// NOAA generates Versions snapshots of Attrs measurement planes each.
+// Fields are sums of slowly advected Gaussian blobs over a sharp-edged
+// "coastline" mask, plus per-pixel sensor noise.
+func NOAA(cfg NOAAConfig) [][]*array.Dense {
+	if cfg.Side <= 0 {
+		cfg.Side = 256
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 10
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type blob struct{ x, y, vx, vy, amp, sigma float64 }
+	// independent blob sets per attribute
+	blobs := make([][]blob, cfg.Attrs)
+	for a := range blobs {
+		for b := 0; b < 6; b++ {
+			blobs[a] = append(blobs[a], blob{
+				x: rng.Float64() * float64(cfg.Side), y: rng.Float64() * float64(cfg.Side),
+				vx: rng.Float64()*2 - 1, vy: rng.Float64()*2 - 1,
+				amp: 40 + rng.Float64()*60, sigma: 10 + rng.Float64()*float64(cfg.Side)/6,
+			})
+		}
+	}
+	// static sharp-edged mask ("coastline")
+	maskRow := make([]float64, cfg.Side)
+	cur := 0.0
+	for i := range maskRow {
+		if rng.Float64() < 0.03 {
+			cur = rng.Float64() * 25
+		}
+		maskRow[i] = cur
+	}
+	out := make([][]*array.Dense, cfg.Versions)
+	for v := 0; v < cfg.Versions; v++ {
+		out[v] = make([]*array.Dense, cfg.Attrs)
+		for a := 0; a < cfg.Attrs; a++ {
+			d := array.MustDense(array.Float32, []int64{cfg.Side, cfg.Side})
+			for r := int64(0); r < cfg.Side; r++ {
+				for c := int64(0); c < cfg.Side; c++ {
+					val := maskRow[c] * (1 + 0.02*float64(r%7))
+					for _, bl := range blobs[a] {
+						dx := float64(c) - bl.x
+						dy := float64(r) - bl.y
+						val += bl.amp * math.Exp(-(dx*dx+dy*dy)/(2*bl.sigma*bl.sigma))
+					}
+					// quantize so that small drift produces narrow deltas,
+					// then add occasional single-pixel noise (Fig. 4)
+					q := math.Round(val*4) / 4
+					if rng.Float64() < 0.002 {
+						q += float64(rng.Intn(20) - 10)
+					}
+					d.SetFloat(r*cfg.Side+c, q)
+				}
+			}
+			out[v][a] = d
+		}
+		// advect blobs slightly between versions
+		for a := range blobs {
+			for b := range blobs[a] {
+				blobs[a][b].x += blobs[a][b].vx
+				blobs[a][b].y += blobs[a][b].vy
+			}
+		}
+	}
+	return out
+}
+
+// ConceptNetConfig parameterizes the sparse-matrix generator.
+type ConceptNetConfig struct {
+	Dim      int64 // square matrix side (paper: ~1,000,000)
+	NNZ      int   // entries per snapshot (paper: ~430,000)
+	Versions int   // weekly snapshots
+	Churn    int   // edits between snapshots
+	Seed     int64
+}
+
+// ConceptNet generates weekly snapshots of a sparse relationship matrix.
+// Row/column indices follow a power-ish law (frequent concepts are hubs).
+func ConceptNet(cfg ConceptNetConfig) []*array.Sparse {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 1_000_000
+	}
+	if cfg.NNZ <= 0 {
+		cfg.NNZ = 430_000
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 8
+	}
+	if cfg.Churn <= 0 {
+		cfg.Churn = cfg.NNZ / 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() int64 {
+		// power-law-ish index: squaring biases towards small indices
+		f := rng.Float64()
+		return int64(f * f * float64(cfg.Dim))
+	}
+	cur := array.MustSparse(array.Int32, []int64{cfg.Dim, cfg.Dim}, 0)
+	for cur.NNZ() < cfg.NNZ {
+		cur.SetBits(pick()*cfg.Dim+pick(), int64(rng.Intn(100)+1))
+	}
+	out := make([]*array.Sparse, cfg.Versions)
+	for v := 0; v < cfg.Versions; v++ {
+		out[v] = cur.Clone()
+		for e := 0; e < cfg.Churn; e++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				cur.SetBits(pick()*cfg.Dim+pick(), int64(rng.Intn(100)+1))
+			case 1: // update an existing entry (by random probe)
+				cur.SetBits(pick()*cfg.Dim+pick(), int64(rng.Intn(100)+1))
+			default: // delete (set to fill)
+				cur.SetBits(pick()*cfg.Dim+pick(), 0)
+			}
+		}
+	}
+	return out
+}
+
+// OSMConfig parameterizes the map-tile generator.
+type OSMConfig struct {
+	Side     int64 // tile side in pixels (paper: 1 GB tiles)
+	Versions int   // weekly renderings (paper: 16)
+	Edits    int   // localized road edits between versions
+	Seed     int64
+}
+
+// OSM generates weekly renderings of a road-map raster: a uint8 image of
+// polyline "roads" over a flat background, with a handful of small
+// localized edits (new/changed road segments) between versions.
+func OSM(cfg OSMConfig) []*array.Dense {
+	if cfg.Side <= 0 {
+		cfg.Side = 1024
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 16
+	}
+	if cfg.Edits <= 0 {
+		cfg.Edits = 12
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	img := array.MustDense(array.UInt8, []int64{cfg.Side, cfg.Side})
+	img.Fill(240) // map background
+	// base road network
+	for i := 0; i < int(cfg.Side/16)+20; i++ {
+		drawRoad(img, rng, cfg.Side)
+	}
+	out := make([]*array.Dense, cfg.Versions)
+	for v := 0; v < cfg.Versions; v++ {
+		out[v] = img.Clone()
+		for e := 0; e < cfg.Edits; e++ {
+			drawRoad(img, rng, cfg.Side)
+		}
+	}
+	return out
+}
+
+// drawRoad rasterizes one polyline with a random gray level.
+func drawRoad(img *array.Dense, rng *rand.Rand, side int64) {
+	x := float64(rng.Int63n(side))
+	y := float64(rng.Int63n(side))
+	angle := rng.Float64() * 2 * math.Pi
+	length := 30 + rng.Intn(int(side)/4)
+	shade := int64(rng.Intn(128))
+	for step := 0; step < length; step++ {
+		angle += (rng.Float64() - 0.5) * 0.3
+		x += math.Cos(angle)
+		y += math.Sin(angle)
+		xi, yi := int64(x), int64(y)
+		if xi < 0 || xi >= side || yi < 0 || yi >= side {
+			return
+		}
+		img.SetBitsAt([]int64{yi, xi}, shade)
+		if xi+1 < side {
+			img.SetBitsAt([]int64{yi, xi + 1}, shade)
+		}
+	}
+}
+
+// PanoramaConfig parameterizes the periodic webcam generator.
+type PanoramaConfig struct {
+	Side     int64
+	Versions int
+	Scenes   int // number of recurring base scenes (e.g. day/dusk/night)
+	Noise    int // per-frame additive noise amplitude
+	Seed     int64
+}
+
+// Panorama generates frames cycling through Scenes recurring base
+// scenes: adjacent frames are very different, but every Scenes-th frame
+// is nearly identical — the structure that makes the optimal
+// materialization tree non-linear (§V-D).
+func Panorama(cfg PanoramaConfig) []*array.Dense {
+	if cfg.Side <= 0 {
+		cfg.Side = 256
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 24
+	}
+	if cfg.Scenes <= 0 {
+		cfg.Scenes = 4
+	}
+	if cfg.Noise <= 0 {
+		cfg.Noise = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scenes := make([]*array.Dense, cfg.Scenes)
+	for sIdx := range scenes {
+		sc := array.MustDense(array.UInt8, []int64{cfg.Side, cfg.Side})
+		for i := int64(0); i < sc.NumCells(); i++ {
+			sc.SetBits(i, int64(rng.Intn(256)))
+		}
+		scenes[sIdx] = sc
+	}
+	out := make([]*array.Dense, cfg.Versions)
+	for v := 0; v < cfg.Versions; v++ {
+		frame := scenes[v%cfg.Scenes].Clone()
+		for i := int64(0); i < frame.NumCells(); i++ {
+			if rng.Float64() < 0.05 {
+				frame.SetBits(i, clampByte(frame.Bits(i)+int64(rng.Intn(2*cfg.Noise+1)-cfg.Noise)))
+			}
+		}
+		out[v] = frame
+	}
+	return out
+}
+
+func clampByte(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// PeriodicConfig parameterizes the §V-D synthetic experiment: n mutually
+// dissimilar arrays repeating in the pattern A1..An,A1..An...
+type PeriodicConfig struct {
+	Period    int   // n
+	Versions  int   // total versions (paper: 40)
+	SizeBytes int64 // bytes per array (paper: 8 MB)
+	Seed      int64
+}
+
+// Periodic generates the repeating-array series. Arrays are random bytes
+// so cross-phase deltas are "selected so that each of the n arrays
+// doesn't difference well against the other n−1 arrays".
+func Periodic(cfg PeriodicConfig) []*array.Dense {
+	if cfg.Period <= 0 {
+		cfg.Period = 2
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 40
+	}
+	if cfg.SizeBytes <= 0 {
+		cfg.SizeBytes = 8 << 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := int64(math.Sqrt(float64(cfg.SizeBytes)))
+	bases := make([]*array.Dense, cfg.Period)
+	for i := range bases {
+		b := array.MustDense(array.UInt8, []int64{side, side})
+		raw := b.Bytes()
+		rng.Read(raw)
+		bases[i] = b
+	}
+	out := make([]*array.Dense, cfg.Versions)
+	for v := 0; v < cfg.Versions; v++ {
+		out[v] = bases[v%cfg.Period].Clone()
+	}
+	return out
+}
+
+// Smooth generates a smoothly evolving version series (each version a
+// small perturbation of the previous), the regime where a linear delta
+// chain is optimal (§V-D: "on a data set where a linear chain is optimal
+// ... our optimal algorithm produces a linear delta chain").
+func Smooth(side int64, versions int, seed int64) []*array.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	cur := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < cur.NumCells(); i++ {
+		cur.SetBits(i, int64(rng.Intn(1000)))
+	}
+	out := make([]*array.Dense, versions)
+	for v := 0; v < versions; v++ {
+		out[v] = cur.Clone()
+		// drift grows with distance: consecutive versions are closest
+		for i := int64(0); i < cur.NumCells(); i++ {
+			if rng.Float64() < 0.2 {
+				cur.SetBits(i, cur.Bits(i)+int64(rng.Intn(5)-2))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package datasets
+
+import (
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/delta"
+)
+
+func TestNOAADeterministicAndSimilar(t *testing.T) {
+	cfg := NOAAConfig{Side: 64, Versions: 3, Attrs: 2, Seed: 1}
+	a := NOAA(cfg)
+	b := NOAA(cfg)
+	if len(a) != 3 || len(a[0]) != 2 {
+		t.Fatalf("shape: %d versions x %d attrs", len(a), len(a[0]))
+	}
+	if !a[0][0].Equal(b[0][0]) || !a[2][1].Equal(b[2][1]) {
+		t.Fatal("NOAA not deterministic")
+	}
+	// consecutive versions must be similar but not identical
+	if a[0][0].Equal(a[1][0]) {
+		t.Fatal("consecutive NOAA versions identical")
+	}
+	blob, err := delta.Encode(delta.Hybrid, a[1][0], a[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) >= a[0][0].SizeBytes() {
+		t.Fatalf("NOAA consecutive delta %d bytes >= raw %d: not similar enough", len(blob), a[0][0].SizeBytes())
+	}
+}
+
+func TestConceptNetSparsityAndChurn(t *testing.T) {
+	cfg := ConceptNetConfig{Dim: 100_000, NNZ: 5_000, Versions: 3, Churn: 200, Seed: 2}
+	snaps := ConceptNet(cfg)
+	if len(snaps) != 3 {
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.NNZ() < cfg.NNZ/2 || s.NNZ() > cfg.NNZ*2 {
+			t.Fatalf("nnz = %d, want ~%d", s.NNZ(), cfg.NNZ)
+		}
+		if s.Density() > 1e-5 {
+			t.Fatalf("density %g too high", s.Density())
+		}
+	}
+	if snaps[0].Equal(snaps[1]) {
+		t.Fatal("no churn between snapshots")
+	}
+	// weekly deltas must be far smaller than snapshots
+	blob, err := delta.EncodeSparseOps(snaps[1], snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) >= snaps[0].SizeBytes()/4 {
+		t.Fatalf("CNet delta %d bytes vs snapshot %d", len(blob), snaps[0].SizeBytes())
+	}
+}
+
+func TestOSMLocalizedEdits(t *testing.T) {
+	cfg := OSMConfig{Side: 128, Versions: 4, Edits: 3, Seed: 3}
+	tiles := OSM(cfg)
+	if len(tiles) != 4 {
+		t.Fatalf("%d tiles", len(tiles))
+	}
+	// count changed cells between consecutive versions: must be a tiny
+	// fraction ("just a few changes in the road segments")
+	changed := 0
+	n := tiles[0].NumCells()
+	for i := int64(0); i < n; i++ {
+		if tiles[0].Bits(i) != tiles[1].Bits(i) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no edits between versions")
+	}
+	if float64(changed)/float64(n) > 0.05 {
+		t.Fatalf("%.1f%% of cells changed; OSM edits should be localized", 100*float64(changed)/float64(n))
+	}
+}
+
+func TestPanoramaPeriodicStructure(t *testing.T) {
+	cfg := PanoramaConfig{Side: 64, Versions: 8, Scenes: 4, Seed: 4}
+	frames := Panorama(cfg)
+	// same-scene frames must delta far better than adjacent frames
+	same, _ := delta.Encode(delta.Hybrid, frames[4], frames[0])
+	adj, _ := delta.Encode(delta.Hybrid, frames[1], frames[0])
+	if len(same)*4 >= len(adj) {
+		t.Fatalf("same-scene delta %d bytes not ≪ adjacent delta %d bytes", len(same), len(adj))
+	}
+}
+
+func TestPeriodicExactRecurrence(t *testing.T) {
+	cfg := PeriodicConfig{Period: 3, Versions: 9, SizeBytes: 1 << 12, Seed: 5}
+	vs := Periodic(cfg)
+	if !vs[0].Equal(vs[3]) || !vs[1].Equal(vs[7]) {
+		t.Fatal("period-3 recurrence broken")
+	}
+	if vs[0].Equal(vs[1]) {
+		t.Fatal("distinct phases identical")
+	}
+	// cross-phase deltas must be large (random data)
+	cross, _ := delta.Encode(delta.Hybrid, vs[1], vs[0])
+	if int64(len(cross)) < vs[0].SizeBytes()/2 {
+		t.Fatalf("cross-phase delta %d bytes suspiciously small", len(cross))
+	}
+}
+
+func TestSmoothLinearStructure(t *testing.T) {
+	vs := Smooth(32, 5, 6)
+	if len(vs) != 5 {
+		t.Fatalf("%d versions", len(vs))
+	}
+	// delta size should grow with version distance
+	d1, _ := delta.Encode(delta.Sparse, vs[1], vs[0])
+	d4, _ := delta.Encode(delta.Sparse, vs[4], vs[0])
+	if len(d4) <= len(d1) {
+		t.Fatalf("distance-4 delta %d bytes <= distance-1 delta %d bytes", len(d4), len(d1))
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// zero-value configs must produce sane small outputs without panics
+	if got := Periodic(PeriodicConfig{Versions: 2, SizeBytes: 1024}); len(got) != 2 {
+		t.Fatal("periodic defaults broken")
+	}
+	if got := Panorama(PanoramaConfig{Side: 16, Versions: 2}); len(got) != 2 {
+		t.Fatal("panorama defaults broken")
+	}
+	if got := OSM(OSMConfig{Side: 32, Versions: 2, Edits: 1}); len(got) != 2 {
+		t.Fatal("osm defaults broken")
+	}
+	if got := NOAA(NOAAConfig{Side: 16, Versions: 2, Attrs: 1}); len(got) != 2 {
+		t.Fatal("noaa defaults broken")
+	}
+	var _ *array.Sparse = ConceptNet(ConceptNetConfig{Dim: 1000, NNZ: 50, Versions: 1, Churn: 5})[0]
+}

@@ -1,0 +1,133 @@
+package delta
+
+import (
+	"encoding/binary"
+
+	"arrayvers/internal/array"
+)
+
+// BSDiff-style binary differencing (Percival '03, the paper's [6]):
+// suffix-sort the base, scan the target finding approximate matches, and
+// emit three streams — control triples (diffLen, extraLen, seekAdjust),
+// bytewise differences against matched base regions, and literal extra
+// bytes. Streams are DEFLATE-compressed (original bsdiff uses bzip2,
+// which the Go standard library can only decompress).
+//
+// Forward-only, byte-granularity: it ignores the array structure
+// entirely, which is exactly why the paper includes it — an
+// "arbitrary-binary-differencing algorithm" baseline.
+
+func encodeBSDiff(target, base *array.Dense) []byte {
+	out := putHeader(BSDiff, target.DType())
+	return append(out, BytesDiff(base.Bytes(), target.Bytes())...)
+}
+
+// bsdiffStreams runs the core bsdiff scan.
+func bsdiffStreams(old, new []byte) (ctrl, diff, extra []byte) {
+	sa := suffixArray(old)
+	var scan, lenM, pos int
+	lastscan, lastpos, lastoffset := 0, 0, 0
+	for scan < len(new) {
+		oldscore := 0
+		scan += lenM
+		for scsc := scan; scan < len(new); scan++ {
+			lenM, pos = saSearch(sa, old, new[scan:])
+			for ; scsc < scan+lenM; scsc++ {
+				if scsc+lastoffset < len(old) && old[scsc+lastoffset] == new[scsc] {
+					oldscore++
+				}
+			}
+			if (lenM == oldscore && lenM != 0) || lenM > oldscore+8 {
+				break
+			}
+			if scan+lastoffset < len(old) && old[scan+lastoffset] == new[scan] {
+				oldscore--
+			}
+		}
+		if lenM == oldscore && scan != len(new) {
+			continue
+		}
+		// extend the previous match forward and the new match backward,
+		// choosing lengths that maximize 2*matches − length
+		lenf := extendForward(old, new, lastpos, lastscan, scan)
+		lenb := 0
+		if scan < len(new) {
+			lenb = extendBackward(old, new, pos, scan, lastscan+lenf)
+		}
+		// resolve overlap between forward and backward extensions
+		if lastscan+lenf > scan-lenb {
+			overlap := (lastscan + lenf) - (scan - lenb)
+			s, sBest, lenBest := 0, 0, 0
+			for i := 0; i < overlap; i++ {
+				if new[lastscan+lenf-overlap+i] == old[lastpos+lenf-overlap+i] {
+					s++
+				}
+				if new[scan-lenb+i] == old[pos-lenb+i] {
+					s--
+				}
+				if s > sBest {
+					sBest = s
+					lenBest = i + 1
+				}
+			}
+			lenf += lenBest - overlap
+			lenb -= lenBest
+		}
+		// emit: diff bytes for the matched forward region
+		for i := 0; i < lenf; i++ {
+			diff = append(diff, new[lastscan+i]-old[lastpos+i])
+		}
+		extraLen := (scan - lenb) - (lastscan + lenf)
+		extra = append(extra, new[lastscan+lenf:lastscan+lenf+extraLen]...)
+		seek := (pos - lenb) - (lastpos + lenf)
+		ctrl = binary.AppendUvarint(ctrl, uint64(lenf))
+		ctrl = binary.AppendUvarint(ctrl, uint64(extraLen))
+		ctrl = binary.AppendVarint(ctrl, int64(seek))
+		lastscan = scan - lenb
+		lastpos = pos - lenb
+		lastoffset = pos - scan
+	}
+	return ctrl, diff, extra
+}
+
+// extendForward chooses the forward extension length from (lastscan,
+// lastpos) maximizing 2*matches − length, bounded by scan.
+func extendForward(old, new []byte, lastpos, lastscan, scan int) int {
+	lenf, s := 0, 0
+	for i := 0; lastscan+i < scan && lastpos+i < len(old); {
+		if old[lastpos+i] == new[lastscan+i] {
+			s++
+		}
+		i++
+		if s*2-i > lenf*2-lenf {
+			lenf = i
+		}
+	}
+	return lenf
+}
+
+// extendBackward chooses the backward extension length ending at (scan,
+// pos) maximizing 2*matches − length, bounded below by lowScan.
+func extendBackward(old, new []byte, pos, scan, lowScan int) int {
+	lenb, s := 0, 0
+	for i := 1; scan >= lowScan+i && pos >= i; i++ {
+		if old[pos-i] == new[scan-i] {
+			s++
+		}
+		if s*2-i > lenb*2-lenb {
+			lenb = i
+		}
+	}
+	return lenb
+}
+
+func applyBSDiff(blob []byte, base *array.Dense) (*array.Dense, error) {
+	if err := readHeader(blob, BSDiff, base); err != nil {
+		return nil, err
+	}
+	out, err := BytesPatch(base.Bytes(), blob[2:])
+	if err != nil {
+		return nil, err
+	}
+	return array.DenseFromBytes(base.DType(), base.Shape(), out)
+}

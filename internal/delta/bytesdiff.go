@@ -1,0 +1,113 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"arrayvers/internal/compress"
+)
+
+// Byte-level bsdiff API for consumers that version opaque binary blobs —
+// the SVN-like and Git-like baseline stores (§V-C) both difference
+// arbitrary binary file contents.
+
+// BytesDiff computes a bsdiff-style patch such that
+// BytesPatch(old, patch) == new.
+func BytesDiff(old, new []byte) []byte {
+	ctrl, diff, extra := bsdiffStreams(old, new)
+	cc, _ := compress.Compress(compress.LZ, ctrl, compress.Params{})
+	dc, _ := compress.Compress(compress.LZ, diff, compress.Params{})
+	ec, _ := compress.Compress(compress.LZ, extra, compress.Params{})
+	out := binary.AppendUvarint(nil, uint64(len(new)))
+	out = binary.AppendUvarint(out, uint64(len(cc)))
+	out = binary.AppendUvarint(out, uint64(len(dc)))
+	out = binary.AppendUvarint(out, uint64(len(ec)))
+	out = append(out, cc...)
+	out = append(out, dc...)
+	return append(out, ec...)
+}
+
+// BytesPatch applies a patch produced by BytesDiff.
+func BytesPatch(old, patch []byte) ([]byte, error) {
+	pos := 0
+	readU := func() (uint64, error) {
+		v, k := binary.Uvarint(patch[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("delta: truncated patch header")
+		}
+		pos += k
+		return v, nil
+	}
+	newLen, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	ccLen, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	dcLen, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	ecLen, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(patch)-pos) != ccLen+dcLen+ecLen {
+		return nil, fmt.Errorf("delta: patch stream lengths do not match")
+	}
+	ctrl, err := compress.Decompress(compress.LZ, patch[pos:pos+int(ccLen)], compress.Params{})
+	if err != nil {
+		return nil, err
+	}
+	pos += int(ccLen)
+	diff, err := compress.Decompress(compress.LZ, patch[pos:pos+int(dcLen)], compress.Params{})
+	if err != nil {
+		return nil, err
+	}
+	pos += int(dcLen)
+	extra, err := compress.Decompress(compress.LZ, patch[pos:pos+int(ecLen)], compress.Params{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, newLen)
+	var cpos, opos, npos, dpos, epos int
+	for npos < int(newLen) {
+		lenf, k := binary.Uvarint(ctrl[cpos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("delta: truncated patch ctrl")
+		}
+		cpos += k
+		extraLen, k := binary.Uvarint(ctrl[cpos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("delta: truncated patch ctrl")
+		}
+		cpos += k
+		seek, k := binary.Varint(ctrl[cpos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("delta: truncated patch ctrl")
+		}
+		cpos += k
+		if npos+int(lenf) > int(newLen) || dpos+int(lenf) > len(diff) || opos+int(lenf) > len(old) {
+			return nil, fmt.Errorf("delta: patch diff segment out of range")
+		}
+		for i := 0; i < int(lenf); i++ {
+			out[npos+i] = old[opos+i] + diff[dpos+i]
+		}
+		npos += int(lenf)
+		dpos += int(lenf)
+		opos += int(lenf)
+		if npos+int(extraLen) > int(newLen) || epos+int(extraLen) > len(extra) {
+			return nil, fmt.Errorf("delta: patch extra segment out of range")
+		}
+		copy(out[npos:npos+int(extraLen)], extra[epos:epos+int(extraLen)])
+		npos += int(extraLen)
+		epos += int(extraLen)
+		opos += int(seek)
+		if opos < 0 || opos > len(old) {
+			return nil, fmt.Errorf("delta: patch seek out of range")
+		}
+	}
+	return out, nil
+}

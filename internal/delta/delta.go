@@ -1,0 +1,251 @@
+// Package delta implements the paper's delta-encoding algorithms
+// (§III-B.3, evaluated in Table I): a delta is the cellwise difference
+// between two versions, stored with as few bits per cell as possible.
+//
+// Five methods are provided:
+//
+//   - Dense: bit-packs every difference at the minimal uniform width D.
+//   - Sparse: stores only the (position, difference) pairs of cells that
+//     changed.
+//   - Hybrid: computes an optimal threshold and splits the difference
+//     array into a D-bit dense part plus a separate sparse overlay of
+//     wide outliers ("if more than a fraction F of cells can be encoded
+//     using D' > D bits per cell, we create a separate matrix").
+//   - BlockMatch: the MPEG-2-like matcher — 16×16 blocks, each compared
+//     against every offset within a 16-cell radius, residual stored as a
+//     hybrid delta.
+//   - BSDiff: byte-level binary differencing over a suffix array, after
+//     Percival '03.
+//
+// Cellwise methods (Dense, Sparse, Hybrid) decode in both directions:
+// Apply reconstructs the target from the base and Unapply reconstructs
+// the base from the target, matching the paper's note that version chains
+// are walked "in both directions, by adding or subtracting the delta".
+// BlockMatch and BSDiff are forward-only.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"arrayvers/internal/array"
+)
+
+// Method identifies a delta-encoding algorithm.
+type Method uint8
+
+// Supported methods. SparseOps is the sparse-array-to-sparse-array delta
+// used for sparse versions (e.g. the ConceptNet workload).
+const (
+	Dense Method = iota + 1
+	Sparse
+	Hybrid
+	BlockMatch
+	BSDiff
+	SparseOps
+)
+
+func (m Method) String() string {
+	switch m {
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	case Hybrid:
+		return "hybrid"
+	case BlockMatch:
+		return "blockmatch"
+	case BSDiff:
+		return "bsdiff"
+	case SparseOps:
+		return "sparseops"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// ParseMethod converts a method name to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "dense":
+		return Dense, nil
+	case "sparse":
+		return Sparse, nil
+	case "hybrid":
+		return Hybrid, nil
+	case "blockmatch", "mpeg2":
+		return BlockMatch, nil
+	case "bsdiff":
+		return BSDiff, nil
+	case "sparseops":
+		return SparseOps, nil
+	default:
+		return 0, fmt.Errorf("delta: unknown method %q", s)
+	}
+}
+
+// Bidirectional reports whether the method supports Unapply.
+func (m Method) Bidirectional() bool {
+	switch m {
+	case Dense, Sparse, Hybrid, SparseOps:
+		return true
+	default:
+		return false
+	}
+}
+
+// MethodOf returns the method a delta blob was encoded with.
+func MethodOf(blob []byte) (Method, error) {
+	if len(blob) == 0 {
+		return 0, fmt.Errorf("delta: empty blob")
+	}
+	m := Method(blob[0])
+	if m < Dense || m > SparseOps {
+		return 0, fmt.Errorf("delta: unknown method byte %d", blob[0])
+	}
+	return m, nil
+}
+
+// wrapDiff computes the wrapping difference of two cell bit patterns,
+// reduced to the dtype's width and sign-extended: the representative of
+// t−b (mod 2^k) with the smallest magnitude. Wrapping keeps differences
+// narrow even across the dtype's overflow boundary.
+func wrapDiff(dt array.DataType, t, b int64) int64 {
+	raw := uint64(t) - uint64(b)
+	k := uint(dt.Size() * 8)
+	if k == 64 {
+		return int64(raw)
+	}
+	return int64(raw<<(64-k)) >> (64 - k)
+}
+
+// wrapAdd inverts wrapDiff: reconstructs the target bit pattern from the
+// base pattern and the difference.
+func wrapAdd(dt array.DataType, b, d int64) int64 {
+	return array.TruncateBits(dt, int64(uint64(b)+uint64(d)))
+}
+
+// wrapSub reconstructs the base bit pattern from the target pattern and
+// the difference.
+func wrapSub(dt array.DataType, t, d int64) int64 {
+	return array.TruncateBits(dt, int64(uint64(t)-uint64(d)))
+}
+
+// checkPair validates that two dense arrays can be delta'ed: "deltas can
+// only be created between arrays of the same dimensionality" (§III-B.3) —
+// and, chunk-identically, the same shape and dtype.
+func checkPair(target, base *array.Dense) error {
+	if target.DType() != base.DType() {
+		return fmt.Errorf("delta: dtype mismatch %v vs %v", target.DType(), base.DType())
+	}
+	if target.NDim() != base.NDim() {
+		return fmt.Errorf("delta: dimensionality mismatch %d vs %d", target.NDim(), base.NDim())
+	}
+	for i, s := range target.Shape() {
+		if base.Shape()[i] != s {
+			return fmt.Errorf("delta: shape mismatch %v vs %v", target.Shape(), base.Shape())
+		}
+	}
+	return nil
+}
+
+// Encode computes a delta blob such that Apply(blob, base) reconstructs
+// target.
+func Encode(m Method, target, base *array.Dense) ([]byte, error) {
+	if err := checkPair(target, base); err != nil {
+		return nil, err
+	}
+	switch m {
+	case Dense:
+		return encodeDense(target, base), nil
+	case Sparse:
+		return encodeSparse(target, base), nil
+	case Hybrid:
+		return encodeHybrid(target, base), nil
+	case BlockMatch:
+		return encodeBlockMatch(target, base, DefaultBlockSize, DefaultSearchRadius)
+	case BSDiff:
+		return encodeBSDiff(target, base), nil
+	default:
+		return nil, fmt.Errorf("delta: cannot Encode with method %v", m)
+	}
+}
+
+// Apply reconstructs the target array from a delta blob and its base.
+func Apply(blob []byte, base *array.Dense) (*array.Dense, error) {
+	m, err := MethodOf(blob)
+	if err != nil {
+		return nil, err
+	}
+	switch m {
+	case Dense:
+		return applyDense(blob, base, false)
+	case Sparse:
+		return applySparse(blob, base, false)
+	case Hybrid:
+		return applyHybrid(blob, base, false)
+	case BlockMatch:
+		return applyBlockMatch(blob, base)
+	case BSDiff:
+		return applyBSDiff(blob, base)
+	default:
+		return nil, fmt.Errorf("delta: cannot Apply blob of method %v to a dense base", m)
+	}
+}
+
+// Unapply reconstructs the base array from a delta blob and its target.
+// Only bidirectional (cellwise) methods support this.
+func Unapply(blob []byte, target *array.Dense) (*array.Dense, error) {
+	m, err := MethodOf(blob)
+	if err != nil {
+		return nil, err
+	}
+	switch m {
+	case Dense:
+		return applyDense(blob, target, true)
+	case Sparse:
+		return applySparse(blob, target, true)
+	case Hybrid:
+		return applyHybrid(blob, target, true)
+	default:
+		return nil, fmt.Errorf("delta: method %v is forward-only", m)
+	}
+}
+
+// header layout shared by the dense-array methods:
+// [method byte][dtype byte][payload...]; shape travels with the base at
+// decode time (every version of an array is chunked identically, §III-B).
+
+func putHeader(m Method, dt array.DataType) []byte {
+	return []byte{byte(m), byte(dt)}
+}
+
+func readHeader(blob []byte, want Method, base *array.Dense) error {
+	if len(blob) < 2 {
+		return fmt.Errorf("delta: truncated blob")
+	}
+	if Method(blob[0]) != want {
+		return fmt.Errorf("delta: blob method %v, want %v", Method(blob[0]), want)
+	}
+	if array.DataType(blob[1]) != base.DType() {
+		return fmt.Errorf("delta: blob dtype %v, base dtype %v", array.DataType(blob[1]), base.DType())
+	}
+	return nil
+}
+
+// appendUvarint/readUvarint helpers for payload streams.
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	return uvarintLen(uint64((v << 1) ^ (v >> 63)))
+}
+
+var _ = binary.MaxVarintLen64

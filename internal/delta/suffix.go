@@ -1,0 +1,102 @@
+package delta
+
+import "sort"
+
+// Suffix sorting by prefix doubling (Manber–Myers), implemented from
+// scratch as the substrate for the BSDiff-style differencer. The original
+// bsdiff (Percival '03, cited as [6] in the paper) uses Larsson–Sadakane
+// qsufsort; prefix doubling has the same output and an O(n log² n) bound,
+// which is ample here — the paper itself reports bsdiff as by far the
+// slowest differencing method (Table I).
+
+// suffixArray returns sa such that sa[i] is the start offset of the i-th
+// lexicographically smallest suffix of data.
+func suffixArray(data []byte) []int32 {
+	n := len(data)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(data[i])
+	}
+	for k := 1; ; k *= 2 {
+		rankAt := func(i int32) int32 {
+			if int(i) < n {
+				return rank[i]
+			}
+			return -1
+		}
+		less := func(a, b int32) bool {
+			if rank[a] != rank[b] {
+				return rank[a] < rank[b]
+			}
+			return rankAt(a+int32(k)) < rankAt(b+int32(k))
+		}
+		sort.Slice(sa, func(i, j int) bool { return less(sa[i], sa[j]) })
+		if n > 0 {
+			tmp[sa[0]] = 0
+			for i := 1; i < n; i++ {
+				tmp[sa[i]] = tmp[sa[i-1]]
+				if less(sa[i-1], sa[i]) {
+					tmp[sa[i]]++
+				}
+			}
+			copy(rank, tmp)
+			if rank[sa[n-1]] == int32(n-1) {
+				break
+			}
+		} else {
+			break
+		}
+	}
+	return sa
+}
+
+// matchLen returns the length of the common prefix of a and b.
+func matchLen(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// saSearch finds the longest prefix of target present in old, returning
+// (length, position in old), via binary search over the suffix array.
+func saSearch(sa []int32, old, target []byte) (length, pos int) {
+	lo, hi := 0, len(sa)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lessPrefix(old[sa[mid]:], target) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best, bestPos := 0, 0
+	for _, k := range []int{lo - 1, lo} {
+		if k < 0 || k >= len(sa) {
+			continue
+		}
+		if l := matchLen(old[sa[k]:], target); l > best {
+			best, bestPos = l, int(sa[k])
+		}
+	}
+	return best, bestPos
+}
+
+// lessPrefix reports whether suffix a sorts strictly before target,
+// treating a shared prefix as a tie broken by length.
+func lessPrefix(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,199 @@
+// Package layout implements the paper's version-layout model and
+// optimization algorithms (§IV): deciding, for each version in a series,
+// whether to materialize it or to delta-encode it against another
+// version.
+//
+// A layout assigns every version exactly one incoming arc — a self-arc
+// (materialization) or an arc from another version (delta). A layout is
+// valid iff every version can be reconstructed, which the paper
+// characterizes as: every connected component has exactly one
+// materialized version and the delta arcs form no (undirected) cycle
+// (Observations 1–4). Valid layouts are therefore in bijection with
+// spanning trees of the "augmented" graph that adds one virtual node
+// whose edge to version i costs MM(i,i); this bijection powers both the
+// exact optimizer and the exhaustive ground truth used in tests.
+package layout
+
+import (
+	"fmt"
+
+	"arrayvers/internal/matmat"
+)
+
+// Layout encodes how each of n versions is stored. Parent[i] == i means
+// version i is materialized; otherwise version i is stored as a delta
+// against version Parent[i].
+type Layout struct {
+	Parent []int
+}
+
+// NewLayout returns an all-materialized layout of n versions.
+func NewLayout(n int) Layout {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return Layout{Parent: p}
+}
+
+// N returns the number of versions.
+func (l Layout) N() int { return len(l.Parent) }
+
+// Clone returns a deep copy.
+func (l Layout) Clone() Layout {
+	return Layout{Parent: append([]int(nil), l.Parent...)}
+}
+
+// Materialized reports whether version i is stored in native form.
+func (l Layout) Materialized(i int) bool { return l.Parent[i] == i }
+
+// Roots returns the indices of all materialized versions.
+func (l Layout) Roots() []int {
+	var roots []int
+	for i, p := range l.Parent {
+		if p == i {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Validate checks that the layout is structurally sound and satisfies the
+// paper's validity conditions: every version reaches a materialized
+// version by following parent arcs without revisiting a node
+// (equivalently, no cycle of length > 1; Observation 2).
+func (l Layout) Validate() error {
+	n := len(l.Parent)
+	if n == 0 {
+		return fmt.Errorf("layout: empty")
+	}
+	for i, p := range l.Parent {
+		if p < 0 || p >= n {
+			return fmt.Errorf("layout: version %d has out-of-range parent %d", i, p)
+		}
+	}
+	// Each node has exactly one outgoing parent pointer, so the layout is
+	// a functional graph; it is valid iff every walk terminates at a
+	// self-loop (a materialized version) rather than re-entering itself.
+	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 reaches a root
+	for i := range l.Parent {
+		if state[i] != 0 {
+			continue
+		}
+		var path []int
+		j := i
+		for {
+			if state[j] == 2 {
+				break // joins a walk already known to reach a root
+			}
+			if state[j] == 1 {
+				return fmt.Errorf("layout: cycle through version %d", j)
+			}
+			state[j] = 1
+			path = append(path, j)
+			if l.Parent[j] == j {
+				break // materialized root
+			}
+			j = l.Parent[j]
+		}
+		for _, k := range path {
+			state[k] = 2
+		}
+	}
+	return nil
+}
+
+// IsValid reports whether the layout satisfies Observations 3–4.
+func (l Layout) IsValid() bool { return l.Validate() == nil }
+
+// PathToRoot returns the versions on the reconstruction path of i,
+// starting at i and ending at its materialized root. Returns nil if the
+// walk exceeds n steps (invalid layout).
+func (l Layout) PathToRoot(i int) []int {
+	n := len(l.Parent)
+	path := []int{i}
+	for steps := 0; l.Parent[i] != i; steps++ {
+		if steps > n {
+			return nil
+		}
+		i = l.Parent[i]
+		path = append(path, i)
+	}
+	return path
+}
+
+// StorageCost returns the total bytes of the layout under the
+// materialization matrix: MM(i,i) for materialized versions, MM(i,p) for
+// delta-encoded ones.
+func (l Layout) StorageCost(mm *matmat.Matrix) int64 {
+	total := int64(0)
+	for i, p := range l.Parent {
+		total += mm.Cost[i][p]
+	}
+	return total
+}
+
+// EncodedSize returns the bytes used to store version i under the layout.
+func (l Layout) EncodedSize(mm *matmat.Matrix, i int) int64 {
+	return mm.Cost[i][l.Parent[i]]
+}
+
+// CoverSet returns the set of versions that must be read from disk to
+// reconstruct all versions in `accessed`: the union of the accessed
+// versions and every version on their reconstruction paths (the paper's
+// VΛ(q), §IV-D).
+func (l Layout) CoverSet(accessed []int) []int {
+	seen := make([]bool, len(l.Parent))
+	var out []int
+	for _, v := range accessed {
+		for _, u := range l.PathToRoot(v) {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports structural equality.
+func (l Layout) Equal(o Layout) bool {
+	if len(l.Parent) != len(o.Parent) {
+		return false
+	}
+	for i := range l.Parent {
+		if l.Parent[i] != o.Parent[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLinearChain reports whether the layout is a single chain delta'ed
+// backwards from one materialized head (each version's parent is the
+// next version, with the last materialized).
+func (l Layout) IsLinearChain() bool {
+	n := len(l.Parent)
+	roots := l.Roots()
+	if len(roots) != 1 {
+		return false
+	}
+	// count in-degrees of the delta arcs; a chain has in-degree <= 1
+	// everywhere and forms one path.
+	indeg := make([]int, n)
+	for i, p := range l.Parent {
+		if p != i {
+			indeg[p]++
+		}
+	}
+	ends := 0
+	for i := range indeg {
+		if indeg[i] > 1 {
+			return false
+		}
+		if indeg[i] == 0 {
+			ends++
+		}
+	}
+	return ends == 1
+}

@@ -1,0 +1,326 @@
+package layout
+
+import (
+	"arrayvers/internal/matmat"
+)
+
+// Space-optimal layout algorithms (§IV-C).
+
+// Algorithm1 is the paper's Algorithm 1: build the complete undirected
+// materialization graph over the versions with delta weights, take its
+// minimum spanning tree, materialize the version with the cheapest
+// materialization cost, and orient all other versions as deltas along the
+// tree away from that root. Optimal when every materialization is more
+// expensive than every delta.
+//
+// (The paper cites the Karger–Klein–Tarjan randomized linear-time MST;
+// we use deterministic Prim in O(n²), which returns the same tree —
+// n here is a version count, not a data size.)
+func Algorithm1(mm *matmat.Matrix) Layout {
+	n := mm.N
+	l := NewLayout(n)
+	if n == 1 {
+		return l
+	}
+	parentInTree := primMST(n, func(i, j int) int64 { return mm.Cost[i][j] })
+	// cheapest materialization as root
+	root := 0
+	for i := 1; i < n; i++ {
+		if mm.Cost[i][i] < mm.Cost[root][root] {
+			root = i
+		}
+	}
+	orientFromRoots(parentInTree, []int{root}, l.Parent)
+	return l
+}
+
+// Algorithm2 is the paper's Algorithm 2 (Appendix B): run Algorithm 1,
+// then repeatedly split the tree by materializing any version whose
+// materialization is cheaper than the most expensive delta on its path to
+// a root, removing that delta. This handles the case where materializing
+// more than one version yields a more compact layout.
+func Algorithm2(mm *matmat.Matrix) Layout {
+	l := Algorithm1(mm)
+	n := mm.N
+	for {
+		improved := false
+		for i := 0; i < n; i++ {
+			if l.Materialized(i) {
+				continue
+			}
+			// find the most expensive delta on the path from i to its root
+			// that costs more than materializing i
+			path := l.PathToRoot(i)
+			bestGain := int64(0)
+			toReplace := -1
+			for _, v := range path {
+				if l.Materialized(v) {
+					break
+				}
+				deltaSize := mm.Cost[v][l.Parent[v]]
+				if deltaSize > mm.Cost[i][i] && deltaSize-mm.Cost[i][i] > bestGain {
+					bestGain = deltaSize - mm.Cost[i][i]
+					toReplace = v
+				}
+			}
+			if toReplace < 0 {
+				continue
+			}
+			// Split: materialize i and re-hang the edge that previously
+			// encoded toReplace. Removing toReplace's delta would orphan
+			// the subtree between i and toReplace, so instead we reverse
+			// the arcs on the path from i up to toReplace and materialize
+			// i; every version keeps exactly one incoming arc and the
+			// expensive delta disappears.
+			reversePathAndMaterialize(l.Parent, i, toReplace)
+			improved = true
+		}
+		if !improved {
+			return l
+		}
+	}
+}
+
+// reversePathAndMaterialize reverses parent arcs along the path
+// i → ... → stop and materializes i. After the call, stop's old incoming
+// delta (the expensive one) is gone: stop is now encoded against the next
+// node down the reversed path.
+func reversePathAndMaterialize(parent []int, i, stop int) {
+	prev := i
+	cur := parent[i]
+	parent[i] = i
+	for prev != stop {
+		next := parent[cur]
+		parent[cur] = prev
+		prev = cur
+		cur = next
+	}
+}
+
+// Optimal computes the exactly space-optimal valid layout by exploiting
+// the bijection between valid layouts and spanning trees of the augmented
+// graph: add a virtual node V whose edge to version i weighs MM(i,i);
+// every spanning tree of the augmented complete graph corresponds to a
+// valid layout of the same total cost (versions adjacent to V are
+// materialized, all other tree edges are deltas oriented away from V).
+// The MST of the augmented graph is therefore the space-optimal layout,
+// generalizing Algorithms 1 and 2.
+func Optimal(mm *matmat.Matrix) Layout {
+	n := mm.N
+	// node n is the virtual root
+	weight := func(i, j int) int64 {
+		switch {
+		case i == n:
+			return mm.Cost[j][j]
+		case j == n:
+			return mm.Cost[i][i]
+		default:
+			return mm.Cost[i][j]
+		}
+	}
+	parentInTree := primMST(n+1, weight)
+	l := NewLayout(n)
+	// orient away from the virtual root: a version whose tree parent is n
+	// is materialized; others delta against their tree parent.
+	// parentInTree was built from node 0; rebuild adjacency and BFS from n.
+	adj := make([][]int, n+1)
+	for v := 1; v <= n; v++ {
+		u := parentInTree[v]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	visited := make([]bool, n+1)
+	queue := []int{n}
+	visited[n] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if u == n {
+				l.Parent[v] = v // materialized
+			} else {
+				l.Parent[v] = u
+			}
+			queue = append(queue, v)
+		}
+	}
+	return l
+}
+
+// LinearChain is the baseline the paper's §V-D compares against: the
+// head version is materialized and every earlier version is delta'ed
+// against its successor ("a simple linear chain of deltas differenced
+// backwards in time from the most recently added version").
+func LinearChain(n int) Layout {
+	l := NewLayout(n)
+	for i := 0; i < n-1; i++ {
+		l.Parent[i] = i + 1
+	}
+	if n > 0 {
+		l.Parent[n-1] = n - 1
+	}
+	return l
+}
+
+// primMST computes a minimum spanning tree of the complete graph on
+// nodes 0..n-1 under the given symmetric weight function, returning the
+// tree-parent of every node (node 0 is its own parent).
+func primMST(n int, weight func(i, j int) int64) []int {
+	const inf = int64(1) << 62
+	parent := make([]int, n)
+	best := make([]int64, n)
+	inTree := make([]bool, n)
+	for i := range best {
+		best[i] = inf
+		parent[i] = 0
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (u < 0 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if w := weight(u, v); w < best[v] {
+					best[v] = w
+					parent[v] = u
+				}
+			}
+		}
+	}
+	parent[0] = 0
+	return parent
+}
+
+// orientFromRoots sets layout parents by BFS over the undirected tree
+// defined by treeParent, starting from the given roots (which become
+// materialized).
+func orientFromRoots(treeParent []int, roots []int, out []int) {
+	n := len(treeParent)
+	adj := make([][]int, n)
+	for v := 1; v < n; v++ {
+		u := treeParent[v]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	visited := make([]bool, n)
+	var queue []int
+	for _, r := range roots {
+		out[r] = r
+		visited[r] = true
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				out[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// Exhaustive enumerates every valid layout via Prüfer sequences over the
+// augmented graph (n+1 nodes have (n+1)^(n-1) spanning trees; the paper
+// notes this count via Cayley's formula) and returns the one with minimal
+// storage cost. Exponential — intended as ground truth in tests and for
+// tiny workload-aware searches. Returns the best layout under the given
+// cost function.
+func Exhaustive(n int, cost func(Layout) int64) Layout {
+	best := NewLayout(n)
+	bestCost := cost(best)
+	if n == 1 {
+		return best
+	}
+	// Prüfer sequences of length n-1 over n+1 labels enumerate all
+	// spanning trees of the complete graph on n+1 nodes.
+	seq := make([]int, n-1)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == len(seq) {
+			l := layoutFromPrufer(seq, n)
+			if c := cost(l); c < bestCost {
+				bestCost = c
+				best = l.Clone()
+			}
+			return
+		}
+		for v := 0; v <= n; v++ {
+			seq[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// layoutFromPrufer decodes a Prüfer sequence over n+1 labels (0..n, where
+// n is the virtual root) into a layout.
+func layoutFromPrufer(seq []int, n int) Layout {
+	total := n + 1
+	degree := make([]int, total)
+	for i := 0; i < total; i++ {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	used := make([]bool, total)
+	for _, v := range seq {
+		for u := 0; u < total; u++ {
+			if !used[u] && degree[u] == 1 {
+				edges = append(edges, edge{u, v})
+				used[u] = true
+				degree[v]--
+				break
+			}
+		}
+	}
+	var last []int
+	for u := 0; u < total; u++ {
+		if !used[u] && degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	edges = append(edges, edge{last[0], last[1]})
+	// orient away from virtual root n
+	adj := make([][]int, total)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	l := NewLayout(n)
+	visited := make([]bool, total)
+	queue := []int{n}
+	visited[n] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if u == n {
+				l.Parent[v] = v
+			} else {
+				l.Parent[v] = u
+			}
+			queue = append(queue, v)
+		}
+	}
+	return l
+}

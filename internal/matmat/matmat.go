@@ -1,0 +1,131 @@
+// Package matmat builds the paper's Materialization Matrix (§IV-A): an
+// n×n symmetric matrix over a series of versions where the diagonal
+// MM(i,i) is the space needed to materialize version i and the
+// off-diagonal MM(i,j) is the space taken by a delta between versions i
+// and j. The matrix drives the layout optimization algorithms.
+//
+// Construction takes O(n²) pairwise comparisons; a sampling mode
+// estimates each delta size from a random subset of R cells scaled by
+// N/R, as §IV-A describes.
+package matmat
+
+import (
+	"fmt"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/delta"
+)
+
+// Matrix is the materialization matrix for n versions.
+type Matrix struct {
+	N    int
+	Cost [][]int64 // Cost[i][j]: i==j materialization size, else delta size
+}
+
+// Options controls matrix construction.
+type Options struct {
+	// Sample, when positive, estimates each pairwise delta size from this
+	// many sampled cells instead of encoding the full delta.
+	Sample int
+	// Seed drives the sampling RNG.
+	Seed int64
+}
+
+// New allocates an empty n×n matrix.
+func New(n int) *Matrix {
+	m := &Matrix{N: n, Cost: make([][]int64, n)}
+	for i := range m.Cost {
+		m.Cost[i] = make([]int64, n)
+	}
+	return m
+}
+
+// Compute builds the matrix for a series of dense versions using hybrid
+// delta sizes (the best cellwise method per Table I) and raw
+// materialization sizes.
+func Compute(versions []*array.Dense, opts Options) (*Matrix, error) {
+	n := len(versions)
+	if n == 0 {
+		return nil, fmt.Errorf("matmat: no versions")
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Cost[i][i] = delta.MaterializedSize(versions[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			var size int64
+			if opts.Sample > 0 {
+				size = delta.EstimateSize(versions[i], versions[j], opts.Sample, opts.Seed+int64(i)*1000003+int64(j))
+			} else {
+				blob, err := delta.Encode(delta.Hybrid, versions[i], versions[j])
+				if err != nil {
+					return nil, fmt.Errorf("matmat: delta %d vs %d: %w", i, j, err)
+				}
+				size = int64(len(blob))
+			}
+			m.Cost[i][j] = size
+			m.Cost[j][i] = size
+		}
+	}
+	return m, nil
+}
+
+// ComputeSparse builds the matrix for a series of sparse versions using
+// sparse-ops delta sizes.
+func ComputeSparse(versions []*array.Sparse) (*Matrix, error) {
+	n := len(versions)
+	if n == 0 {
+		return nil, fmt.Errorf("matmat: no versions")
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Cost[i][i] = delta.SparseMaterializedSize(versions[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			blob, err := delta.EncodeSparseOps(versions[i], versions[j])
+			if err != nil {
+				return nil, fmt.Errorf("matmat: sparse delta %d vs %d: %w", i, j, err)
+			}
+			m.Cost[i][j] = int64(len(blob))
+			m.Cost[j][i] = int64(len(blob))
+		}
+	}
+	return m, nil
+}
+
+// Validate checks structural sanity: square, symmetric, non-negative.
+func (m *Matrix) Validate() error {
+	if m.N != len(m.Cost) {
+		return fmt.Errorf("matmat: N=%d but %d rows", m.N, len(m.Cost))
+	}
+	for i := range m.Cost {
+		if len(m.Cost[i]) != m.N {
+			return fmt.Errorf("matmat: row %d has %d columns", i, len(m.Cost[i]))
+		}
+		for j := range m.Cost[i] {
+			if m.Cost[i][j] < 0 {
+				return fmt.Errorf("matmat: negative cost at (%d,%d)", i, j)
+			}
+			if m.Cost[i][j] != m.Cost[j][i] {
+				return fmt.Errorf("matmat: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// DeltasAlwaysCheaper reports whether every delta is cheaper than every
+// materialization — the assumption under which Algorithm 1 alone is
+// optimal ("MM(i,i) > MM(i,j) ∀ j ≠ i", §IV-C).
+func (m *Matrix) DeltasAlwaysCheaper() bool {
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if i != j && m.Cost[i][j] >= m.Cost[i][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package matmat
+
+import (
+	"math/rand"
+	"testing"
+
+	"arrayvers/internal/array"
+)
+
+func versionSeries(n int, side int64, seed int64) []*array.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	cur := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < cur.NumCells(); i++ {
+		cur.SetBits(i, int64(rng.Intn(500)))
+	}
+	out := make([]*array.Dense, n)
+	for v := 0; v < n; v++ {
+		out[v] = cur.Clone()
+		for i := int64(0); i < cur.NumCells(); i++ {
+			if rng.Float64() < 0.1 {
+				cur.SetBits(i, cur.Bits(i)+int64(rng.Intn(5)-2))
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeExact(t *testing.T) {
+	vs := versionSeries(5, 32, 1)
+	mm, err := Compute(vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// diagonal = raw materialization size
+	for i := range vs {
+		if mm.Cost[i][i] != vs[i].SizeBytes() {
+			t.Fatalf("MM(%d,%d) = %d, want %d", i, i, mm.Cost[i][i], vs[i].SizeBytes())
+		}
+	}
+	// delta cost grows with version distance on this smooth series
+	if mm.Cost[0][1] >= mm.Cost[0][4] {
+		t.Fatalf("MM(0,1)=%d not < MM(0,4)=%d", mm.Cost[0][1], mm.Cost[0][4])
+	}
+	if !mm.DeltasAlwaysCheaper() {
+		t.Fatal("similar versions should always delta cheaper than materializing")
+	}
+}
+
+func TestComputeSampledApproximatesExact(t *testing.T) {
+	vs := versionSeries(4, 64, 2)
+	exact, err := Compute(vs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Compute(vs, Options{Sample: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sampled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < exact.N; i++ {
+		for j := 0; j < i; j++ {
+			ratio := float64(sampled.Cost[i][j]) / float64(exact.Cost[i][j])
+			if ratio < 0.3 || ratio > 3.0 {
+				t.Errorf("MM(%d,%d): sampled %d vs exact %d (ratio %.2f)",
+					i, j, sampled.Cost[i][j], exact.Cost[i][j], ratio)
+			}
+		}
+	}
+}
+
+func TestComputeSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := array.MustSparse(array.Int32, []int64{10000, 10000}, 0)
+	for i := 0; i < 200; i++ {
+		base.SetBits(rng.Int63n(1e8), int64(rng.Intn(50)+1))
+	}
+	v2 := base.Clone()
+	for i := 0; i < 10; i++ {
+		v2.SetBits(rng.Int63n(1e8), int64(rng.Intn(50)+1))
+	}
+	mm, err := ComputeSparse([]*array.Sparse{base, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mm.Cost[0][1] >= mm.Cost[0][0] {
+		t.Fatalf("sparse delta %d not below materialization %d", mm.Cost[0][1], mm.Cost[0][0])
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, Options{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := ComputeSparse(nil); err == nil {
+		t.Error("empty sparse series accepted")
+	}
+	a := array.MustDense(array.Int32, []int64{4})
+	b := array.MustDense(array.Int32, []int64{5})
+	if _, err := Compute([]*array.Dense{a, b}, Options{}); err == nil {
+		t.Error("mismatched shapes accepted")
+	}
+}

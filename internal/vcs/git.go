@@ -1,0 +1,263 @@
+package vcs
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"arrayvers/internal/compress"
+	"arrayvers/internal/delta"
+)
+
+// GitOptions configures the Git-like store.
+type GitOptions struct {
+	// MemoryBudget caps the estimated working set of commit and repack
+	// operations, reproducing the paper's observation that "Git ran out
+	// of memory on our test machine" when loading 1 GB OSM tiles (their
+	// machine had 8 GB of RAM). Git's deltification keeps the candidate
+	// window plus a suffix structure in memory, modeled here as
+	// (window+1+overhead)×object size. 0 disables the budget.
+	MemoryBudget int64
+	// Window is the delta-candidate window used by Repack (git's
+	// --window, default 10).
+	Window int
+	// MaxDepth bounds delta-chain depth in a pack (git's --depth).
+	MaxDepth int
+}
+
+// ErrOutOfMemory is returned when an operation's estimated working set
+// exceeds the configured memory budget.
+var ErrOutOfMemory = fmt.Errorf("vcs: git: out of memory (working set exceeds memory budget)")
+
+// memOverheadFactor models the suffix-array and bookkeeping overhead per
+// object byte during deltification.
+const memOverheadFactor = 6
+
+// Git is a content-addressed object store: Commit writes zlib-compressed
+// loose objects named by the SHA-1 of their content; Repack sorts objects
+// by similarity (path, then size — the heuristic Git's pack machinery
+// uses) and delta-chains each against its best window neighbor.
+type Git struct {
+	mu   sync.Mutex
+	dir  string
+	opts GitOptions
+	meta gitMeta
+}
+
+type gitMeta struct {
+	// Refs maps path -> ordered object ids, one per committed version.
+	Refs map[string][]string `json:"refs"`
+	// Objects maps id -> storage record.
+	Objects map[string]*gitObject `json:"objects"`
+}
+
+type gitObject struct {
+	File string `json:"file"`
+	// Base is the object id this object is delta'ed against in the pack
+	// (empty for full objects).
+	Base string `json:"base,omitempty"`
+	Size int64  `json:"size"` // original content size
+}
+
+// NewGit creates or reopens a Git-like repository at dir.
+func NewGit(dir string, opts GitOptions) (*Git, error) {
+	if opts.Window <= 0 {
+		opts.Window = 10
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 50
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	g := &Git{dir: dir, opts: opts, meta: gitMeta{Refs: map[string][]string{}, Objects: map[string]*gitObject{}}}
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err == nil {
+		if err := json.Unmarshal(raw, &g.meta); err != nil {
+			return nil, fmt.Errorf("vcs: corrupt git metadata: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Commit stores a new version of the file at path, returning the object
+// id.
+func (g *Git) Commit(path string, content []byte) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.opts.MemoryBudget > 0 && int64(len(content))*2 > g.opts.MemoryBudget {
+		return "", ErrOutOfMemory
+	}
+	sum := sha1.Sum(content)
+	id := hex.EncodeToString(sum[:])
+	if _, ok := g.meta.Objects[id]; !ok {
+		packed, err := compress.Compress(compress.LZ, content, compress.Params{})
+		if err != nil {
+			return "", err
+		}
+		file := filepath.Join("objects", id)
+		if err := os.WriteFile(filepath.Join(g.dir, file), packed, 0o644); err != nil {
+			return "", err
+		}
+		g.meta.Objects[id] = &gitObject{File: file, Size: int64(len(content))}
+	}
+	g.meta.Refs[path] = append(g.meta.Refs[path], id)
+	return id, g.save()
+}
+
+// Checkout reconstructs version v (0-based) of the file at path.
+func (g *Git) Checkout(path string, v int) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := g.meta.Refs[path]
+	if v < 0 || v >= len(ids) {
+		return nil, fmt.Errorf("vcs: git has no version %d of %q", v, path)
+	}
+	return g.resolve(ids[v], 0)
+}
+
+func (g *Git) resolve(id string, depth int) ([]byte, error) {
+	if depth > g.opts.MaxDepth+1 {
+		return nil, fmt.Errorf("vcs: git delta chain too deep at %s", id)
+	}
+	obj, ok := g.meta.Objects[id]
+	if !ok {
+		return nil, fmt.Errorf("vcs: git missing object %s", id)
+	}
+	packed, err := os.ReadFile(filepath.Join(g.dir, obj.File))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := compress.Decompress(compress.LZ, packed, compress.Params{})
+	if err != nil {
+		return nil, err
+	}
+	if obj.Base == "" {
+		return payload, nil
+	}
+	base, err := g.resolve(obj.Base, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return delta.BytesPatch(base, payload)
+}
+
+// Repack is the analogue of `git repack`: objects are sorted by (path,
+// size) similarity and each is delta'ed against the best candidate in
+// the preceding window, keeping the delta when it beats the compressed
+// full object. Fails with ErrOutOfMemory when the working set estimate
+// exceeds the budget.
+func (g *Git) Repack() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	type cand struct {
+		id   string
+		path string
+		size int64
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	for path, ids := range g.meta.Refs {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				cands = append(cands, cand{id, path, g.meta.Objects[id].Size})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].path != cands[j].path {
+			return cands[i].path < cands[j].path
+		}
+		if cands[i].size != cands[j].size {
+			return cands[i].size < cands[j].size
+		}
+		return cands[i].id < cands[j].id
+	})
+	// memory model: window of raw objects plus suffix overhead on the
+	// largest object
+	var maxSize int64
+	for _, c := range cands {
+		if c.size > maxSize {
+			maxSize = c.size
+		}
+	}
+	if g.opts.MemoryBudget > 0 {
+		need := int64(g.opts.Window+1)*maxSize + memOverheadFactor*maxSize
+		if need > g.opts.MemoryBudget {
+			return ErrOutOfMemory
+		}
+	}
+	depth := map[string]int{}
+	for i, c := range cands {
+		content, err := g.resolve(c.id, 0)
+		if err != nil {
+			return err
+		}
+		fullPacked, err := compress.Compress(compress.LZ, content, compress.Params{})
+		if err != nil {
+			return err
+		}
+		bestPayload := fullPacked
+		bestBase := ""
+		lo := i - g.opts.Window
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			if depth[cands[j].id] >= g.opts.MaxDepth {
+				continue
+			}
+			baseContent, err := g.resolve(cands[j].id, 0)
+			if err != nil {
+				return err
+			}
+			patch := delta.BytesDiff(baseContent, content)
+			packed, err := compress.Compress(compress.LZ, patch, compress.Params{})
+			if err != nil {
+				return err
+			}
+			if len(packed) < len(bestPayload) {
+				bestPayload = packed
+				bestBase = cands[j].id
+			}
+		}
+		obj := g.meta.Objects[c.id]
+		// rewrite the object in place with its new encoding
+		if err := os.WriteFile(filepath.Join(g.dir, obj.File), bestPayload, 0o644); err != nil {
+			return err
+		}
+		obj.Base = bestBase
+		if bestBase != "" {
+			depth[c.id] = depth[bestBase] + 1
+		}
+	}
+	return g.save()
+}
+
+// Versions returns the number of committed versions of a file.
+func (g *Git) Versions(path string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.meta.Refs[path])
+}
+
+// DiskBytes returns the repository payload size.
+func (g *Git) DiskBytes() (int64, error) {
+	return dirBytes(filepath.Join(g.dir, "objects"))
+}
+
+func (g *Git) save() error {
+	raw, err := json.Marshal(g.meta)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(g.dir, "meta.json"), raw, 0o644)
+}

@@ -1,0 +1,278 @@
+package vcs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// makeVersions builds a series of similar binary file contents.
+func makeVersions(n, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	cur := make([]byte, size)
+	rng.Read(cur)
+	out := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		out[v] = append([]byte(nil), cur...)
+		// mutate ~1% of bytes
+		for k := 0; k < size/100+1; k++ {
+			cur[rng.Intn(size)] = byte(rng.Intn(256))
+		}
+	}
+	return out
+}
+
+func TestSVNCommitCheckoutRoundtrip(t *testing.T) {
+	s, err := NewSVN(t.TempDir(), SVNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := makeVersions(9, 4096, 1)
+	for i, v := range versions {
+		r, err := s.Commit("file.dat", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != i {
+			t.Fatalf("revision %d, want %d", r, i)
+		}
+	}
+	for i, want := range versions {
+		got, err := s.Checkout("file.dat", i)
+		if err != nil {
+			t.Fatalf("rev %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rev %d content mismatch", i)
+		}
+	}
+	if s.Revisions("file.dat") != 9 {
+		t.Fatal("revision count wrong")
+	}
+	if _, err := s.Checkout("file.dat", 99); err == nil {
+		t.Error("missing revision accepted")
+	}
+	if _, err := s.Checkout("nope", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSVNSkipDeltaBases(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 0, 3: 2, 4: 0, 5: 4, 6: 4, 7: 6, 8: 0, 12: 8}
+	for r, want := range cases {
+		if got := skipDeltaBase(r); got != want {
+			t.Errorf("skipDeltaBase(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestSVNDeltasCompressSimilarVersions(t *testing.T) {
+	s, err := NewSVN(t.TempDir(), SVNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := makeVersions(8, 1<<15, 2)
+	for _, v := range versions {
+		if _, err := s.Commit("a.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := int64(8 * (1 << 15))
+	if size >= raw/2 {
+		t.Fatalf("svn used %d bytes for %d raw bytes; deltas ineffective", size, raw)
+	}
+}
+
+func TestSVNMaxDeltaBytesDisablesDeltification(t *testing.T) {
+	// the OSM regime: files above the deltification cap are stored
+	// fulltext, so the repo is as large as the raw data
+	s, err := NewSVN(t.TempDir(), SVNOptions{MaxDeltaBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := makeVersions(4, 1<<14, 3)
+	for _, v := range versions {
+		if _, err := s.Commit("big.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, _ := s.DiskBytes()
+	if size < int64(4*(1<<14)) {
+		t.Fatalf("capped svn used %d bytes; expected >= raw %d", size, 4*(1<<14))
+	}
+	// content still correct
+	got, err := s.Checkout("big.dat", 3)
+	if err != nil || !bytes.Equal(got, versions[3]) {
+		t.Fatal("capped svn corrupted content")
+	}
+}
+
+func TestSVNPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewSVN(dir, SVNOptions{})
+	versions := makeVersions(3, 2048, 4)
+	for _, v := range versions {
+		if _, err := s.Commit("p.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := NewSVN(dir, SVNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Checkout("p.dat", 2)
+	if err != nil || !bytes.Equal(got, versions[2]) {
+		t.Fatal("svn reopen broke content")
+	}
+}
+
+func TestGitCommitCheckoutRoundtrip(t *testing.T) {
+	g, err := NewGit(t.TempDir(), GitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := makeVersions(6, 4096, 5)
+	for _, v := range versions {
+		if _, err := g.Commit("file.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range versions {
+		got, err := g.Checkout("file.dat", i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("version %d mismatch: %v", i, err)
+		}
+	}
+	if g.Versions("file.dat") != 6 {
+		t.Fatal("version count wrong")
+	}
+	if _, err := g.Checkout("file.dat", 99); err == nil {
+		t.Error("missing version accepted")
+	}
+}
+
+func TestGitRepackShrinksAndPreservesContent(t *testing.T) {
+	g, err := NewGit(t.TempDir(), GitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := makeVersions(8, 1<<15, 6)
+	for _, v := range versions {
+		if _, err := g.Commit("r.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := g.DiskBytes()
+	if err := g.Repack(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := g.DiskBytes()
+	if after >= before {
+		t.Fatalf("repack did not shrink: %d -> %d", before, after)
+	}
+	for i, want := range versions {
+		got, err := g.Checkout("r.dat", i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("version %d broken after repack: %v", i, err)
+		}
+	}
+}
+
+func TestGitOutOfMemory(t *testing.T) {
+	// the OSM regime: objects larger than the memory budget kill the
+	// import (the paper: "Git ran out of memory on our test machine")
+	g, err := NewGit(t.TempDir(), GitOptions{MemoryBudget: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<14)
+	if _, err := g.Commit("huge.dat", big); err != ErrOutOfMemory {
+		t.Fatalf("commit of huge object returned %v, want ErrOutOfMemory", err)
+	}
+	// repack-level OOM: commits fit but the window working set does not
+	g2, err := NewGit(t.TempDir(), GitOptions{MemoryBudget: 1 << 15, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range makeVersions(3, 1<<13, 7) {
+		if _, err := g2.Commit("t.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g2.Repack(); err != ErrOutOfMemory {
+		t.Fatalf("repack returned %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestGitContentAddressingDeduplicates(t *testing.T) {
+	g, err := NewGit(t.TempDir(), GitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("identical payload")
+	id1, err := g.Commit("a.dat", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := g.Commit("b.dat", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("identical contents got different object ids")
+	}
+}
+
+func TestGitPersistence(t *testing.T) {
+	dir := t.TempDir()
+	g, _ := NewGit(dir, GitOptions{})
+	versions := makeVersions(3, 2048, 8)
+	for _, v := range versions {
+		if _, err := g.Commit("p.dat", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Repack(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGit(dir, GitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g2.Checkout("p.dat", 1)
+	if err != nil || !bytes.Equal(got, versions[1]) {
+		t.Fatal("git reopen broke content")
+	}
+}
+
+func TestGitMultiFileRepack(t *testing.T) {
+	g, err := NewGit(t.TempDir(), GitOptions{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := makeVersions(4, 4096, 9)
+	fb := makeVersions(4, 4096, 10)
+	for i := 0; i < 4; i++ {
+		if _, err := g.Commit("a.dat", fa[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Commit("b.dat", fb[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Repack(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got, err := g.Checkout("a.dat", i); err != nil || !bytes.Equal(got, fa[i]) {
+			t.Fatalf("a.dat v%d broken", i)
+		}
+		if got, err := g.Checkout("b.dat", i); err != nil || !bytes.Equal(got, fb[i]) {
+			t.Fatalf("b.dat v%d broken", i)
+		}
+	}
+}

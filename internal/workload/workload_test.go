@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestHeadBias(t *testing.T) {
+	ops := Head(20, 1000, 1)
+	headHits := 0
+	for _, op := range ops {
+		if op.Kind != SelectOne || len(op.Versions) != 1 {
+			t.Fatal("head workload must be single selects")
+		}
+		v := op.Versions[0]
+		if v < 1 || v > 20 {
+			t.Fatalf("version %d out of range", v)
+		}
+		if v == 20 {
+			headHits++
+		}
+	}
+	// ~90% (+ 1/20 of the random 10%)
+	if headHits < 850 || headHits > 970 {
+		t.Fatalf("head hit %d/1000 times, expected ~905", headHits)
+	}
+}
+
+func TestRandomUniform(t *testing.T) {
+	ops := Random(10, 5000, 2)
+	counts := make([]int, 11)
+	for _, op := range ops {
+		counts[op.Versions[0]]++
+	}
+	for v := 1; v <= 10; v++ {
+		if counts[v] < 300 || counts[v] > 700 {
+			t.Fatalf("version %d selected %d/5000 times, expected ~500", v, counts[v])
+		}
+	}
+}
+
+func TestRangeShape(t *testing.T) {
+	ops := Range(100, 500, 3)
+	singles, ranges := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case SelectOne:
+			singles++
+		case SelectRange:
+			ranges++
+			vs := op.Versions
+			if len(vs) < 2 {
+				t.Fatal("range query with <2 versions")
+			}
+			for i := 1; i < len(vs); i++ {
+				if vs[i] != vs[i-1]+1 {
+					t.Fatal("range not contiguous")
+				}
+			}
+			if vs[len(vs)-1] > 100 || vs[0] < 1 {
+				t.Fatal("range out of bounds")
+			}
+		default:
+			t.Fatal("unexpected op kind")
+		}
+	}
+	frac := float64(singles) / float64(singles+ranges)
+	if frac < 0.04 || frac > 0.20 {
+		t.Fatalf("single fraction %.2f, expected ~0.10", frac)
+	}
+}
+
+func TestMixedComposition(t *testing.T) {
+	ops := Mixed(50, 300, 4)
+	if len(ops) != 300 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	kinds := map[Kind]int{}
+	for _, op := range ops {
+		kinds[op.Kind]++
+	}
+	if kinds[SelectOne] == 0 || kinds[SelectRange] == 0 {
+		t.Fatalf("mixed workload missing kinds: %v", kinds)
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	ops := Updates(7, 5, 5)
+	if len(ops) != 5 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != Update || len(op.Versions) != 1 {
+			t.Fatal("bad update op")
+		}
+		if op.Versions[0] < 1 || op.Versions[0] > 7 {
+			t.Fatal("update version out of range")
+		}
+	}
+}
+
+func TestOverlappingRanges(t *testing.T) {
+	// width 10, overlap 4 → starts at 1, 7, 13, ...
+	ops := OverlappingRanges(22, 10, 4)
+	if len(ops) != 3 {
+		t.Fatalf("%d ranges: %v", len(ops), ops)
+	}
+	if ops[0].Versions[0] != 1 || ops[1].Versions[0] != 7 || ops[2].Versions[0] != 13 {
+		t.Fatalf("range starts wrong: %v", ops)
+	}
+	for _, op := range ops {
+		if len(op.Versions) != 10 {
+			t.Fatalf("range width %d", len(op.Versions))
+		}
+	}
+	// consecutive ranges share exactly 4 versions
+	shared := 0
+	in := map[int]bool{}
+	for _, v := range ops[0].Versions {
+		in[v] = true
+	}
+	for _, v := range ops[1].Versions {
+		if in[v] {
+			shared++
+		}
+	}
+	if shared != 4 {
+		t.Fatalf("overlap = %d, want 4", shared)
+	}
+}
+
+func TestToQueries(t *testing.T) {
+	ops := []Op{
+		{Kind: SelectOne, Versions: []int{3}},
+		{Kind: SelectOne, Versions: []int{3}},
+		{Kind: SelectRange, Versions: []int{1, 2}},
+		{Kind: Update, Versions: []int{4}},
+	}
+	qs := ToQueries(ops)
+	if len(qs) != 2 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	total := 0.0
+	for _, q := range qs {
+		total += q.Weight
+		if len(q.Versions) == 1 && q.Versions[0] == 3 && q.Weight != 2 {
+			t.Fatalf("snapshot weight %v", q.Weight)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("total weight %v (updates must be excluded)", total)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Mixed(30, 50, 9)
+	b := Mixed(30, 50, 9)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || len(a[i].Versions) != len(b[i].Versions) {
+			t.Fatal("nondeterministic workload")
+		}
+	}
+}
