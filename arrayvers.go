@@ -41,11 +41,27 @@ import (
 // five basic operations — create array, delete array, create version,
 // delete version, query version — plus Branch, Merge, four Select forms,
 // metadata queries, and background reorganization.
+//
+// A Store is safe for concurrent use: selects snapshot metadata and
+// decode chunks without serializing on the store lock, fan per-chunk
+// work out on a bounded worker pool (Options.Parallelism), and share a
+// store-wide LRU of reconstructed chunks (Options.CacheBytes) so
+// repeated and overlapping version reads skip the delta-chain walk. See
+// DESIGN.md's "Concurrency & caching" section.
 type Store = core.Store
 
 // Options configures a Store (chunk size, compression codec, delta
-// method, automatic delta-ing, chain co-location).
+// method, automatic delta-ing, chain co-location, hot-path parallelism,
+// and the decoded-chunk cache budget).
 type Options = core.Options
+
+// DefaultCacheBytes is a reasonable Options.CacheBytes budget for
+// interactive workloads. The cache is off in DefaultOptions so that I/O
+// accounting matches the paper's experiments; opt in with:
+//
+//	opts := arrayvers.DefaultOptions()
+//	opts.CacheBytes = arrayvers.DefaultCacheBytes
+const DefaultCacheBytes = core.DefaultCacheBytes
 
 // Open creates or reopens a store rooted at a directory.
 func Open(dir string, opts Options) (*Store, error) { return core.Open(dir, opts) }

@@ -9,6 +9,7 @@ package arrayvers_test
 import (
 	"testing"
 
+	"arrayvers"
 	"arrayvers/internal/bench"
 )
 
@@ -82,4 +83,66 @@ func BenchmarkWorkloadAwareLayout(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// selectMultiChainStore builds the hot-path delta chain once per
+// benchmark configuration; the returned ids select every version. The
+// workload has the same shape as avbench's hotpath experiment (both use
+// bench.HotPathSeries) but a different array size and seed, so compare
+// ns/op within each harness, not across them.
+func selectMultiChainStore(b *testing.B, parallelism int, cacheBytes int64) (*arrayvers.Store, []int) {
+	b.Helper()
+	opts := arrayvers.DefaultOptions()
+	opts.ChunkBytes = 32 << 10
+	opts.Parallelism = parallelism
+	opts.CacheBytes = cacheBytes
+	s, err := arrayvers.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const side = 128
+	schema := arrayvers.Schema{
+		Name:  "Chain",
+		Dims:  []arrayvers.Dimension{{Name: "Y", Lo: 0, Hi: side - 1}, {Name: "X", Lo: 0, Hi: side - 1}},
+		Attrs: []arrayvers.Attribute{{Name: "V", Type: arrayvers.Int32}},
+	}
+	if err := s.CreateArray(schema); err != nil {
+		b.Fatal(err)
+	}
+	var ids []int
+	for _, v := range bench.HotPathSeries(side, 9) {
+		id, err := s.Insert("Chain", arrayvers.DensePayload(v))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return s, ids
+}
+
+func benchmarkSelectMultiChain(b *testing.B, parallelism int, cacheBytes int64) {
+	s, ids := selectMultiChainStore(b, parallelism, cacheBytes)
+	d, err := s.SelectMulti("Chain", ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(d.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SelectMulti("Chain", ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectMultiChainSerialNoCache is the seed behavior: one
+// serial chain walk per query, nothing reused across queries.
+func BenchmarkSelectMultiChainSerialNoCache(b *testing.B) {
+	benchmarkSelectMultiChain(b, 1, 0)
+}
+
+// BenchmarkSelectMultiChainParallelCached runs the same stacked select
+// with the worker pool at GOMAXPROCS and the decoded-chunk cache on.
+func BenchmarkSelectMultiChainParallelCached(b *testing.B) {
+	benchmarkSelectMultiChain(b, 0, arrayvers.DefaultCacheBytes)
 }

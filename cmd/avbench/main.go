@@ -1,27 +1,38 @@
 // Command avbench regenerates the paper's evaluation tables (§V) on the
-// synthetic dataset substitutes at laptop scale.
+// synthetic dataset substitutes at laptop scale, plus this repo's own
+// hot-path experiment.
 //
 // Usage:
 //
-//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload]
+//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath]
 //	        [-scale default|quick] [-workdir DIR]
+//	        [-parallelism N] [-cache-bytes N] [-json-dir DIR]
 //
 // Each experiment prints a table mirroring the paper's rows; see
-// EXPERIMENTS.md for the paper-vs-measured comparison.
+// EXPERIMENTS.md for the paper-vs-measured comparison. The hotpath
+// experiment additionally writes BENCH_hotpath.json (ns/op, MB/s, cache
+// hit rate) into -json-dir so the perf trajectory is machine-trackable
+// across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"arrayvers/internal/bench"
+	"arrayvers/internal/core"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, or ablations")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, or hotpath")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
+	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cacheBytes := flag.Int64("cache-bytes", core.DefaultCacheBytes, "decoded-chunk cache budget in bytes (0 disables)")
+	jsonDir := flag.String("json-dir", ".", "directory for machine-readable BENCH_*.json results (empty disables)")
 	flag.Parse()
 
 	var sc bench.Scale
@@ -45,8 +56,20 @@ func main() {
 		defer os.RemoveAll(dir)
 	}
 
+	hotpath := func() {
+		t, results, err := bench.HotPath(dir, sc, *parallelism, *cacheBytes)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_hotpath.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
+		case "hotpath":
+			hotpath()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -104,9 +127,23 @@ func main() {
 		emit(tw, err)
 		ta, err := bench.Ablations(dir, sc)
 		emit(ta, err)
+		hotpath()
 		return
 	}
 	run(*experiment)
+}
+
+// writeJSON atomically replaces path with the indented JSON encoding of v.
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func emit(t bench.Table, err error) {

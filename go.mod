@@ -1,0 +1,3 @@
+module arrayvers
+
+go 1.22

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+// The hot-path experiment measures the select/insert fast paths this
+// repo adds on top of the paper: the bounded worker pool and the
+// store-wide decoded-chunk cache. It stacks a long delta chain with
+// SelectMulti — the paper's worst case (Fig. 2: "a chain of versions
+// must be accessed") — under a serial/uncached baseline and a
+// parallel/cached configuration, and reports machine-readable numbers so
+// the perf trajectory is trackable across PRs.
+
+// HotPathResult is one configuration's measurement, serialized into
+// BENCH_hotpath.json by cmd/avbench.
+type HotPathResult struct {
+	Name          string  `json:"name"`
+	Versions      int     `json:"versions"`
+	ChainChunks   int64   `json:"chain_chunks"`
+	Parallelism   int     `json:"parallelism"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	InsertNsPerOp int64   `json:"insert_ns_per_op"`
+	ColdNsPerOp   int64   `json:"cold_select_ns_per_op"`
+	WarmNsPerOp   int64   `json:"warm_select_ns_per_op"`
+	WarmMBPerSec  float64 `json:"warm_mb_per_sec"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// Speedup is this configuration's warm SelectMulti throughput over
+	// the serial/uncached baseline (1.0 for the baseline itself).
+	Speedup float64 `json:"speedup_vs_baseline"`
+}
+
+// HotPathVersions is the delta-chain length: every version after the
+// first is stored as a delta off its predecessor, so a stacked select of
+// all versions exercises the full chain walk.
+const HotPathVersions = 24
+
+// hotPathChunkBytes keeps several chunks per version at bench scale so
+// the worker pool has per-chunk work to fan out.
+const hotPathChunkBytes = 32 << 10
+
+// HotPath runs the hot-path experiment. parallelism and cacheBytes
+// configure the tuned run; the baseline always runs with parallelism 1
+// and the cache disabled (the seed behavior).
+func HotPath(workDir string, sc Scale, parallelism int, cacheBytes int64) (Table, []HotPathResult, error) {
+	side := sc.NOAASide
+	if side < 64 {
+		side = 64
+	}
+	versions := HotPathSeries(side, sc.Seed)
+
+	baseline, err := hotPathConfig(filepath.Join(workDir, "hotpath-serial"), "serial-nocache", versions, 1, 0)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	baseline.Speedup = 1
+	tuned, err := hotPathConfig(filepath.Join(workDir, "hotpath-tuned"), "parallel-cached", versions, parallelism, cacheBytes)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	if tuned.WarmNsPerOp > 0 {
+		tuned.Speedup = float64(baseline.WarmNsPerOp) / float64(tuned.WarmNsPerOp)
+	}
+	results := []HotPathResult{baseline, tuned}
+
+	t := Table{
+		Title:   "Hot path — parallel chunk pipeline + decoded-chunk cache",
+		Columns: []string{"Config", "Par.", "Cache", "Insert/op", "Cold sel.", "Warm sel.", "MB/s", "Hit rate", "Speedup"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Parallelism),
+			fmtBytes(r.CacheBytes),
+			fmtDur(time.Duration(r.InsertNsPerOp)),
+			fmtDur(time.Duration(r.ColdNsPerOp)),
+			fmtDur(time.Duration(r.WarmNsPerOp)),
+			fmt.Sprintf("%.0f", r.WarmMBPerSec),
+			fmt.Sprintf("%.2f", r.CacheHitRate),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("SelectMulti over a %d-version delta chain of %dx%d int32 cells, %s chunks",
+			HotPathVersions, side, side, fmtBytes(hotPathChunkBytes)))
+	return t, results, nil
+}
+
+// HotPathSeries builds the hot-path workload: a smoothly evolving dense
+// series of HotPathVersions versions, the shape that makes every version
+// delta off its predecessor. Exported so the root-level
+// BenchmarkSelectMultiChain* benchmarks measure the exact same workload
+// as the avbench hotpath experiment.
+func HotPathSeries(side, seed int64) []*array.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*array.Dense, HotPathVersions)
+	cur := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < cur.NumCells(); i++ {
+		cur.SetBits(i, int64(rng.Intn(1000)))
+	}
+	for v := range out {
+		out[v] = cur.Clone()
+		for i := int64(0); i < cur.NumCells(); i++ {
+			if rng.Float64() < 0.05 {
+				cur.SetBits(i, cur.Bits(i)+int64(rng.Intn(5)-2))
+			}
+		}
+	}
+	return out
+}
+
+func hotPathConfig(dir, name string, versions []*array.Dense, parallelism int, cacheBytes int64) (HotPathResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return HotPathResult{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = hotPathChunkBytes
+	opts.Parallelism = parallelism
+	opts.CacheBytes = cacheBytes
+	s, err := core.Open(dir, opts)
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	side := versions[0].Shape()[0]
+	sch := array.Schema{
+		Name:  "Chain",
+		Dims:  []array.Dimension{{Name: "Y", Lo: 0, Hi: side - 1}, {Name: "X", Lo: 0, Hi: side - 1}},
+		Attrs: []array.Attribute{{Name: "V", Type: array.Int32}},
+	}
+	if err := s.CreateArray(sch); err != nil {
+		return HotPathResult{}, err
+	}
+	ids := make([]int, len(versions))
+	insertTime, err := timed(func() error {
+		for i, v := range versions {
+			id, err := s.Insert("Chain", core.DensePayload(v))
+			if err != nil {
+				return err
+			}
+			ids[i] = id
+		}
+		return nil
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+
+	res := HotPathResult{
+		Name:          name,
+		Versions:      len(versions),
+		Parallelism:   s.Options().Parallelism, // effective (0 fills to GOMAXPROCS)
+		CacheBytes:    cacheBytes,
+		InsertNsPerOp: insertTime.Nanoseconds() / int64(len(versions)),
+	}
+	info, err := s.Info("Chain")
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	res.ChainChunks = info.NumChunks
+
+	// reopen the store so the cold select really is cold: the inserts
+	// above warm the decoded-chunk cache while sizing delta candidates
+	s, err = core.Open(dir, opts)
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	coldTime, err := timed(func() error {
+		_, err := s.SelectMulti("Chain", ids)
+		return err
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	res.ColdNsPerOp = coldTime.Nanoseconds()
+
+	const iters = 5
+	s.ResetStats()
+	var stacked int64
+	warmTime, err := timed(func() error {
+		for i := 0; i < iters; i++ {
+			d, err := s.SelectMulti("Chain", ids)
+			if err != nil {
+				return err
+			}
+			stacked = d.SizeBytes()
+		}
+		return nil
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	res.WarmNsPerOp = warmTime.Nanoseconds() / iters
+	res.WarmMBPerSec = float64(stacked) * iters / warmTime.Seconds() / (1 << 20)
+	stats := s.Stats()
+	if lookups := stats.CacheHits + stats.CacheMisses; lookups > 0 {
+		res.CacheHitRate = float64(stats.CacheHits) / float64(lookups)
+	}
+	return res, nil
+}

@@ -11,6 +11,7 @@
 package bitpack
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -129,6 +130,12 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Read extracts the next `width`-bit code. It returns an error if the
 // buffer is exhausted.
+//
+// The fast path loads a 64-bit word at the current byte and shifts the
+// code out in one step; it covers every read whose bits fit in the
+// loaded word (always true for byte-aligned widths up to 64, and for any
+// width up to 57 at arbitrary alignment). Only reads within 8 bytes of
+// the buffer end fall back to the bit-by-bit loop.
 func (r *Reader) Read(width int) (uint64, error) {
 	if width == 0 {
 		return 0, nil
@@ -136,6 +143,16 @@ func (r *Reader) Read(width int) (uint64, error) {
 	end := r.pos + uint64(width)
 	if end > uint64(len(r.buf))*8 {
 		return 0, fmt.Errorf("bitpack: read of %d bits at bit %d overruns %d-byte buffer", width, r.pos, len(r.buf))
+	}
+	byteIdx := r.pos >> 3
+	bitIdx := r.pos & 7
+	if int(bitIdx)+width <= 64 && byteIdx+8 <= uint64(len(r.buf)) {
+		u := binary.LittleEndian.Uint64(r.buf[byteIdx:]) >> bitIdx
+		if width < 64 {
+			u &= (1 << uint(width)) - 1
+		}
+		r.pos = end
+		return u, nil
 	}
 	var u uint64
 	got := 0
@@ -173,8 +190,24 @@ func (r *Reader) Remaining() uint64 {
 	return total - r.pos
 }
 
+// byteAligned reports whether width maps each code onto whole bytes, the
+// precondition for the word-at-a-time bulk paths below.
+func byteAligned(width int) bool {
+	return width == 8 || width == 16 || width == 32 || width == 64
+}
+
 // PackSigned packs vs at the given width (which must cover every value).
+// Byte-aligned widths (8/16/32/64) store codes directly as little-endian
+// words, bypassing the bit accumulator entirely.
 func PackSigned(vs []int64, width int) []byte {
+	if byteAligned(width) {
+		buf := make([]byte, PackedLen(len(vs), width))
+		step := width / 8
+		for i, v := range vs {
+			putAligned(buf[i*step:], Zigzag(v), width)
+		}
+		return buf
+	}
 	w := NewWriter()
 	for _, v := range vs {
 		w.WriteSigned(v, width)
@@ -184,20 +217,25 @@ func PackSigned(vs []int64, width int) []byte {
 
 // UnpackSigned extracts n signed values of the given width from buf.
 func UnpackSigned(buf []byte, n, width int) ([]int64, error) {
-	r := NewReader(buf)
 	out := make([]int64, n)
-	for i := range out {
-		v, err := r.ReadSigned(width)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = Unzigzag(u) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// PackUnsigned packs unsigned codes at the given width.
+// PackUnsigned packs unsigned codes at the given width. Byte-aligned
+// widths store codes directly as little-endian words.
 func PackUnsigned(vs []uint64, width int) []byte {
+	if byteAligned(width) {
+		buf := make([]byte, PackedLen(len(vs), width))
+		step := width / 8
+		for i, v := range vs {
+			putAligned(buf[i*step:], v, width)
+		}
+		return buf
+	}
 	w := NewWriter()
 	for _, v := range vs {
 		w.Write(v, width)
@@ -207,14 +245,71 @@ func PackUnsigned(vs []uint64, width int) []byte {
 
 // UnpackUnsigned extracts n unsigned codes of the given width from buf.
 func UnpackUnsigned(buf []byte, n, width int) ([]uint64, error) {
-	r := NewReader(buf)
 	out := make([]uint64, n)
-	for i := range out {
-		v, err := r.Read(width)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = u })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+func putAligned(dst []byte, u uint64, width int) {
+	switch width {
+	case 8:
+		dst[0] = byte(u)
+	case 16:
+		binary.LittleEndian.PutUint16(dst, uint16(u))
+	case 32:
+		binary.LittleEndian.PutUint32(dst, uint32(u))
+	default:
+		binary.LittleEndian.PutUint64(dst, u)
+	}
+}
+
+// unpackBulk streams n width-bit codes from buf into emit. Byte-aligned
+// widths decode word-at-a-time with no bit arithmetic; other widths run
+// the Reader, whose own fast path loads 64-bit windows.
+func unpackBulk(buf []byte, n, width int, emit func(i int, u uint64)) error {
+	if n < 0 || width < 0 || width > 64 {
+		return fmt.Errorf("bitpack: bad unpack of %d values at width %d", n, width)
+	}
+	if need := PackedLen(n, width); need > len(buf) {
+		return fmt.Errorf("bitpack: unpack of %d %d-bit values needs %d bytes, buffer has %d", n, width, need, len(buf))
+	}
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			emit(i, 0)
+		}
+		return nil
+	}
+	if byteAligned(width) {
+		switch width {
+		case 8:
+			for i := 0; i < n; i++ {
+				emit(i, uint64(buf[i]))
+			}
+		case 16:
+			for i := 0; i < n; i++ {
+				emit(i, uint64(binary.LittleEndian.Uint16(buf[2*i:])))
+			}
+		case 32:
+			for i := 0; i < n; i++ {
+				emit(i, uint64(binary.LittleEndian.Uint32(buf[4*i:])))
+			}
+		default:
+			for i := 0; i < n; i++ {
+				emit(i, binary.LittleEndian.Uint64(buf[8*i:]))
+			}
+		}
+		return nil
+	}
+	r := NewReader(buf)
+	for i := 0; i < n; i++ {
+		u, err := r.Read(width)
+		if err != nil {
+			return err
+		}
+		emit(i, u)
+	}
+	return nil
 }

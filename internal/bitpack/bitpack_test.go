@@ -257,3 +257,109 @@ func BenchmarkUnpackSigned(b *testing.B) {
 		}
 	}
 }
+
+// referenceRead is the original bit-by-bit decoder, kept as the oracle
+// for the word-at-a-time fast paths in Reader.Read and unpackBulk.
+func referenceRead(buf []byte, pos uint64, width int) uint64 {
+	var u uint64
+	got := 0
+	for got < width {
+		byteIdx := (pos + uint64(got)) / 8
+		bitIdx := (pos + uint64(got)) % 8
+		avail := 8 - int(bitIdx)
+		take := width - got
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(buf[byteIdx]>>bitIdx) & ((1 << uint(take)) - 1)
+		u |= chunk << uint(got)
+		got += take
+	}
+	return u
+}
+
+func TestReadFastPathMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]byte, 64)
+	rng.Read(buf)
+	// every width at every alignment, including positions near the buffer
+	// end where the fast path must hand off to the slow loop
+	for width := 1; width <= 64; width++ {
+		r := NewReader(buf)
+		pos := uint64(0)
+		for pos+uint64(width) <= uint64(len(buf))*8 {
+			want := referenceRead(buf, pos, width)
+			got, err := r.Read(width)
+			if err != nil {
+				t.Fatalf("width %d pos %d: %v", width, pos, err)
+			}
+			if got != want {
+				t.Fatalf("width %d pos %d: got %x want %x", width, pos, got, want)
+			}
+			pos += uint64(width)
+		}
+	}
+}
+
+func TestReadMixedWidthsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	buf := make([]byte, 256)
+	rng.Read(buf)
+	for trial := 0; trial < 200; trial++ {
+		r := NewReader(buf)
+		pos := uint64(0)
+		for {
+			width := rng.Intn(65)
+			if pos+uint64(width) > uint64(len(buf))*8 {
+				break
+			}
+			want := referenceRead(buf, pos, width)
+			got, err := r.Read(width)
+			if err != nil {
+				t.Fatalf("width %d pos %d: %v", width, pos, err)
+			}
+			if got != want {
+				t.Fatalf("width %d pos %d: got %x want %x", width, pos, got, want)
+			}
+			pos += uint64(width)
+		}
+	}
+}
+
+func TestUnpackBulkShortBuffer(t *testing.T) {
+	for _, width := range []int{3, 8, 16, 32, 64} {
+		buf := PackUnsigned(make([]uint64, 4), width)
+		// ask for more values than the packed bits can hold (width 3 needs
+		// n=6: five 3-bit codes still fit in the padding of 2 bytes)
+		n := 4 + (8+width-1)/width
+		if _, err := UnpackUnsigned(buf, n, width); err == nil {
+			t.Fatalf("width %d: expected short-buffer error", width)
+		}
+	}
+}
+
+func benchmarkUnpackWidth(b *testing.B, width int) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 1<<16)
+	var mask uint64 = math.MaxUint64
+	if width < 64 {
+		mask = (1 << uint(width)) - 1
+	}
+	for i := range vals {
+		vals[i] = rng.Uint64() & mask
+	}
+	buf := PackUnsigned(vals, width)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnpackUnsigned(buf, len(vals), width); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpackWidth7(b *testing.B)  { benchmarkUnpackWidth(b, 7) }
+func BenchmarkUnpackWidth8(b *testing.B)  { benchmarkUnpackWidth(b, 8) }
+func BenchmarkUnpackWidth16(b *testing.B) { benchmarkUnpackWidth(b, 16) }
+func BenchmarkUnpackWidth32(b *testing.B) { benchmarkUnpackWidth(b, 32) }
+func BenchmarkUnpackWidth64(b *testing.B) { benchmarkUnpackWidth(b, 64) }

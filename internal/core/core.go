@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arrayvers/internal/array"
+	"arrayvers/internal/cache"
 	"arrayvers/internal/chunk"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/delta"
@@ -68,7 +71,23 @@ type Options struct {
 	// performance by avoiding very long delta chains". Superseded blobs
 	// dangle until Compact.
 	AutoBatchK int
+	// Parallelism bounds the worker pool the select and insert hot paths
+	// fan chunk work out on (read→decompress→delta-unwind on select,
+	// encode→compress on insert). Zero or negative means GOMAXPROCS; 1
+	// runs fully serial.
+	Parallelism int
+	// CacheBytes bounds the store-wide LRU of reconstructed chunks shared
+	// across queries. Zero disables the cache (every select re-walks its
+	// delta chains, the paper's Fig. 2 behavior); the cache trades memory
+	// for skipping chain walks on repeated and overlapping version reads.
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is a reasonable decoded-chunk cache budget for
+// interactive workloads (opt-in via Options.CacheBytes; the default
+// Options keep the cache off so I/O accounting matches the paper's
+// tables).
+const DefaultCacheBytes = 256 << 20
 
 // DefaultOptions mirrors the paper's defaults at full scale.
 func DefaultOptions() Options {
@@ -93,14 +112,33 @@ func (o *Options) fillDefaults() {
 	if o.DeltaCandidates <= 0 {
 		o.DeltaCandidates = 1
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Store is a single-node versioned storage system rooted at a directory.
+//
+// Locking: mu guards the array map and all version metadata. The select
+// paths hold it only long enough to snapshot one array's metadata (see
+// readView); chunk I/O and delta unwinding then proceed without it, so
+// reads run concurrently with each other and with inserts. Destructive
+// rewrites (Reorganize, Compact, DeleteArray) additionally take the
+// per-array ioMu write latch so they cannot pull chunk files out from
+// under an in-flight reader.
 type Store struct {
 	mu     sync.RWMutex
 	dir    string
 	opts   Options
 	arrays map[string]*arrayState
+	// epochs[name] is bumped whenever an array's on-disk encoding is
+	// invalidated (Reorganize, DeleteVersion, DeleteArray); it is part of
+	// every chunkCache key, so stale in-flight readers can never poison
+	// the cache for the current generation. Guarded by mu.
+	epochs map[string]uint64
+
+	// chunkCache is the store-wide decoded-chunk LRU (nil when disabled).
+	chunkCache *cache.Cache
 
 	statsMu sync.Mutex
 	stats   IOStats
@@ -109,12 +147,24 @@ type Store struct {
 	clock func() time.Time
 }
 
-// IOStats counts storage-level activity since the last Reset.
+// IOStats counts storage-level activity since the last Reset. The cache
+// counters cover the store-wide decoded-chunk LRU: CacheBytes and
+// CacheEntries are current residency, the rest are cumulative.
 type IOStats struct {
 	BytesRead     int64
 	BytesWritten  int64
 	ChunksRead    int64
 	ChunksWritten int64
+
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// CacheRejected counts decoded chunks too large to admit (bigger
+	// than 1/16 of CacheBytes); a climbing value means the budget is too
+	// small for the workload's chunks.
+	CacheRejected int64
+	CacheBytes    int64
+	CacheEntries  int64
 }
 
 // Open creates or reopens a store rooted at dir.
@@ -124,10 +174,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("core: create store dir: %w", err)
 	}
 	s := &Store{
-		dir:    dir,
-		opts:   opts,
-		arrays: make(map[string]*arrayState),
-		clock:  time.Now,
+		dir:        dir,
+		opts:       opts,
+		arrays:     make(map[string]*arrayState),
+		epochs:     make(map[string]uint64),
+		chunkCache: cache.New(opts.CacheBytes),
+		clock:      time.Now,
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -152,18 +204,28 @@ func (s *Store) Options() Options { return s.opts }
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O and cache counters.
 func (s *Store) Stats() IOStats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	out := s.stats
+	s.statsMu.Unlock()
+	cs := s.chunkCache.Stats()
+	out.CacheHits = cs.Hits
+	out.CacheMisses = cs.Misses
+	out.CacheEvictions = cs.Evictions
+	out.CacheRejected = cs.Rejected
+	out.CacheBytes = cs.Bytes
+	out.CacheEntries = cs.Entries
+	return out
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters and the cache's cumulative counters
+// (cache residency is untouched).
 func (s *Store) ResetStats() {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
 	s.stats = IOStats{}
+	s.statsMu.Unlock()
+	s.chunkCache.ResetCounters()
 }
 
 func (s *Store) addRead(bytes int64) {
@@ -222,6 +284,22 @@ type arrayState struct {
 	BranchedFrom *BranchRef     `json:"branchedFrom,omitempty"`
 
 	dir string `json:"-"`
+
+	// ioMu is the chunk-file latch: readers hold it shared for the
+	// duration of their chunk I/O (acquired under Store.mu, released
+	// after the query assembles), destructive rewrites hold it exclusive
+	// while replacing or removing the chunks directory. Appends (Insert)
+	// need no latch: a reader's metadata snapshot only references offsets
+	// written before the snapshot was taken.
+	ioMu sync.RWMutex
+
+	// cachedView memoizes the cloned metadata snapshot between
+	// mutations, so repeated selects pay O(1) for metadata regardless of
+	// version count. Mutators clear it at the top of their critical
+	// section (they hold Store.mu exclusively, so no reader can observe
+	// the window between mutation and clear); readers rebuild and store
+	// it under the read lock.
+	cachedView atomic.Pointer[readView]
 }
 
 func (st *arrayState) version(id int) (*versionMeta, error) {
@@ -325,11 +403,23 @@ func (s *Store) DeleteArray(name string) error {
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
 	}
-	if err := os.RemoveAll(st.dir); err != nil {
+	st.ioMu.Lock()
+	err := os.RemoveAll(st.dir)
+	st.ioMu.Unlock()
+	if err != nil {
 		return err
 	}
 	delete(s.arrays, name)
+	s.invalidateArrayLocked(name)
 	return nil
+}
+
+// invalidateArrayLocked drops the array's cached chunks and bumps its
+// epoch so in-flight readers holding the old generation cannot repopulate
+// the cache with entries the next reader would see. Callers hold mu.
+func (s *Store) invalidateArrayLocked(name string) {
+	s.epochs[name]++
+	s.chunkCache.InvalidateArray(name)
 }
 
 // ListArrays returns the names of all arrays, sorted (the List operation,

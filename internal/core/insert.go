@@ -96,6 +96,7 @@ func (s *Store) insertLocked(name string, p Payload, kind string, extraParents [
 	if !ok {
 		return 0, fmt.Errorf("core: no array %q", name)
 	}
+	st.cachedView.Store(nil)
 	planes, parents, err := s.resolvePayload(st, p)
 	if err != nil {
 		return 0, err
@@ -158,6 +159,15 @@ func (s *Store) maybeBatchReencode(st *arrayState) error {
 		return nil
 	}
 	batch := live[len(live)-k:]
+	// re-encoding existing versions in per-version file mode rewrites
+	// their chunk files in place (os.WriteFile truncates), which would
+	// race in-flight lock-free readers whose snapshots reference those
+	// files; drain and exclude them for the rewrite. Co-located chains
+	// only ever append, so readers are unaffected there.
+	if !s.opts.CoLocate {
+		st.ioMu.Lock()
+		defer st.ioMu.Unlock()
+	}
 	// load batch contents
 	planes := make([][]Plane, k)
 	for i, vm := range batch {
@@ -360,24 +370,37 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 	if err != nil {
 		return nil, err
 	}
-	for _, origin := range ck.All() {
+	// Fan the per-chunk encode+compress+write out on the worker pool.
+	// Chunks are independent: each worker appends to its own chunk's
+	// chain file (or writes its own per-version file), so the only shared
+	// state is the store cache and the I/O counters, both internally
+	// locked. Workers read metadata through an uncloned view — the caller
+	// holds Store.mu exclusively and mutates nothing until encodePlane
+	// returns.
+	v := s.viewLocked(st, false)
+	origins := ck.All()
+	results := make([]chunkEntry, len(origins))
+	keys := make([]string, len(origins))
+	err = forEachLimit(len(origins), s.opts.Parallelism, func(i int) error {
+		origin := origins[i]
 		box := ck.Box(origin)
 		key := ck.Key(origin)
+		keys[i] = key
 		target, err := pl.Dense.Slice(box)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		payload := target.Bytes()
 		entryBase := -1
 		rawDense := true
 		if base > 0 {
-			baseChunk, err := s.resolveDenseChunk(st, base, attr.Name, ck, origin, nil)
+			baseChunk, err := s.resolveDenseChunk(v, base, attr.Name, ck, origin, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			blob, err := delta.Encode(s.opts.DeltaMethod, target, baseChunk)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if len(blob) < len(payload) {
 				payload = blob
@@ -388,13 +411,20 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 		codec := pickCodec(s.opts.Codec, rawDense)
 		sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, sealParams(rawDense, box, attr.Type))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		file, off, err := s.writeBlob(st, id, attr.Name, key, sealed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		entries[key] = chunkEntry{File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: entryBase}
+		results[i] = chunkEntry{File: file, Offset: off, Length: int64(len(sealed)), Codec: uint8(used), Base: entryBase}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, key := range keys {
+		entries[key] = results[i]
 	}
 	return entries, nil
 }
@@ -449,8 +479,7 @@ func (s *Store) Branch(srcName string, srcVersion int, newName string) error {
 		return err
 	}
 	if _, err := s.insertLocked(newName, Payload{Planes: planes}, "branch", nil); err != nil {
-		// roll back the half-created array
-		delete(s.arrays, newName)
+		s.rollbackArrayLocked(newName)
 		return err
 	}
 	return nil
@@ -537,5 +566,6 @@ func (s *Store) rollbackArrayLocked(name string) {
 	if st, ok := s.arrays[name]; ok {
 		_ = removeAllQuiet(st.dir)
 		delete(s.arrays, name)
+		s.invalidateArrayLocked(name)
 	}
 }

@@ -14,6 +14,19 @@ import (
 // co-located chain files where all frames of one chunk across versions
 // are appended to a single file, eliminating seeks when a delta chain is
 // read.
+//
+// Concurrency contract: chunk files are append-only between destructive
+// rewrites, so readBlob may run with no store lock held — a reader's
+// metadata snapshot only references (file, offset, length) triples that
+// were durable before the snapshot, and appends never disturb earlier
+// bytes. writeBlob is called from parallel insert workers; each worker
+// targets a distinct file (chain files are per chunk key, per-version
+// files are per chunk key too), so writers never share a file handle.
+// The exceptions to append-only all hold the array's exclusive I/O
+// latch: Reorganize/Compact/DeleteArray replace or remove files, and —
+// in per-version file mode only — the re-encode paths
+// (maybeBatchReencode, DeleteVersion) rewrite an existing version's
+// files in place via os.WriteFile.
 
 // chainFileName returns the co-located chain file for one (attr, chunk).
 func chainFileName(attr, chunkKey string) string {

@@ -106,6 +106,7 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
 	}
+	st.cachedView.Store(nil)
 	ids, planes, err := s.loadAllPlanes(st)
 	if err != nil {
 		return err
@@ -141,7 +142,14 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 			return err
 		}
 	}
-	return s.rewriteLocked(st, ids, planes, l)
+	if err := s.rewriteLocked(st, ids, planes, l); err != nil {
+		return err
+	}
+	// decoded content is unchanged, but the encoding generation moved on;
+	// drop cached chunks so stale in-flight readers cannot repopulate the
+	// current generation (the epoch in every cache key enforces this)
+	s.invalidateArrayLocked(name)
+	return nil
 }
 
 func (s *Store) layoutForRange(st *arrayState, planes [][]Plane, ids []int, lo, hi int, opts ReorganizeOptions) (layout.Layout, error) {
@@ -338,12 +346,7 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 			}
 		}
 	}
-	// swap in the rewritten chunks and metadata
-	oldDir := filepath.Join(st.dir, "chunks")
-	if err := os.RemoveAll(oldDir); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpDir, oldDir); err != nil {
+	if err := swapChunksDir(st, tmpDir); err != nil {
 		return err
 	}
 	idPos := make(map[int]int, len(ids))
@@ -405,6 +408,14 @@ func (s *Store) DeleteVersion(name string, id int) error {
 	if err != nil {
 		return err
 	}
+	st.cachedView.Store(nil)
+	// the child re-encode below rewrites existing per-version chunk
+	// files in place when CoLocate is off; exclude in-flight readers,
+	// whose snapshots reference those files (chain mode only appends)
+	if !s.opts.CoLocate {
+		st.ioMu.Lock()
+		defer st.ioMu.Unlock()
+	}
 	// re-encode every live chunk that bases on the deleted version
 	for _, child := range st.live() {
 		if child.ID == id {
@@ -426,15 +437,16 @@ func (s *Store) DeleteVersion(name string, id int) error {
 				return err
 			}
 			// choose the deleted version's base as the new base when it
-			// is still live, otherwise materialize
+			// is still live, otherwise materialize; scan every chunk and
+			// take the newest live base so the pick is deterministic
+			// (map iteration order is not)
 			newBase := 0
 			for _, e := range vm.Chunks[attr.Name] {
-				if e.Base >= 0 {
+				if e.Base >= 0 && e.Base > newBase {
 					if _, err := st.version(e.Base); err == nil {
 						newBase = e.Base
 					}
 				}
-				break
 			}
 			entries, err := s.encodePlane(st, child.ID, attr, pl, newBase)
 			if err != nil {
@@ -444,7 +456,25 @@ func (s *Store) DeleteVersion(name string, id int) error {
 		}
 	}
 	vm.Deleted = true
-	return st.save()
+	if err := st.save(); err != nil {
+		return err
+	}
+	// drain in-flight readers before sweeping the cache: a reader that
+	// snapshotted before the delete may otherwise re-insert entries after
+	// the sweep, leaving them resident until eviction pressure finds
+	// them. In per-version file mode the exclusive latch taken above
+	// already drained them.
+	if s.opts.CoLocate {
+		st.ioMu.Lock()
+		st.ioMu.Unlock() //nolint:staticcheck // empty critical section = barrier
+	}
+	// only the deleted version's decoded chunks are invalid — children
+	// were re-encoded above but their decoded content is unchanged, so
+	// the rest of the array's warm cache stays (no epoch bump: version
+	// ids are never reused, and selects reject deleted ids before any
+	// cache lookup)
+	s.chunkCache.InvalidateVersion(name, id)
+	return nil
 }
 
 // Compact rewrites an array's chunk files keeping only payloads
@@ -457,6 +487,7 @@ func (s *Store) Compact(name string) error {
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
 	}
+	st.cachedView.Store(nil)
 	tmpDir := filepath.Join(st.dir, "chunks.tmp")
 	if err := os.RemoveAll(tmpDir); err != nil {
 		return err
@@ -488,6 +519,11 @@ func (s *Store) Compact(name string) error {
 		}
 		return ra.vm.ID < rb.vm.ID
 	})
+	// copy-on-write: inner chunk maps of published versions are shared
+	// with reader snapshots and must never be written in place, so the
+	// relocated entries accumulate in fresh maps that are swapped in at
+	// the end
+	fresh := make(map[*versionMeta]map[string]map[string]chunkEntry)
 	for _, r := range refs {
 		e := r.vm.Chunks[r.attr][r.key]
 		blob, err := s.readBlob(st, e)
@@ -504,14 +540,37 @@ func (s *Store) Compact(name string) error {
 		}
 		e.File = file
 		e.Offset = off
-		r.vm.Chunks[r.attr][r.key] = e
+		byAttr, ok := fresh[r.vm]
+		if !ok {
+			byAttr = make(map[string]map[string]chunkEntry)
+			fresh[r.vm] = byAttr
+		}
+		if byAttr[r.attr] == nil {
+			byAttr[r.attr] = make(map[string]chunkEntry, len(r.vm.Chunks[r.attr]))
+		}
+		byAttr[r.attr][r.key] = e
 	}
-	oldDir := filepath.Join(st.dir, "chunks")
-	if err := os.RemoveAll(oldDir); err != nil {
+	if err := swapChunksDir(st, tmpDir); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpDir, oldDir); err != nil {
-		return err
+	for vm, byAttr := range fresh {
+		for attr, m := range byAttr {
+			vm.Chunks[attr] = m
+		}
 	}
 	return st.save()
+}
+
+// swapChunksDir replaces the array's chunks directory with tmpDir under
+// the exclusive I/O latch, waiting out in-flight readers still decoding
+// against the old files.
+func swapChunksDir(st *arrayState, tmpDir string) error {
+	oldDir := filepath.Join(st.dir, "chunks")
+	st.ioMu.Lock()
+	err := os.RemoveAll(oldDir)
+	if err == nil {
+		err = os.Rename(tmpDir, oldDir)
+	}
+	st.ioMu.Unlock()
+	return err
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"arrayvers/internal/array"
+	"arrayvers/internal/cache"
 	"arrayvers/internal/chunk"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/delta"
@@ -15,6 +16,14 @@ import (
 // decompress, unwind the delta chains, and assemble the result array.
 // Four select primitives are provided: whole version, version region,
 // stacked multi-version, and stacked multi-version region.
+//
+// Concurrency: each public select snapshots the array's metadata under
+// the store lock, then reads and decodes chunks lock-free on a worker
+// pool of Options.Parallelism goroutines (one task per overlapping
+// chunk). Reconstructed chunks are first looked up in the store-wide LRU
+// (Options.CacheBytes); on a miss the delta chain is unwound and every
+// ancestor materialized along the way is inserted, so later queries for
+// nearby versions start from a warm prefix of the chain.
 
 // Select returns the full content of one version's first attribute.
 func (s *Store) Select(name string, id int) (Plane, error) {
@@ -24,13 +33,12 @@ func (s *Store) Select(name string, id int) (Plane, error) {
 // SelectAttr returns the full content of one version's named attribute
 // (empty attr means the first).
 func (s *Store) SelectAttr(name string, id int, attr string) (Plane, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.arrays[name]
-	if !ok {
-		return Plane{}, fmt.Errorf("core: no array %q", name)
+	v, release, err := s.snapshot(name)
+	if err != nil {
+		return Plane{}, err
 	}
-	return s.readPlaneLocked(st, id, s.attrName(st, attr))
+	defer release()
+	return s.readRegionView(v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
 }
 
 // SelectRegion returns the hyper-rectangle box of one version's first
@@ -41,13 +49,12 @@ func (s *Store) SelectRegion(name string, id int, box array.Box) (Plane, error) 
 
 // SelectRegionAttr is SelectRegion for a named attribute.
 func (s *Store) SelectRegionAttr(name string, id int, attr string, box array.Box) (Plane, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.arrays[name]
-	if !ok {
-		return Plane{}, fmt.Errorf("core: no array %q", name)
+	v, release, err := s.snapshot(name)
+	if err != nil {
+		return Plane{}, err
 	}
-	return s.readRegionLocked(st, id, s.attrName(st, attr), box)
+	defer release()
+	return s.readRegionView(v, id, s.attrName(v.st, attr), box, nil)
 }
 
 // SelectMulti returns an (N+1)-dimensional stack of the given dense
@@ -62,23 +69,22 @@ func (s *Store) SelectMulti(name string, ids []int) (*array.Dense, error) {
 // version into a single (N+1)-dimensional array (the fourth select form).
 // A zero box selects the whole array.
 func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array.Dense, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.arrays[name]
-	if !ok {
-		return nil, fmt.Errorf("core: no array %q", name)
+	v, release, err := s.snapshot(name)
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: no versions selected")
 	}
 	if box.NDim() == 0 {
-		box = array.BoxOf(st.Schema.Shape())
+		box = array.BoxOf(v.st.Schema.Shape())
 	}
-	attr := st.Schema.Attrs[0].Name
+	attr := v.st.Schema.Attrs[0].Name
 	slabs := make([]*array.Dense, len(ids))
-	cache := newChunkCache()
+	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionCached(st, id, attr, box, cache)
+		pl, err := s.readRegionView(v, id, attr, box, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -99,23 +105,22 @@ func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array
 // sparse array, preserving the sparse representation (stacking terabyte-
 // scale sparse coordinate spaces densely would be pathological).
 func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*array.Sparse, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st, ok := s.arrays[name]
-	if !ok {
-		return nil, fmt.Errorf("core: no array %q", name)
+	v, release, err := s.snapshot(name)
+	if err != nil {
+		return nil, err
 	}
-	if !st.SparseRep {
+	defer release()
+	if !v.st.SparseRep {
 		return nil, fmt.Errorf("core: array %q is dense; use SelectMulti", name)
 	}
 	if box.NDim() == 0 {
-		box = array.BoxOf(st.Schema.Shape())
+		box = array.BoxOf(v.st.Schema.Shape())
 	}
-	attr := st.Schema.Attrs[0].Name
+	attr := v.st.Schema.Attrs[0].Name
 	out := make([]*array.Sparse, len(ids))
-	cache := newChunkCache()
+	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionCached(st, id, attr, box, cache)
+		pl, err := s.readRegionView(v, id, attr, box, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -134,43 +139,62 @@ func (s *Store) attrName(st *arrayState, attr string) string {
 // chunkCache memoizes reconstructed chunk contents per (chunk key,
 // version) across a multi-version select, so a range query walks each
 // delta chain once rather than once per selected version (the paper's
-// range scans read each chunk chain a single time, Fig. 2).
+// range scans read each chunk chain a single time, Fig. 2) — even when
+// the store-wide cache is disabled or has evicted the chain. The outer
+// map is populated up front by ensure(); after that, workers touch only
+// their own chunk's inner map, so no locking is needed as long as the
+// per-version loop stays serial.
 type chunkCache struct {
 	dense  map[string]map[int]*array.Dense
-	sparse map[int]*array.Sparse
+	sparse map[int]sparseRes
+}
+
+// sparseRes is a resolved sparse version plus whether the object is
+// shared with the store-wide cache (and therefore must be cloned before
+// a caller may mutate it).
+type sparseRes struct {
+	sp     *array.Sparse
+	shared bool
 }
 
 func newChunkCache() *chunkCache {
-	return &chunkCache{dense: map[string]map[int]*array.Dense{}, sparse: map[int]*array.Sparse{}}
+	return &chunkCache{dense: map[string]map[int]*array.Dense{}, sparse: map[int]sparseRes{}}
 }
 
-func (c *chunkCache) forChunk(key string) map[int]*array.Dense {
+// ensure pre-creates the per-chunk maps for the given keys; must be
+// called before chunk workers fan out.
+func (c *chunkCache) ensure(keys []string) {
+	if c == nil {
+		return
+	}
+	for _, k := range keys {
+		if _, ok := c.dense[k]; !ok {
+			c.dense[k] = map[int]*array.Dense{}
+		}
+	}
+}
+
+// chunk returns the per-chunk map created by ensure (nil for a nil
+// cache). Safe to call concurrently: it only reads the outer map.
+func (c *chunkCache) chunk(key string) map[int]*array.Dense {
 	if c == nil {
 		return nil
 	}
-	m, ok := c.dense[key]
-	if !ok {
-		m = map[int]*array.Dense{}
-		c.dense[key] = m
-	}
-	return m
+	return c.dense[key]
 }
 
 // readPlaneLocked reconstructs one full attribute plane of a version.
+// Callers hold Store.mu.
 func (s *Store) readPlaneLocked(st *arrayState, id int, attr string) (Plane, error) {
-	return s.readRegionLocked(st, id, attr, array.BoxOf(st.Schema.Shape()))
+	return s.readRegionView(s.viewLocked(st, false), id, attr, array.BoxOf(st.Schema.Shape()), nil)
 }
 
-// readRegionLocked reconstructs the part of a version's attribute plane
-// covered by box, reading only the overlapping chunks.
-func (s *Store) readRegionLocked(st *arrayState, id int, attr string, box array.Box) (Plane, error) {
-	return s.readRegionCached(st, id, attr, box, nil)
-}
-
-// readRegionCached is readRegionLocked with an optional cross-version
-// chunk cache for multi-version selects.
-func (s *Store) readRegionCached(st *arrayState, id int, attr string, box array.Box, cache *chunkCache) (Plane, error) {
-	if _, err := st.version(id); err != nil {
+// readRegionView reconstructs the part of a version's attribute plane
+// covered by box against a metadata view, reading only the overlapping
+// chunks and fanning the per-chunk work out on the worker pool.
+func (s *Store) readRegionView(v *readView, id int, attr string, box array.Box, qc *chunkCache) (Plane, error) {
+	st := v.st
+	if _, err := v.version(id); err != nil {
 		return Plane{}, err
 	}
 	ai := st.Schema.AttrIndex(attr)
@@ -190,15 +214,20 @@ func (s *Store) readRegionCached(st *arrayState, id int, attr string, box array.
 	}
 	dt := st.Schema.Attrs[ai].Type
 	if st.SparseRep {
-		var spCache map[int]*array.Sparse
-		if cache != nil {
-			spCache = cache.sparse
+		var spCache map[int]sparseRes
+		if qc != nil {
+			spCache = qc.sparse
 		}
-		sp, err := s.resolveSparse(st, id, attr, spCache)
+		sp, shared, err := s.resolveSparse(v, id, attr, spCache)
 		if err != nil {
 			return Plane{}, err
 		}
 		if box.Equal(full) {
+			// an object shared with the store-wide cache must not escape
+			// to callers, who may mutate it; hand out a copy instead
+			if shared {
+				sp = sp.Clone()
+			}
 			return Plane{Sparse: sp}, nil
 		}
 		sub, err := sp.Slice(box)
@@ -215,40 +244,59 @@ func (s *Store) readRegionCached(st *arrayState, id int, attr string, box array.
 	if err != nil {
 		return Plane{}, err
 	}
-	for _, origin := range ck.Overlapping(box) {
-		chunkArr, err := s.resolveDenseChunk(st, id, attr, ck, origin, cache.forChunk(ck.Key(origin)))
+	origins := ck.Overlapping(box)
+	keys := make([]string, len(origins))
+	for i, origin := range origins {
+		keys[i] = ck.Key(origin)
+	}
+	qc.ensure(keys)
+	err = forEachLimit(len(origins), s.opts.Parallelism, func(i int) error {
+		origin := origins[i]
+		chunkArr, err := s.resolveDenseChunk(v, id, attr, ck, origin, qc.chunk(keys[i]))
 		if err != nil {
-			return Plane{}, err
+			return err
 		}
 		cbox := ck.Box(origin)
 		overlap := cbox.Intersect(box)
 		piece, err := chunkArr.Slice(overlap.Translate(cbox.Lo))
 		if err != nil {
-			return Plane{}, err
+			return err
 		}
-		if err := out.WriteRegion(overlap.Translate(box.Lo).Lo, piece); err != nil {
-			return Plane{}, err
-		}
+		// workers write disjoint regions of out, so no locking is needed
+		return out.WriteRegion(overlap.Translate(box.Lo).Lo, piece)
+	})
+	if err != nil {
+		return Plane{}, err
 	}
 	return Plane{Dense: out}, nil
 }
 
 // resolveDenseChunk reconstructs one chunk of one version by unwinding
 // its delta chain: "a chain of versions must be accessed, starting from
-// one that is stored in native form" (§II-B, Fig. 2). cache memoizes
-// chunk contents per version within one walk.
-func (s *Store) resolveDenseChunk(st *arrayState, id int, attr string, ck *chunk.Chunker, origin []int64, cache map[int]*array.Dense) (*array.Dense, error) {
-	if cache == nil {
-		cache = make(map[int]*array.Dense)
+// one that is stored in native form" (§II-B, Fig. 2). local memoizes
+// chunk contents per version within one walk; the store-wide cache is
+// consulted at every link, and every version materialized while the
+// chain unwinds is inserted into it. Cached arrays are shared across
+// queries and must never be mutated.
+func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Chunker, origin []int64, local map[int]*array.Dense) (*array.Dense, error) {
+	if local == nil {
+		local = make(map[int]*array.Dense)
 	}
-	if got, ok := cache[id]; ok {
+	if got, ok := local[id]; ok {
 		return got, nil
 	}
-	vm, err := st.version(id)
+	st := v.st
+	key := ck.Key(origin)
+	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: key}
+	if got, ok := s.chunkCache.Get(ckey); ok {
+		d := got.(*array.Dense)
+		local[id] = d
+		return d, nil
+	}
+	vm, err := v.version(id)
 	if err != nil {
 		return nil, err
 	}
-	key := ck.Key(origin)
 	e, ok := vm.Chunks[attr][key]
 	if !ok {
 		return nil, fmt.Errorf("core: version %d missing chunk %s/%s", id, attr, key)
@@ -271,7 +319,7 @@ func (s *Store) resolveDenseChunk(st *arrayState, id int, attr string, ck *chunk
 			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
 		}
 	} else {
-		baseArr, err := s.resolveDenseChunk(st, e.Base, attr, ck, origin, cache)
+		baseArr, err := s.resolveDenseChunk(v, e.Base, attr, ck, origin, local)
 		if err != nil {
 			return nil, err
 		}
@@ -280,53 +328,67 @@ func (s *Store) resolveDenseChunk(st *arrayState, id int, attr string, ck *chunk
 			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
 		}
 	}
-	cache[id] = out
+	local[id] = out
+	s.chunkCache.Put(ckey, out)
 	return out, nil
 }
 
 // resolveSparse reconstructs a sparse version by unwinding its delta
-// chain.
-func (s *Store) resolveSparse(st *arrayState, id int, attr string, cache map[int]*array.Sparse) (*array.Sparse, error) {
-	if cache == nil {
-		cache = make(map[int]*array.Sparse)
+// chain. As with dense chunks, the store-wide cache is consulted first
+// and populated as the chain unwinds. The returned shared flag reports
+// whether the object is owned by (or visible through) the store-wide
+// cache, in which case it must not be mutated — callers serving it out
+// clone first. Tracking sharedness per object keeps uncached sparse
+// reads clone-free.
+func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sparseRes) (*array.Sparse, bool, error) {
+	if local == nil {
+		local = make(map[int]sparseRes)
 	}
-	if got, ok := cache[id]; ok {
-		return got, nil
+	if got, ok := local[id]; ok {
+		return got.sp, got.shared, nil
 	}
-	vm, err := st.version(id)
+	st := v.st
+	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: "chunk-full"}
+	if got, ok := s.chunkCache.Get(ckey); ok {
+		sp := got.(*array.Sparse)
+		local[id] = sparseRes{sp: sp, shared: true}
+		return sp, true, nil
+	}
+	vm, err := v.version(id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e, ok := vm.Chunks[attr]["chunk-full"]
 	if !ok {
-		return nil, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
+		return nil, false, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
 	}
 	blob, err := s.readBlob(st, e)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	raw, err := unseal(compress.Codec(e.Codec), blob, compress.Params{Elem: 1})
 	if err != nil {
-		return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+		return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 	}
 	var out *array.Sparse
 	if e.Base < 0 {
 		out, err = array.UnmarshalSparse(raw)
 		if err != nil {
-			return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 		}
 	} else {
-		baseArr, err := s.resolveSparse(st, e.Base, attr, cache)
+		baseArr, _, err := s.resolveSparse(v, e.Base, attr, local)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		out, err = delta.ApplySparseOps(raw, baseArr)
 		if err != nil {
-			return nil, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 		}
 	}
-	cache[id] = out
-	return out, nil
+	shared := s.chunkCache.Put(ckey, out)
+	local[id] = sparseRes{sp: out, shared: shared}
+	return out, shared, nil
 }
 
 func removeAllQuiet(dir string) error { return os.RemoveAll(dir) }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// readView is one array's metadata as seen by a single query. The public
+// select paths build a cloned view under Store.mu and then decode chunks
+// against it with no store lock held, so concurrent queries (and inserts)
+// never serialize on metadata access. Internal callers that already hold
+// Store.mu use an uncloned view that delegates straight to the live
+// arrayState.
+//
+// The immutable arrayState fields (dir, Schema, SparseRep, Fill,
+// ChunkSide) are read through the shared pointer; only the mutable
+// version list is cloned.
+type readView struct {
+	st    *arrayState
+	epoch uint64
+	// byID holds cloned live version metadata; nil means "reading under
+	// the store lock, use st directly".
+	byID map[int]*versionMeta
+}
+
+// viewLocked builds a readView for st. Callers hold Store.mu (read or
+// write). With clone set, the live versions' outer chunk maps are copied
+// so the view stays coherent after the lock is released. The inner
+// (chunk key → entry) maps are shared, not copied: every mutator
+// replaces inner maps wholesale rather than writing into published ones,
+// so a snapshot costs O(versions × attrs), independent of chunk count.
+func (s *Store) viewLocked(st *arrayState, clone bool) *readView {
+	v := &readView{st: st, epoch: s.epochs[st.Schema.Name]}
+	if !clone {
+		return v
+	}
+	v.byID = make(map[int]*versionMeta)
+	for _, vm := range st.live() {
+		cp := *vm
+		cp.Chunks = make(map[string]map[string]chunkEntry, len(vm.Chunks))
+		for attr, m := range vm.Chunks {
+			cp.Chunks[attr] = m
+		}
+		v.byID[vm.ID] = &cp
+	}
+	return v
+}
+
+// snapshot takes the store lock briefly to clone the named array's
+// metadata and acquire its I/O read latch, then releases the store lock.
+// The returned release func must be called when the query is done. The
+// latch is acquired while still under Store.mu, which is what makes it
+// race-free: a destructive rewrite needs Store.mu before it can request
+// the exclusive latch, so it can never slip between our snapshot and our
+// latch acquisition.
+//
+// The cloned view is memoized on the arrayState between mutations:
+// views are immutable once built, so concurrent readers share one, and
+// repeated selects skip the clone entirely. A mutator clears the memo
+// at the top of its critical section; since it holds Store.mu
+// exclusively until done, a reader can never store a view that predates
+// a mutation after that mutation's clear.
+func (s *Store) snapshot(name string) (*readView, func(), error) {
+	s.mu.RLock()
+	st, ok := s.arrays[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, nil, fmt.Errorf("core: no array %q", name)
+	}
+	v := st.cachedView.Load()
+	if v == nil || v.epoch != s.epochs[name] {
+		v = s.viewLocked(st, true)
+		st.cachedView.Store(v)
+	}
+	st.ioMu.RLock()
+	s.mu.RUnlock()
+	return v, st.ioMu.RUnlock, nil
+}
+
+func (v *readView) version(id int) (*versionMeta, error) {
+	if v.byID == nil {
+		return v.st.version(id)
+	}
+	if vm, ok := v.byID[id]; ok {
+		return vm, nil
+	}
+	return nil, fmt.Errorf("core: array %q has no version %d", v.st.Schema.Name, id)
+}
+
+// forEachLimit runs fn(0..n-1) on up to `workers` goroutines and returns
+// the first error. Remaining indices are skipped once an error occurs
+// (in-flight calls run to completion). workers <= 1 degenerates to a
+// plain serial loop with zero goroutine overhead.
+func forEachLimit(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
