@@ -24,8 +24,16 @@
 //	id, err := store.Insert("Weather", arrayvers.DensePayload(grid))
 //	plane, err := store.Select("Weather", id)
 //
-// See the examples/ directory for runnable programs and DESIGN.md for the
-// mapping from the paper's sections to packages.
+// The same API is served over the network by the cmd/avstored daemon;
+// the client package mirrors Store method-for-method, so switching a
+// program from embedded to remote is a one-line change:
+//
+//	store := client.New("http://localhost:7421")
+//
+// See the examples/ directory for runnable programs (examples/remote
+// runs one program body against both an embedded store and a daemon)
+// and DESIGN.md for the mapping from the paper's sections to packages
+// plus the service layer's wire format.
 package arrayvers
 
 import (

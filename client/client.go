@@ -1,0 +1,479 @@
+// Package client is the Go client for an avstored daemon: it mirrors
+// the embedded arrayvers.Store API method-for-method (same names, same
+// argument and result types) so a program can switch between linking
+// the store and talking to a shared server by changing one line:
+//
+//	store, err := arrayvers.Open(dir, arrayvers.DefaultOptions())
+//	// becomes
+//	store := client.New("http://localhost:7421")
+//
+// Metadata getters that are infallible on the embedded store (such as
+// ListArrays) necessarily grow an error result here, since every call
+// crosses the network. Control messages travel as JSON; array payloads
+// travel as internal/wire binary frames, decoded back into the same
+// Dense/Sparse/VersionInfo types the embedded API returns.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"arrayvers"
+	"arrayvers/internal/cliutil"
+	"arrayvers/internal/wire"
+)
+
+// frameContentType labels binary frame requests/responses; it must
+// match internal/server.FrameContentType (duplicated to keep the client
+// importable without the server package).
+const frameContentType = "application/x-arrayvers-frame"
+
+// Client talks to one avstored daemon. It is safe for concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	maxFrame int64
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxFrameBytes bounds response frames the client will accept.
+func WithMaxFrameBytes(n int64) Option { return func(c *Client) { c.maxFrame = n } }
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://localhost:7421"). It performs no I/O; use Ping to probe the
+// connection.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:     strings.TrimRight(baseURL, "/"),
+		hc:       &http.Client{},
+		maxFrame: wire.DefaultMaxFrameBytes,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Ping checks the daemon's health endpoint.
+func (c *Client) Ping() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("client: ping: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: ping: server returned %s", resp.Status)
+	}
+	return nil
+}
+
+// --- HTTP plumbing ---
+
+// apiError is a non-2xx response decoded from the server's JSON error
+// body.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// checkStatus converts a non-2xx response into an *apiError.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+	}
+	return &apiError{Status: resp.StatusCode, Message: body.Error}
+}
+
+func (c *Client) do(method, path string, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if err := checkStatus(resp); err != nil {
+		drain(resp)
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.do(http.MethodGet, path, "", nil)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) sendJSON(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	resp, err := c.do(method, path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// --- array lifecycle and metadata ---
+
+// CreateArray initializes a named array with the given schema.
+func (c *Client) CreateArray(schema arrayvers.Schema) error {
+	return c.sendJSON(http.MethodPost, "/v1/arrays", schema, nil)
+}
+
+// DeleteArray removes an array and all of its versions.
+func (c *Client) DeleteArray(name string) error {
+	return c.sendJSON(http.MethodDelete, "/v1/arrays/"+url.PathEscape(name), nil, nil)
+}
+
+// ListArrays returns the names of all arrays, sorted.
+func (c *Client) ListArrays() ([]string, error) {
+	var names []string
+	err := c.getJSON("/v1/arrays", &names)
+	return names, err
+}
+
+// Schema returns the schema of a named array.
+func (c *Client) Schema(name string) (arrayvers.Schema, error) {
+	var schema arrayvers.Schema
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/schema", &schema)
+	return schema, err
+}
+
+// Info returns an array's properties.
+func (c *Client) Info(name string) (arrayvers.ArrayInfo, error) {
+	var info arrayvers.ArrayInfo
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/info", &info)
+	return info, err
+}
+
+// Versions returns the ordered list of all live versions of an array.
+func (c *Client) Versions(name string) ([]arrayvers.VersionInfo, error) {
+	var infos []arrayvers.VersionInfo
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/versions", &infos)
+	return infos, err
+}
+
+// VersionAt returns the ID of the newest version committed at or before t.
+func (c *Client) VersionAt(name string, t time.Time) (int, error) {
+	var out struct {
+		ID int `json:"id"`
+	}
+	path := "/v1/arrays/" + url.PathEscape(name) + "/version-at?time=" +
+		url.QueryEscape(t.Format(time.RFC3339Nano))
+	err := c.getJSON(path, &out)
+	return out.ID, err
+}
+
+// BranchedFrom returns the provenance of a branched array, or nil.
+func (c *Client) BranchedFrom(name string) (*arrayvers.BranchRef, error) {
+	var ref *arrayvers.BranchRef
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/branched-from", &ref)
+	return ref, err
+}
+
+// Verify runs the server-side integrity check of one array.
+func (c *Client) Verify(name string) (arrayvers.VerifyReport, error) {
+	var rep arrayvers.VerifyReport
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/verify", &rep)
+	return rep, err
+}
+
+// Stats returns the server store's I/O and cache counters.
+func (c *Client) Stats() (arrayvers.IOStats, error) {
+	var st arrayvers.IOStats
+	err := c.getJSON("/v1/stats", &st)
+	return st, err
+}
+
+// ResetStats zeroes the server store's counters.
+func (c *Client) ResetStats() error {
+	return c.sendJSON(http.MethodPost, "/v1/stats/reset", nil, nil)
+}
+
+// --- insert and select ---
+
+// Insert adds a new version to the named array and returns its ID. All
+// three payload forms (dense, sparse, delta-list) are supported; the
+// content crosses the wire as one binary frame.
+func (c *Client) Insert(name string, p arrayvers.Payload) (int, error) {
+	var buf bytes.Buffer
+	if err := wire.WritePayload(&buf, p); err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions", frameContentType, &buf)
+	if err != nil {
+		return 0, err
+	}
+	defer drain(resp)
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("client: decode insert response: %w", err)
+	}
+	return out.ID, nil
+}
+
+func (c *Client) selectPlane(name string, query string) (arrayvers.Plane, error) {
+	resp, err := c.do(http.MethodGet, "/v1/arrays/"+url.PathEscape(name)+"/select?"+query, "", nil)
+	if err != nil {
+		return arrayvers.Plane{}, err
+	}
+	defer drain(resp)
+	pl, err := wire.ReadPlane(resp.Body, c.maxFrame)
+	if err != nil {
+		return arrayvers.Plane{}, fmt.Errorf("client: %w", err)
+	}
+	return pl, nil
+}
+
+// Select returns the full content of one version's first attribute.
+func (c *Client) Select(name string, id int) (arrayvers.Plane, error) {
+	return c.selectPlane(name, "version="+strconv.Itoa(id))
+}
+
+// SelectAttr returns the full content of one version's named attribute
+// (empty attr means the first).
+func (c *Client) SelectAttr(name string, id int, attr string) (arrayvers.Plane, error) {
+	return c.selectPlane(name, "version="+strconv.Itoa(id)+"&attr="+url.QueryEscape(attr))
+}
+
+// SelectRegion returns the hyper-rectangle box of one version's first
+// attribute.
+func (c *Client) SelectRegion(name string, id int, box arrayvers.Box) (arrayvers.Plane, error) {
+	return c.selectPlane(name, "version="+strconv.Itoa(id)+"&box="+url.QueryEscape(cliutil.FormatBox(box)))
+}
+
+// SelectRegionAttr is SelectRegion for a named attribute.
+func (c *Client) SelectRegionAttr(name string, id int, attr string, box arrayvers.Box) (arrayvers.Plane, error) {
+	return c.selectPlane(name, "version="+strconv.Itoa(id)+
+		"&attr="+url.QueryEscape(attr)+"&box="+url.QueryEscape(cliutil.FormatBox(box)))
+}
+
+func joinIDs(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SelectMulti returns an (N+1)-dimensional stack of the given dense
+// versions.
+func (c *Client) SelectMulti(name string, ids []int) (*arrayvers.Dense, error) {
+	return c.selectMulti(name, "versions="+joinIDs(ids))
+}
+
+// SelectMultiRegion stacks the given hyper-rectangle of each listed
+// version. A zero box selects the whole array.
+func (c *Client) SelectMultiRegion(name string, ids []int, box arrayvers.Box) (*arrayvers.Dense, error) {
+	query := "versions=" + joinIDs(ids)
+	if box.NDim() > 0 {
+		query += "&box=" + url.QueryEscape(cliutil.FormatBox(box))
+	}
+	return c.selectMulti(name, query)
+}
+
+func (c *Client) selectMulti(name, query string) (*arrayvers.Dense, error) {
+	resp, err := c.do(http.MethodGet, "/v1/arrays/"+url.PathEscape(name)+"/select-multi?"+query, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	d, err := wire.ReadDense(resp.Body, c.maxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return d, nil
+}
+
+// SelectSparseMulti returns the given region of each listed version of
+// a sparse array, preserving the sparse representation. A zero box
+// selects the whole array.
+func (c *Client) SelectSparseMulti(name string, ids []int, box arrayvers.Box) ([]*arrayvers.Sparse, error) {
+	query := "versions=" + joinIDs(ids)
+	if box.NDim() > 0 {
+		query += "&box=" + url.QueryEscape(cliutil.FormatBox(box))
+	}
+	resp, err := c.do(http.MethodGet, "/v1/arrays/"+url.PathEscape(name)+"/select-sparse-multi?"+query, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	set, err := wire.ReadSparseSet(resp.Body, c.maxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return set, nil
+}
+
+// --- branch, merge, reorganize ---
+
+// Branch creates a new named array whose first version is a copy of the
+// given version of an existing array.
+func (c *Client) Branch(srcName string, srcVersion int, newName string) error {
+	body := map[string]any{"version": srcVersion, "newName": newName}
+	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(srcName)+"/branch", body, nil)
+}
+
+// Merge combines two or more parent versions into a new array.
+func (c *Client) Merge(newName string, parents []arrayvers.VersionRef) error {
+	body := map[string]any{"newName": newName, "parents": parents}
+	return c.sendJSON(http.MethodPost, "/v1/merge", body, nil)
+}
+
+// Reorganize re-encodes an array's versions under the chosen layout
+// policy on the server.
+func (c *Client) Reorganize(name string, opts arrayvers.ReorganizeOptions) error {
+	body := map[string]any{
+		"policy": opts.Policy.String(),
+	}
+	if opts.MatrixSample > 0 {
+		body["matrixSample"] = opts.MatrixSample
+	}
+	if opts.BatchK > 0 {
+		body["batchK"] = opts.BatchK
+	}
+	if len(opts.Workload) > 0 {
+		body["workload"] = opts.Workload
+	}
+	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/reorganize", body, nil)
+}
+
+// DeleteVersion marks one version deleted.
+func (c *Client) DeleteVersion(name string, id int) error {
+	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/delete-version",
+		map[string]any{"version": id}, nil)
+}
+
+// Compact rewrites an array's chunk files keeping only live payloads.
+func (c *Client) Compact(name string) error {
+	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/compact", nil, nil)
+}
+
+// --- AQL ---
+
+// Query executes one AQL statement on the server and returns the result
+// in the same shape the embedded Engine produces: array output for
+// SELECT (framed over the wire), names for VERSIONS/LIST, a message
+// otherwise.
+func (c *Client) Query(stmt string) (arrayvers.AQLResult, error) {
+	resp, err := c.do(http.MethodPost, "/v1/aql", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"stmt":%s}`, mustJSON(stmt))))
+	if err != nil {
+		return arrayvers.AQLResult{}, err
+	}
+	defer drain(resp)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), frameContentType) {
+		pl, err := wire.ReadPlane(resp.Body, c.maxFrame)
+		if err != nil {
+			return arrayvers.AQLResult{}, fmt.Errorf("client: %w", err)
+		}
+		return arrayvers.AQLResult{Dense: pl.Dense, Sparse: pl.Sparse}, nil
+	}
+	var out struct {
+		Message string   `json:"message"`
+		Names   []string `json:"names"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return arrayvers.AQLResult{}, fmt.Errorf("client: decode aql response: %w", err)
+	}
+	return arrayvers.AQLResult{Message: out.Message, Names: out.Names}, nil
+}
+
+func mustJSON(v any) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+// Close releases idle connections held by the underlying HTTP client.
+// It mirrors Store.Close so the two APIs stay swappable.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// storeShape is the method set shared verbatim between the embedded
+// store and this client; programs that want to swap the two with one
+// line can depend on it (see examples/remote). The compile-time checks
+// below keep the two APIs from drifting apart.
+type storeShape interface {
+	CreateArray(arrayvers.Schema) error
+	Insert(string, arrayvers.Payload) (int, error)
+	Select(string, int) (arrayvers.Plane, error)
+	SelectAttr(string, int, string) (arrayvers.Plane, error)
+	SelectRegion(string, int, arrayvers.Box) (arrayvers.Plane, error)
+	SelectRegionAttr(string, int, string, arrayvers.Box) (arrayvers.Plane, error)
+	SelectMulti(string, []int) (*arrayvers.Dense, error)
+	SelectMultiRegion(string, []int, arrayvers.Box) (*arrayvers.Dense, error)
+	SelectSparseMulti(string, []int, arrayvers.Box) ([]*arrayvers.Sparse, error)
+	Versions(string) ([]arrayvers.VersionInfo, error)
+	VersionAt(string, time.Time) (int, error)
+	Info(string) (arrayvers.ArrayInfo, error)
+	Schema(string) (arrayvers.Schema, error)
+	BranchedFrom(string) (*arrayvers.BranchRef, error)
+	Branch(string, int, string) error
+	Merge(string, []arrayvers.VersionRef) error
+	Reorganize(string, arrayvers.ReorganizeOptions) error
+	DeleteVersion(string, int) error
+	Compact(string) error
+	Verify(string) (arrayvers.VerifyReport, error)
+	DeleteArray(string) error
+	Close() error
+}
+
+var (
+	_ storeShape = (*arrayvers.Store)(nil)
+	_ storeShape = (*Client)(nil)
+)

@@ -4,15 +4,16 @@
 //
 // Usage:
 //
-//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath]
+//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath|server]
 //	        [-scale default|quick] [-workdir DIR]
 //	        [-parallelism N] [-cache-bytes N] [-json-dir DIR]
 //
 // Each experiment prints a table mirroring the paper's rows; see
-// EXPERIMENTS.md for the paper-vs-measured comparison. The hotpath
-// experiment additionally writes BENCH_hotpath.json (ns/op, MB/s, cache
-// hit rate) into -json-dir so the perf trajectory is machine-trackable
-// across PRs.
+// EXPERIMENTS.md for the paper-vs-measured comparison. The hotpath and
+// server experiments additionally write BENCH_hotpath.json (ns/op,
+// MB/s, cache hit rate) and BENCH_server.json (remote select throughput
+// vs client fan-out) into -json-dir so the perf trajectory is
+// machine-trackable across PRs.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, or hotpath")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, or server")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -66,10 +67,22 @@ func main() {
 		}
 	}
 
+	serverExp := func() {
+		t, results, err := bench.Server(dir, sc, *parallelism, *cacheBytes)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_server.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "hotpath":
 			hotpath()
+		case "server":
+			serverExp()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -128,6 +141,7 @@ func main() {
 		ta, err := bench.Ablations(dir, sc)
 		emit(ta, err)
 		hotpath()
+		serverExp()
 		return
 	}
 	run(*experiment)

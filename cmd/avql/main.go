@@ -19,20 +19,26 @@ import (
 	"strings"
 
 	"arrayvers"
+	"arrayvers/internal/cliutil"
 )
 
 func main() {
 	storeDir := flag.String("store", "", "store directory (required)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "avql: -store is required")
 		os.Exit(2)
 	}
-	store, err := arrayvers.Open(*storeDir, arrayvers.DefaultOptions())
+	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "avql: %v\n", err)
 		os.Exit(1)
 	}
+	defer store.Close()
+	stopSig := cliutil.CleanupOnSignal(func() { store.Close() })
+	defer stopSig()
 	engine := arrayvers.NewEngine(store)
 
 	in := bufio.NewScanner(os.Stdin)
@@ -73,6 +79,7 @@ func main() {
 		res, err := engine.Execute(stmt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			store.Close() // os.Exit skips the deferred cleanup
 			os.Exit(1)
 		}
 		if out := res.String(); out != "" {

@@ -9,11 +9,15 @@
 //	avstore -store DIR select  -name A -version 3 [-box 0,0:16,16] [-out f.dat]
 //	avstore -store DIR versions -name A
 //	avstore -store DIR info    -name A
+//	avstore -store DIR stats             # or: avstore stats -addr http://host:7421
 //	avstore -store DIR list
 //	avstore -store DIR reorganize -name A -policy optimal|algorithm1|algorithm2|linear|head
 //	avstore -store DIR delete-version -name A -version 2
 //	avstore -store DIR verify  -name A
 //	avstore -store DIR drop    -name A
+//
+// The global -cache-bytes and -parallelism flags tune the decoded-chunk
+// cache and the hot-path worker pool for the invocation.
 package main
 
 import (
@@ -24,8 +28,9 @@ import (
 	"strings"
 
 	"arrayvers"
+	"arrayvers/client"
 	"arrayvers/internal/array"
-	"arrayvers/internal/core"
+	"arrayvers/internal/cliutil"
 )
 
 func main() {
@@ -38,16 +43,14 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("avstore", flag.ContinueOnError)
 	storeDir := global.String("store", "", "store directory (required)")
+	cacheBytes := global.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 disables)")
+	parallelism := global.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	rest := global.Args()
-	if *storeDir == "" || len(rest) == 0 {
-		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|list|reorganize|verify|delete-version|drop> [flags]")
-	}
-	store, err := arrayvers.Open(*storeDir, arrayvers.DefaultOptions())
-	if err != nil {
-		return err
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|verify|delete-version|drop> [flags]")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -59,9 +62,33 @@ func run(args []string) error {
 	attrs := fs.String("attrs", "", "attributes, e.g. V:float32")
 	boxSpec := fs.String("box", "", "region, e.g. 0,0:16,16 (lo:hi, hi exclusive)")
 	policy := fs.String("policy", "optimal", "layout policy for reorganize")
+	addr := fs.String("addr", "", "avstored base URL (stats only: query a running daemon instead of a store directory)")
 	if err := fs.Parse(cmdArgs); err != nil {
 		return err
 	}
+
+	// `stats -addr` asks a running daemon, no store directory needed
+	if *addr != "" {
+		if cmd != "stats" {
+			return fmt.Errorf("avstore: -addr is only supported by the stats subcommand")
+		}
+		st, err := client.New(*addr).Stats()
+		if err != nil {
+			return err
+		}
+		cliutil.WriteStats(os.Stdout, st)
+		return nil
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("avstore: -store is required (or use: avstore stats -addr URL)")
+	}
+	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism))
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	stopSig := cliutil.CleanupOnSignal(func() { store.Close() })
+	defer stopSig()
 
 	switch cmd {
 	case "create":
@@ -145,6 +172,13 @@ func run(args []string) error {
 		}
 		fmt.Printf("array %s: %d versions, %s on disk, logical %s/version, %d chunks (side %v), sparse=%v\n",
 			*name, info.NumVersions, human(info.DiskBytes), human(info.LogicalSize), info.NumChunks, info.ChunkSide, info.SparseRep)
+		fmt.Println("store counters (this invocation):")
+		cliutil.WriteStats(os.Stdout, store.Stats())
+	case "stats":
+		// a fresh CLI process has per-process counters: they cover this
+		// invocation only; the -addr form reflects a live daemon workload
+		fmt.Println("store counters (this invocation; use -addr for a running avstored):")
+		cliutil.WriteStats(os.Stdout, store.Stats())
 	case "list":
 		for _, n := range store.ListArrays() {
 			fmt.Println(n)
@@ -231,49 +265,11 @@ func parseSchema(name, dims, attrs string) (arrayvers.Schema, error) {
 	return schema, schema.Validate()
 }
 
-func parseBox(spec string) (arrayvers.Box, error) {
-	halves := strings.Split(spec, ":")
-	if len(halves) != 2 {
-		return arrayvers.Box{}, fmt.Errorf("bad box %q (want lo,lo:hi,hi)", spec)
-	}
-	parse := func(s string) ([]int64, error) {
-		var out []int64
-		for _, p := range strings.Split(s, ",") {
-			v, err := strconv.ParseInt(p, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad box coordinate %q", p)
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	}
-	lo, err := parse(halves[0])
-	if err != nil {
-		return arrayvers.Box{}, err
-	}
-	hi, err := parse(halves[1])
-	if err != nil {
-		return arrayvers.Box{}, err
-	}
-	return arrayvers.NewBox(lo, hi), nil
-}
+// parseBox and parsePolicy delegate to the shared cliutil forms, which
+// the server's query parameters use too.
+func parseBox(spec string) (arrayvers.Box, error) { return cliutil.ParseBox(spec) }
 
-func parsePolicy(s string) (arrayvers.LayoutPolicy, error) {
-	switch s {
-	case "optimal":
-		return core.PolicyOptimal, nil
-	case "algorithm1":
-		return core.PolicyAlgorithm1, nil
-	case "algorithm2":
-		return core.PolicyAlgorithm2, nil
-	case "linear":
-		return core.PolicyLinearChain, nil
-	case "head":
-		return core.PolicyHeadBiased, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
-	}
-}
+func parsePolicy(s string) (arrayvers.LayoutPolicy, error) { return cliutil.ParsePolicy(s) }
 
 func human(b int64) string {
 	switch {

@@ -1,0 +1,107 @@
+// Command avstored is the long-running network daemon over a versioned
+// array store: it owns one store directory exclusively and serves the
+// full store API (create/drop, all insert and select forms, versions,
+// branch/merge, reorganize, verify, stats, AQL) to many concurrent
+// clients over HTTP — JSON for control, binary frames for array data.
+// See the client package for the Go client and DESIGN.md "Service
+// layer" for the protocol.
+//
+// Usage:
+//
+//	avstored -store DIR [-addr localhost:7421]
+//	         [-cache-bytes N] [-parallelism N]
+//	         [-max-inflight N] [-request-timeout 60s] [-max-frame-bytes N]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting connections, drains in-flight requests (up to the request
+// timeout), then closes the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arrayvers/internal/cliutil"
+	"arrayvers/internal/core"
+	"arrayvers/internal/server"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "store directory (required)")
+	addr := flag.String("addr", "localhost:7421", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", core.DefaultCacheBytes, "decoded-chunk cache budget in bytes (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent request limit (excess answered 429)")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler timeout")
+	maxFrameBytes := flag.Int64("max-frame-bytes", 0, "largest accepted wire frame payload (0 = 1 GiB)")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "avstored: -store is required")
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "avstored: ", log.LstdFlags|log.Lmsgprefix)
+	if err := run(*storeDir, *addr, *cacheBytes, *parallelism, *maxInFlight, *requestTimeout, *maxFrameBytes, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(storeDir, addr string, cacheBytes int64, parallelism, maxInFlight int,
+	requestTimeout time.Duration, maxFrameBytes int64, logger *log.Logger) error {
+	store, err := core.Open(storeDir, cliutil.StoreOptions(cacheBytes, parallelism))
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	srv, err := server.New(server.Config{
+		Store:          store,
+		Logger:         logger,
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: requestTimeout,
+		MaxFrameBytes:  maxFrameBytes,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving store %q on http://%s (cache %d bytes, %d in-flight max)",
+			storeDir, addr, cacheBytes, maxInFlight)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// listener failed before any signal
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), requestTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("closing store")
+	return store.Close()
+}

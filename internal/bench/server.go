@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arrayvers/client"
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+	"arrayvers/internal/server"
+)
+
+// The server experiment measures the avstored service layer: remote
+// select throughput through the HTTP + binary-frame wire path as a
+// function of client fan-out, next to the embedded (in-process) select
+// as the zero-overhead baseline. All clients share one store — the
+// central-repository shape the service layer exists for — so higher
+// fan-outs also exercise the worker pool and decoded-chunk cache under
+// concurrent multi-tenant load.
+
+// ServerResult is one configuration's measurement, serialized into
+// BENCH_server.json by cmd/avbench.
+type ServerResult struct {
+	Name      string  `json:"name"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	MBPerSec  float64 `json:"mb_per_sec"`
+	// SpeedupVsOneClient is this run's aggregate request throughput over
+	// the single-remote-client run (1.0 for that run itself, 0 for the
+	// embedded baseline row, which has no wire path).
+	SpeedupVsOneClient float64 `json:"speedup_vs_one_client"`
+}
+
+// serverFanouts are the remote client counts measured.
+var serverFanouts = []int{1, 2, 4, 8}
+
+// Server runs the service-layer experiment: build a delta-chained dense
+// array (the hotpath workload shape), serve it over HTTP, and sweep
+// remote-select fan-outs over one shared server. parallelism and
+// cacheBytes configure the served store (avbench's -parallelism /
+// -cache-bytes flags, as in the hotpath experiment).
+func Server(workDir string, sc Scale, parallelism int, cacheBytes int64) (Table, []ServerResult, error) {
+	side := sc.NOAASide
+	if side < 64 {
+		side = 64
+	}
+	versions := HotPathSeries(side, sc.Seed)
+
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = sc.ChunkBytes
+	opts.Parallelism = parallelism
+	opts.CacheBytes = cacheBytes
+	store, err := core.Open(filepath.Join(workDir, "server-store"), opts)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	defer store.Close()
+	sch := array.Schema{
+		Name:  "Chain",
+		Dims:  []array.Dimension{{Name: "Y", Lo: 0, Hi: side - 1}, {Name: "X", Lo: 0, Hi: side - 1}},
+		Attrs: []array.Attribute{{Name: "V", Type: array.Int32}},
+	}
+	if err := store.CreateArray(sch); err != nil {
+		return Table{}, nil, err
+	}
+	ids := make([]int, len(versions))
+	for i, v := range versions {
+		id, err := store.Insert("Chain", core.DensePayload(v))
+		if err != nil {
+			return Table{}, nil, err
+		}
+		ids[i] = id
+	}
+
+	srv, err := server.New(server.Config{
+		Store:  store,
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return Table{}, nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// fixed total work per run, split across clients, so aggregate
+	// throughput across fan-outs is directly comparable
+	totalRequests := 8 * len(ids)
+
+	var results []ServerResult
+
+	// embedded baseline: the same selects without the wire path
+	embedded, err := runServerConfig("embedded", 1, totalRequests, ids, func(i int) (int64, error) {
+		pl, err := store.Select("Chain", ids[i%len(ids)])
+		if err != nil {
+			return 0, err
+		}
+		return pl.Dense.SizeBytes(), nil
+	})
+	if err != nil {
+		return Table{}, nil, err
+	}
+	results = append(results, embedded)
+
+	var oneClient float64
+	for _, fan := range serverFanouts {
+		clients := make([]*client.Client, fan)
+		for i := range clients {
+			clients[i] = client.New(ts.URL)
+		}
+		r, err := runServerConfig(fmt.Sprintf("remote-%dc", fan), fan, totalRequests, ids, func(i int) (int64, error) {
+			pl, err := clients[i%fan].Select("Chain", ids[i%len(ids)])
+			if err != nil {
+				return 0, err
+			}
+			return pl.Dense.SizeBytes(), nil
+		})
+		if err != nil {
+			return Table{}, nil, err
+		}
+		if fan == 1 {
+			oneClient = r.ReqPerSec
+			r.SpeedupVsOneClient = 1
+		} else if oneClient > 0 {
+			r.SpeedupVsOneClient = r.ReqPerSec / oneClient
+		}
+		results = append(results, r)
+	}
+
+	t := Table{
+		Title:   "Service layer — remote select throughput vs client fan-out",
+		Columns: []string{"Config", "Clients", "Req", "ns/op", "req/s", "MB/s", "Speedup"},
+	}
+	for _, r := range results {
+		speedup := "-"
+		if r.SpeedupVsOneClient > 0 {
+			speedup = fmt.Sprintf("%.1fx", r.SpeedupVsOneClient)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.Clients),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.NsPerOp),
+			fmt.Sprintf("%.0f", r.ReqPerSec),
+			fmt.Sprintf("%.0f", r.MBPerSec),
+			speedup,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("full-version remote selects over a %d-version delta chain of %dx%d int32 cells (%s/response), one shared avstored server",
+			len(ids), side, side, fmtBytes(versions[0].SizeBytes())))
+	return t, results, nil
+}
+
+// runServerConfig fans totalRequests out over `clients` goroutines, each
+// pulling request indices from a shared counter, and aggregates
+// wall-clock throughput.
+func runServerConfig(name string, clients, totalRequests int, ids []int, doReq func(i int) (int64, error)) (ServerResult, error) {
+	var (
+		next     atomic.Int64
+		bytes    atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= totalRequests {
+					return
+				}
+				n, err := doReq(i)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				bytes.Add(n)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ServerResult{}, firstErr
+	}
+	return ServerResult{
+		Name:      name,
+		Clients:   clients,
+		Requests:  totalRequests,
+		NsPerOp:   elapsed.Nanoseconds() / int64(totalRequests),
+		ReqPerSec: float64(totalRequests) / elapsed.Seconds(),
+		MBPerSec:  float64(bytes.Load()) / elapsed.Seconds() / (1 << 20),
+	}, nil
+}

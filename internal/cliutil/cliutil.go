@@ -1,0 +1,148 @@
+// Package cliutil holds the small pieces shared by the avstore, avql,
+// and avstored commands and the server's /metrics handler: building
+// store options from the common -cache-bytes / -parallelism flags,
+// signal-aware cleanup, the text forms of boxes and layout policies, and
+// one canonical rendering of Store.Stats() counters.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+// StoreOptions returns the default store options with the shared
+// -cache-bytes and -parallelism flag values applied.
+func StoreOptions(cacheBytes int64, parallelism int) core.Options {
+	opts := core.DefaultOptions()
+	opts.CacheBytes = cacheBytes
+	opts.Parallelism = parallelism
+	return opts
+}
+
+// CleanupOnSignal runs cleanup and exits (130 on SIGINT, 143 on
+// SIGTERM) when an interrupt arrives, so commands close their store
+// instead of dying mid-operation. The returned stop func deregisters
+// the handler; call it before a normal exit so the cleanup cannot race
+// the caller's own deferred teardown.
+func CleanupOnSignal(cleanup func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			cleanup()
+			code := 130
+			if sig == syscall.SIGTERM {
+				code = 143
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// ParseBox parses the "lo,lo:hi,hi" region syntax shared by the avstore
+// CLI and the select query parameters (hi exclusive).
+func ParseBox(spec string) (array.Box, error) {
+	halves := strings.Split(spec, ":")
+	if len(halves) != 2 {
+		return array.Box{}, fmt.Errorf("bad box %q (want lo,lo:hi,hi)", spec)
+	}
+	parse := func(s string) ([]int64, error) {
+		var out []int64
+		for _, p := range strings.Split(s, ",") {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad box coordinate %q", p)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	lo, err := parse(halves[0])
+	if err != nil {
+		return array.Box{}, err
+	}
+	hi, err := parse(halves[1])
+	if err != nil {
+		return array.Box{}, err
+	}
+	return array.NewBox(lo, hi), nil
+}
+
+// FormatBox renders a box in the syntax ParseBox accepts.
+func FormatBox(b array.Box) string {
+	join := func(vs []int64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.FormatInt(v, 10)
+		}
+		return strings.Join(parts, ",")
+	}
+	return join(b.Lo) + ":" + join(b.Hi)
+}
+
+// ParsePolicy parses a layout policy name as printed by
+// core.LayoutPolicy.String.
+func ParsePolicy(s string) (core.LayoutPolicy, error) {
+	switch s {
+	case "optimal":
+		return core.PolicyOptimal, nil
+	case "algorithm1":
+		return core.PolicyAlgorithm1, nil
+	case "algorithm2":
+		return core.PolicyAlgorithm2, nil
+	case "linear":
+		return core.PolicyLinearChain, nil
+	case "head":
+		return core.PolicyHeadBiased, nil
+	case "workload":
+		return core.PolicyWorkloadAware, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+// Counter is one named Store.Stats() value.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// StatsCounters flattens the I/O and cache counters into an ordered,
+// snake_case list — the one rendering shared by `avstore stats`,
+// `avstore info`, and the avstored /metrics handler.
+func StatsCounters(st core.IOStats) []Counter {
+	return []Counter{
+		{"bytes_read", st.BytesRead},
+		{"bytes_written", st.BytesWritten},
+		{"chunks_read", st.ChunksRead},
+		{"chunks_written", st.ChunksWritten},
+		{"cache_hits", st.CacheHits},
+		{"cache_misses", st.CacheMisses},
+		{"cache_evictions", st.CacheEvictions},
+		{"cache_rejected", st.CacheRejected},
+		{"cache_bytes", st.CacheBytes},
+		{"cache_entries", st.CacheEntries},
+	}
+}
+
+// WriteStats prints the counters one per line.
+func WriteStats(w io.Writer, st core.IOStats) {
+	for _, c := range StatsCounters(st) {
+		fmt.Fprintf(w, "%-16s %d\n", c.Name, c.Value)
+	}
+}

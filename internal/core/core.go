@@ -130,6 +130,7 @@ type Store struct {
 	mu     sync.RWMutex
 	dir    string
 	opts   Options
+	closed bool // set by Close; guarded by mu
 	arrays map[string]*arrayState
 	// epochs[name] is bumped whenever an array's on-disk encoding is
 	// invalidated (Reorganize, DeleteVersion, DeleteArray); it is part of
@@ -200,6 +201,35 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Options returns the store's configuration.
 func (s *Store) Options() Options { return s.opts }
+
+// ErrClosed is returned (wrapped) by operations attempted after Close;
+// match it with errors.Is.
+var ErrClosed = fmt.Errorf("core: store is closed")
+
+// Close shuts the store down: it marks the store closed (subsequent
+// operations fail with a "store is closed" error), then waits for every
+// in-flight query's chunk I/O to drain via the per-array latches. All
+// metadata is durable at the end of each mutation, so Close has nothing
+// to flush; its job is to make teardown deterministic for daemons and
+// signal handlers. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	arrays := make([]*arrayState, 0, len(s.arrays))
+	for _, st := range s.arrays {
+		arrays = append(arrays, st)
+	}
+	s.mu.Unlock()
+	for _, st := range arrays {
+		st.ioMu.Lock()
+		st.ioMu.Unlock()
+	}
+	return nil
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -369,6 +399,9 @@ func (s *Store) CreateArray(schema array.Schema) error {
 }
 
 func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) error {
+	if s.closed {
+		return ErrClosed
+	}
 	if _, ok := s.arrays[schema.Name]; ok {
 		return fmt.Errorf("core: array %q already exists", schema.Name)
 	}
@@ -399,6 +432,9 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 func (s *Store) DeleteArray(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)

@@ -92,6 +92,9 @@ func (s *Store) Insert(name string, p Payload) (int, error) {
 }
 
 func (s *Store) insertLocked(name string, p Payload, kind string, extraParents []int) (int, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		return 0, fmt.Errorf("core: no array %q", name)
@@ -458,6 +461,9 @@ func (s *Store) encodeSparseChunk(st *arrayState, attr string, sp *array.Sparse,
 func (s *Store) Branch(srcName string, srcVersion int, newName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	st, ok := s.arrays[srcName]
 	if !ok {
 		return fmt.Errorf("core: no array %q", srcName)
@@ -510,6 +516,9 @@ type VersionRef struct {
 func (s *Store) Merge(newName string, parents []VersionRef) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if len(parents) < 2 {
 		return fmt.Errorf("core: merge requires at least two parent versions")
 	}

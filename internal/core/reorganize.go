@@ -102,6 +102,9 @@ func (s *Store) ComputeLayout(name string, opts ReorganizeOptions) (layout.Layou
 func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
@@ -400,6 +403,9 @@ func appendTo(path string, blob []byte) (int64, error) {
 func (s *Store) DeleteVersion(name string, id int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
@@ -483,6 +489,9 @@ func (s *Store) DeleteVersion(name string, id int) error {
 func (s *Store) Compact(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)

@@ -63,6 +63,10 @@ func (s *Store) viewLocked(st *arrayState, clone bool) *readView {
 // a mutation after that mutation's clear.
 func (s *Store) snapshot(name string) (*readView, func(), error) {
 	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
 	st, ok := s.arrays[name]
 	if !ok {
 		s.mu.RUnlock()

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"arrayvers/internal/cliutil"
+	"arrayvers/internal/core"
+)
+
+// metrics tracks per-route request counters and a request latency
+// histogram, rendered in Prometheus text exposition format by the
+// /metrics handler next to the store's own Stats() counters.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]int64
+	buckets  []int64 // one per latencyBuckets entry, plus +Inf at the end
+	count    int64
+	sum      float64 // seconds
+
+	inFlight atomic.Int64
+	rejected atomic.Int64 // 429s from the in-flight semaphore
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]int64),
+		buckets:  make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// countOnly records a request in the per-route counters without a
+// latency observation — used for shed (429) requests, which would
+// otherwise flood the histogram with zero-duration samples exactly when
+// the latency numbers matter most.
+func (m *metrics) countOnly(route string, code int) {
+	m.mu.Lock()
+	m.requests[routeCode{route, code}]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	m.count++
+	m.sum += seconds
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			m.buckets[i]++
+			return
+		}
+	}
+	m.buckets[len(latencyBuckets)]++
+}
+
+// write renders the Prometheus text format: request counters, the
+// latency histogram, gauges, and the store's I/O and cache counters.
+func (m *metrics) write(w io.Writer, stats core.IOStats) {
+	m.mu.Lock()
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP avstored_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE avstored_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "avstored_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+	fmt.Fprintf(w, "# HELP avstored_request_duration_seconds Request latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE avstored_request_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range latencyBuckets {
+		cum += m.buckets[i]
+		fmt.Fprintf(w, "avstored_request_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "avstored_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "avstored_request_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(w, "avstored_request_duration_seconds_count %d\n", m.count)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP avstored_requests_in_flight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE avstored_requests_in_flight gauge\n")
+	fmt.Fprintf(w, "avstored_requests_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "# HELP avstored_requests_rejected_total Requests rejected with 429 by the in-flight limit.\n")
+	fmt.Fprintf(w, "# TYPE avstored_requests_rejected_total counter\n")
+	fmt.Fprintf(w, "avstored_requests_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprintf(w, "# HELP avstored_store Store I/O and decoded-chunk cache counters (Store.Stats()).\n")
+	for _, c := range cliutil.StatsCounters(stats) {
+		fmt.Fprintf(w, "avstored_store_%s %d\n", c.Name, c.Value)
+	}
+}

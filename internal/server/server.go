@@ -1,0 +1,613 @@
+// Package server implements the avstored network service layer: an HTTP
+// front end that exposes the full versioned-store API of internal/core to
+// remote clients, multiplexing concurrent requests onto one shared
+// *core.Store (and so onto its worker pool and decoded-chunk cache).
+//
+// Control messages are JSON; array payloads travel as internal/wire
+// binary frames so dense data never round-trips through base64. The
+// server adds the production scaffolding an embedded library does not
+// need: a bounded in-flight-request semaphore answering 429 beyond the
+// limit, per-request timeouts, request logging, and a /metrics endpoint
+// in Prometheus text format surfacing Store.Stats() plus request
+// counters and a latency histogram. See DESIGN.md "Service layer" for
+// the route table and wire format.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"arrayvers/internal/aql"
+	"arrayvers/internal/array"
+	"arrayvers/internal/cliutil"
+	"arrayvers/internal/core"
+	"arrayvers/internal/layout"
+	"arrayvers/internal/wire"
+)
+
+// FrameContentType labels binary frame responses and requests.
+const FrameContentType = "application/x-arrayvers-frame"
+
+// Defaults for the zero Config fields.
+const (
+	DefaultMaxInFlight    = 64
+	DefaultRequestTimeout = 60 * time.Second
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the one store the server owns and serves. Required.
+	Store *core.Store
+	// Logger receives one line per request; nil uses log.Default().
+	Logger *log.Logger
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are rejected with 429 (backpressure, not queueing). 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// RequestTimeout bounds each request's handler; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxFrameBytes bounds incoming wire frames; 0 means
+	// wire.DefaultMaxFrameBytes.
+	MaxFrameBytes int64
+}
+
+// Server is the HTTP service over one store.
+type Server struct {
+	store    *core.Store
+	engine   *aql.Engine
+	logger   *log.Logger
+	sem      chan struct{}
+	timeout  time.Duration
+	maxFrame int64
+	metrics  *metrics
+	handler  http.Handler
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	s := &Server{
+		store:    cfg.Store,
+		engine:   aql.NewEngine(cfg.Store),
+		logger:   cfg.Logger,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		timeout:  cfg.RequestTimeout,
+		maxFrame: cfg.MaxFrameBytes,
+		metrics:  newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /v1/stats", "stats", s.handleStats)
+	s.route(mux, "POST /v1/stats/reset", "stats-reset", s.handleStatsReset)
+	s.route(mux, "GET /v1/arrays", "list", s.handleList)
+	s.route(mux, "POST /v1/arrays", "create", s.handleCreate)
+	s.route(mux, "DELETE /v1/arrays/{name}", "drop", s.handleDrop)
+	s.route(mux, "GET /v1/arrays/{name}/info", "info", s.handleInfo)
+	s.route(mux, "GET /v1/arrays/{name}/schema", "schema", s.handleSchema)
+	s.route(mux, "GET /v1/arrays/{name}/versions", "versions", s.handleVersions)
+	s.route(mux, "GET /v1/arrays/{name}/version-at", "version-at", s.handleVersionAt)
+	s.route(mux, "GET /v1/arrays/{name}/branched-from", "branched-from", s.handleBranchedFrom)
+	s.route(mux, "GET /v1/arrays/{name}/verify", "verify", s.handleVerify)
+	s.route(mux, "POST /v1/arrays/{name}/versions", "insert", s.handleInsert)
+	s.routeStream(mux, "GET /v1/arrays/{name}/select", "select", s.handleSelect)
+	s.routeStream(mux, "GET /v1/arrays/{name}/select-multi", "select-multi", s.handleSelectMulti)
+	s.routeStream(mux, "GET /v1/arrays/{name}/select-sparse-multi", "select-sparse-multi", s.handleSelectSparseMulti)
+	s.route(mux, "POST /v1/arrays/{name}/branch", "branch", s.handleBranch)
+	s.route(mux, "POST /v1/arrays/{name}/reorganize", "reorganize", s.handleReorganize)
+	s.route(mux, "POST /v1/arrays/{name}/delete-version", "delete-version", s.handleDeleteVersion)
+	s.route(mux, "POST /v1/arrays/{name}/compact", "compact", s.handleCompact)
+	s.route(mux, "POST /v1/merge", "merge", s.handleMerge)
+	s.routeStream(mux, "POST /v1/aql", "aql", s.handleAQL)
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the fully middleware-wrapped handler, ready for an
+// http.Server (or httptest).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// route registers one instrumented route: in-flight semaphore (429 when
+// full), per-request timeout, then counters, latency histogram, and the
+// request log line around the handler itself. /healthz and /metrics stay
+// outside this wrapper so the daemon remains observable under load.
+func (s *Server) route(mux *http.ServeMux, pattern, label string, h http.HandlerFunc) {
+	s.register(mux, pattern, label, http.TimeoutHandler(h, s.timeout, `{"error":"request timed out"}`))
+}
+
+// routeStream registers a frame-returning (data plane) route. These skip
+// http.TimeoutHandler: it would buffer the whole frame in memory a
+// second time before sending, and a timeout could not cancel the
+// underlying store call anyway — the handler would keep computing while
+// the client got a 503. Streaming directly bounds memory at one marshal
+// copy and starts the response as soon as the first bytes exist.
+func (s *Server) routeStream(mux *http.ServeMux, pattern, label string, h http.HandlerFunc) {
+	s.register(mux, pattern, label, h)
+}
+
+func (s *Server) register(mux *http.ServeMux, pattern, label string, inner http.Handler) {
+	mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.rejected.Add(1)
+			s.metrics.countOnly(label, http.StatusTooManyRequests)
+			s.logger.Printf("%s %s -> 429 (over in-flight limit)", r.Method, r.URL.Path)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded: in-flight request limit reached"})
+			return
+		}
+		defer func() { <-s.sem }()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		inner.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		s.metrics.observe(label, sw.code, dur.Seconds())
+		s.logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.code, dur.Round(time.Microsecond))
+	}))
+}
+
+// statusWriter records the first status code written.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// --- response plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps a store/codec error to a status code and JSON body.
+// ErrClosed and ErrFrameTooLarge are typed; the not-found/exists cases
+// match the stable "core: ..."-prefixed message forms (anchored so a
+// user-supplied name or path embedded in an unrelated error cannot flip
+// the status).
+func writeErr(w http.ResponseWriter, err error) {
+	msg := err.Error()
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, wire.ErrFrameTooLarge):
+		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, core.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case strings.HasPrefix(msg, "core: array") && strings.HasSuffix(msg, "already exists"):
+		code = http.StatusConflict
+	case strings.HasPrefix(msg, "core: no array") ||
+		(strings.HasPrefix(msg, "core: array") && strings.Contains(msg, "has no version")):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// --- query-parameter parsing ---
+
+func versionParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, errors.New("missing ?version parameter")
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad ?version parameter %q", raw)
+	}
+	return v, nil
+}
+
+func versionsParam(r *http.Request) ([]int, error) {
+	raw := r.URL.Query().Get("versions")
+	if raw == "" {
+		return nil, errors.New("missing ?versions parameter")
+	}
+	parts := strings.Split(raw, ",")
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad ?versions element %q", p)
+		}
+		ids[i] = v
+	}
+	return ids, nil
+}
+
+// boxParam parses the optional ?box=lo,lo:hi,hi parameter; ok reports
+// whether a box was present.
+func boxParam(r *http.Request) (array.Box, bool, error) {
+	raw := r.URL.Query().Get("box")
+	if raw == "" {
+		return array.Box{}, false, nil
+	}
+	box, err := cliutil.ParseBox(raw)
+	if err != nil {
+		return array.Box{}, false, err
+	}
+	return box, true, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.store.Stats())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleStatsReset(w http.ResponseWriter, r *http.Request) {
+	s.store.ResetStats()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.store.ListArrays()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var schema array.Schema
+	if err := decodeJSONBody(r, &schema); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.store.CreateArray(schema); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": schema.Name})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.DeleteArray(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Info(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	schema, err := s.store.Schema(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, schema)
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.store.Versions(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if infos == nil {
+		infos = []core.VersionInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleVersionAt(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("time")
+	t, err := time.Parse(time.RFC3339Nano, raw)
+	if err != nil {
+		writeErr(w, fmt.Errorf("bad ?time parameter %q (want RFC 3339): %w", raw, err))
+		return
+	}
+	id, err := s.store.VersionAt(r.PathValue("name"), t)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+func (s *Server) handleBranchedFrom(w http.ResponseWriter, r *http.Request) {
+	ref, err := s.store.BranchedFrom(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ref)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Verify(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	p, err := wire.ReadPayload(r.Body, s.maxFrame)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	id, err := s.store.Insert(r.PathValue("name"), p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := versionParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	attr := r.URL.Query().Get("attr")
+	box, hasBox, err := boxParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var pl core.Plane
+	if hasBox {
+		pl, err = s.store.SelectRegionAttr(name, id, attr, box)
+	} else {
+		pl, err = s.store.SelectAttr(name, id, attr)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	_ = wire.WritePlane(w, pl)
+}
+
+func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ids, err := versionsParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	box, hasBox, err := boxParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var d *array.Dense
+	if hasBox {
+		d, err = s.store.SelectMultiRegion(name, ids, box)
+	} else {
+		d, err = s.store.SelectMulti(name, ids)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	_ = wire.WriteDense(w, d)
+}
+
+func (s *Server) handleSelectSparseMulti(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ids, err := versionsParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	box, _, err := boxParam(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	set, err := s.store.SelectSparseMulti(name, ids, box)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", FrameContentType)
+	_ = wire.WriteSparseSet(w, set)
+}
+
+func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Version int    `json:"version"`
+		NewName string `json:"newName"`
+	}
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.store.Branch(r.PathValue("name"), req.Version, req.NewName); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.NewName})
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		NewName string            `json:"newName"`
+		Parents []core.VersionRef `json:"parents"`
+	}
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.store.Merge(req.NewName, req.Parents); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.NewName})
+}
+
+// reorganizeRequest is the JSON form of core.ReorganizeOptions, with the
+// policy by name (as printed by LayoutPolicy.String).
+type reorganizeRequest struct {
+	Policy       string         `json:"policy"`
+	MatrixSample int            `json:"matrixSample,omitempty"`
+	BatchK       int            `json:"batchK,omitempty"`
+	Workload     []layout.Query `json:"workload,omitempty"`
+}
+
+func (s *Server) handleReorganize(w http.ResponseWriter, r *http.Request) {
+	var req reorganizeRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	policy, err := cliutil.ParsePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	opts := core.ReorganizeOptions{
+		Policy:       policy,
+		MatrixSample: req.MatrixSample,
+		BatchK:       req.BatchK,
+		Workload:     req.Workload,
+	}
+	if err := s.store.Reorganize(r.PathValue("name"), opts); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "reorganized"})
+}
+
+func (s *Server) handleDeleteVersion(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Version int  `json:"version"`
+		Compact bool `json:"compact,omitempty"`
+	}
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.store.DeleteVersion(name, req.Version); err != nil {
+		writeErr(w, err)
+		return
+	}
+	// the delete is durable at this point; a compact failure must not
+	// read as a failed delete, so it is reported alongside success
+	body := map[string]string{"status": "deleted"}
+	if req.Compact {
+		if err := s.store.Compact(name); err != nil {
+			body["compactError"] = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Compact(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "compacted"})
+}
+
+// aqlScalarResult is the JSON body of an AQL statement whose result
+// carries no array payload; array results are framed instead.
+type aqlScalarResult struct {
+	Message string   `json:"message,omitempty"`
+	Names   []string `json:"names,omitempty"`
+}
+
+func (s *Server) handleAQL(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Stmt string `json:"stmt"`
+	}
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.engine.Execute(req.Stmt)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch {
+	case res.Dense != nil:
+		w.Header().Set("Content-Type", FrameContentType)
+		_ = wire.WriteDense(w, res.Dense)
+	case res.Sparse != nil:
+		w.Header().Set("Content-Type", FrameContentType)
+		_ = wire.WriteFrame(w, wire.KindSparse, array.MarshalSparse(res.Sparse))
+	default:
+		names := res.Names
+		if names == nil && res.Message == "" {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, aqlScalarResult{Message: res.Message, Names: names})
+	}
+}

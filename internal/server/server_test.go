@@ -1,0 +1,524 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arrayvers/client"
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *core.Store, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		opts := core.DefaultOptions()
+		opts.ChunkBytes = 4 << 10
+		opts.CacheBytes = 16 << 20
+		store, err := core.Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, cfg.Store, ts
+}
+
+func denseSchema(name string, side int64) array.Schema {
+	return array.Schema{
+		Name:  name,
+		Dims:  []array.Dimension{{Name: "Y", Lo: 0, Hi: side - 1}, {Name: "X", Lo: 0, Hi: side - 1}},
+		Attrs: []array.Attribute{{Name: "V", Type: array.Int32}},
+	}
+}
+
+func randDense(rng *rand.Rand, side int64) *array.Dense {
+	d := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < d.NumCells(); i++ {
+		d.SetBits(i, int64(rng.Intn(1<<16)))
+	}
+	return d
+}
+
+// TestEndToEndConcurrentClients drives 8 concurrent clients — each with
+// its own array — through create, all insert forms, every select form,
+// branch, and AQL against one shared server, and checks every remote
+// result byte-identical against both a locally maintained expectation
+// and the embedded store underneath the server.
+func TestEndToEndConcurrentClients(t *testing.T) {
+	_, store, ts := newTestServer(t, Config{})
+	const clients = 8
+	const side = 48
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errCh <- fmt.Errorf("client %d: "+format, append([]any{ci}, args...)...)
+			}
+			c := client.New(ts.URL)
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			name := fmt.Sprintf("Arr%d", ci)
+			if err := c.CreateArray(denseSchema(name, side)); err != nil {
+				fail("create: %v", err)
+				return
+			}
+
+			// three dense versions plus one delta-list version, keeping a
+			// local expectation of every version's content
+			var ids []int
+			var want []*array.Dense
+			for v := 0; v < 3; v++ {
+				d := randDense(rng, side)
+				want = append(want, d.Clone())
+				id, err := c.Insert(name, core.DensePayload(d))
+				if err != nil {
+					fail("insert %d: %v", v, err)
+					return
+				}
+				ids = append(ids, id)
+			}
+			updates := []core.CellUpdate{
+				{Coords: []int64{0, 0}, Bits: 123456},
+				{Coords: []int64{side - 1, side - 1}, Bits: -7},
+			}
+			last := want[2].Clone()
+			for _, u := range updates {
+				last.SetBitsAt(u.Coords, u.Bits)
+			}
+			want = append(want, last)
+			id, err := c.Insert(name, core.DeltaListPayload(ids[2], updates))
+			if err != nil {
+				fail("delta-list insert: %v", err)
+				return
+			}
+			ids = append(ids, id)
+
+			// full selects: byte-identical to the local expectation AND to
+			// the embedded store the server wraps
+			for i, id := range ids {
+				pl, err := c.Select(name, id)
+				if err != nil {
+					fail("select @%d: %v", id, err)
+					return
+				}
+				if pl.Dense == nil || !pl.Dense.Equal(want[i]) {
+					fail("select @%d differs from local expectation", id)
+					return
+				}
+				direct, err := store.Select(name, id)
+				if err != nil {
+					fail("embedded select @%d: %v", id, err)
+					return
+				}
+				if string(direct.Dense.Bytes()) != string(pl.Dense.Bytes()) {
+					fail("select @%d not byte-identical to embedded result", id)
+					return
+				}
+			}
+
+			// region select
+			box := array.NewBox([]int64{3, 5}, []int64{17, 29})
+			pl, err := c.SelectRegion(name, ids[1], box)
+			if err != nil {
+				fail("select region: %v", err)
+				return
+			}
+			wantRegion, err := want[1].Slice(box)
+			if err != nil {
+				fail("slice: %v", err)
+				return
+			}
+			if !pl.Dense.Equal(wantRegion) {
+				fail("region select mismatch")
+				return
+			}
+
+			// multi-version stack
+			stack, err := c.SelectMulti(name, ids)
+			if err != nil {
+				fail("select multi: %v", err)
+				return
+			}
+			wantStack, err := array.Stack(want)
+			if err != nil {
+				fail("stack: %v", err)
+				return
+			}
+			if !stack.Equal(wantStack) {
+				fail("select multi mismatch")
+				return
+			}
+
+			// branch, then read the branch back
+			branch := name + "_b"
+			if err := c.Branch(name, ids[1], branch); err != nil {
+				fail("branch: %v", err)
+				return
+			}
+			bpl, err := c.Select(branch, 1)
+			if err != nil {
+				fail("branch select: %v", err)
+				return
+			}
+			if !bpl.Dense.Equal(want[1]) {
+				fail("branch content mismatch")
+				return
+			}
+			ref, err := c.BranchedFrom(branch)
+			if err != nil || ref == nil || ref.Array != name || ref.Version != ids[1] {
+				fail("branched-from: ref=%+v err=%v", ref, err)
+				return
+			}
+
+			// AQL through the wire: names and framed array results
+			res, err := c.Query(fmt.Sprintf("VERSIONS(%s);", name))
+			if err != nil {
+				fail("aql versions: %v", err)
+				return
+			}
+			if len(res.Names) != len(ids) {
+				fail("aql versions: %d names, want %d", len(res.Names), len(ids))
+				return
+			}
+			res, err = c.Query(fmt.Sprintf("SELECT * FROM %s@%d;", name, ids[0]))
+			if err != nil {
+				fail("aql select: %v", err)
+				return
+			}
+			if res.Dense == nil || !res.Dense.Equal(want[0]) {
+				fail("aql select mismatch")
+				return
+			}
+
+			// metadata
+			infos, err := c.Versions(name)
+			if err != nil || len(infos) != len(ids) {
+				fail("versions: %d infos, err=%v", len(infos), err)
+				return
+			}
+			info, err := c.Info(name)
+			if err != nil || info.NumVersions != len(ids) {
+				fail("info: %+v err=%v", info, err)
+				return
+			}
+			vid, err := c.VersionAt(name, time.Now().Add(time.Hour))
+			if err != nil || vid != ids[len(ids)-1] {
+				fail("version-at: %d err=%v", vid, err)
+				return
+			}
+			rep, err := c.Verify(name)
+			if err != nil || !rep.Ok() {
+				fail("verify: %+v err=%v", rep, err)
+				return
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// the server's one store saw all 16 arrays
+	names, err := client.New(ts.URL).ListArrays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2*clients {
+		t.Fatalf("ListArrays: %d names, want %d", len(names), 2*clients)
+	}
+}
+
+// TestSparseRoundTrip exercises the sparse payload and sparse-set wire
+// paths.
+func TestSparseRoundTrip(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	const dim = 10_000
+	schema := array.Schema{
+		Name:  "Sp",
+		Dims:  []array.Dimension{{Name: "I", Lo: 0, Hi: dim - 1}},
+		Attrs: []array.Attribute{{Name: "W", Type: array.Int64}},
+	}
+	if err := c.CreateArray(schema); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	var want []*array.Sparse
+	for v := 0; v < 3; v++ {
+		sp := array.MustSparse(array.Int64, []int64{dim}, 0)
+		for k := int64(0); k < 50; k++ {
+			sp.SetBits((k*97+int64(v)*13)%dim, k+int64(v)<<32)
+		}
+		want = append(want, sp.Clone())
+		id, err := c.Insert("Sp", core.SparsePayload(sp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		pl, err := c.Select("Sp", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Sparse == nil || !pl.Sparse.Equal(want[i]) {
+			t.Fatalf("sparse select @%d mismatch", id)
+		}
+	}
+	set, err := c.SelectSparseMulti("Sp", ids, array.Box{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("sparse multi: %d results", len(set))
+	}
+	for i := range set {
+		if !set[i].Equal(want[i]) {
+			t.Fatalf("sparse multi element %d mismatch", i)
+		}
+	}
+}
+
+// TestBackpressure fills the in-flight semaphore and checks the server
+// answers 429 instead of queueing.
+func TestBackpressure(t *testing.T) {
+	srv, _, ts := newTestServer(t, Config{MaxInFlight: 2})
+	// occupy both slots
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+	resp, err := http.Get(ts.URL + "/v1/arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	// /healthz and /metrics stay reachable under load
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s under load: %d", path, r.StatusCode)
+		}
+	}
+	// draining the semaphore restores service
+	<-srv.sem
+	<-srv.sem
+	resp2, err := http.Get(ts.URL + "/v1/arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after drain: %d", resp2.StatusCode)
+	}
+}
+
+// TestErrorMapping spot-checks the HTTP status codes for store and
+// codec failures.
+func TestErrorMapping(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{MaxFrameBytes: 1 << 20})
+	c := client.New(ts.URL)
+
+	if _, err := c.Select("nope", 1); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("select on missing array: %v", err)
+	}
+	if err := c.CreateArray(denseSchema("Dup", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateArray(denseSchema("Dup", 8)); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	// garbage instead of a payload frame
+	resp, err := http.Post(ts.URL+"/v1/arrays/Dup/versions", FrameContentType, strings.NewReader("not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage insert body: %d, want 400", resp.StatusCode)
+	}
+	// an oversized frame is rejected by the configured limit
+	huge := array.MustDense(array.Int32, []int64{8, 8})
+	big := make([]byte, 13)
+	copy(big, []byte{'A', 'V', 'F', '1', 3})
+	big[5], big[6], big[7] = 0xff, 0xff, 0xff // 16 MB claimed > 1 MB limit
+	resp, err = http.Post(ts.URL+"/v1/arrays/Dup/versions", FrameContentType, strings.NewReader(string(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized insert frame: %d, want 413", resp.StatusCode)
+	}
+	_ = huge
+}
+
+// TestGracefulShutdownMidTraffic runs sustained concurrent traffic,
+// shuts the server down under it, and checks the store reopens clean:
+// every array verifies and the newest version of each remains readable.
+func TestGracefulShutdownMidTraffic(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = 4 << 10
+	opts.CacheBytes = 16 << 20
+	dir := t.TempDir()
+	store, err := core.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	const writers = 4
+	const side = 32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for ci := 0; ci < writers; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := client.New(ts.URL)
+			name := fmt.Sprintf("G%d", ci)
+			if err := c.CreateArray(denseSchema(name, side)); err != nil {
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(ci)))
+			var ids []int
+			for !stop.Load() {
+				id, err := c.Insert(name, core.DensePayload(randDense(rng, side)))
+				if err != nil {
+					return // connection torn down by shutdown — expected
+				}
+				ids = append(ids, id)
+				if _, err := c.Select(name, ids[rng.Intn(len(ids))]); err != nil {
+					return
+				}
+			}
+		}(ci)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	// graceful: the httptest server waits for in-flight requests
+	ts.Close()
+	stop.Store(true)
+	wg.Wait()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// the store must reopen clean, with every array fully readable
+	reopened, err := core.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	names := reopened.ListArrays()
+	if len(names) == 0 {
+		t.Fatal("no arrays survived the traffic")
+	}
+	for _, name := range names {
+		rep, err := reopened.Verify(name)
+		if err != nil {
+			t.Fatalf("verify %s: %v", name, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("verify %s: %v", name, rep.Problems)
+		}
+		infos, err := reopened.Versions(name)
+		if err != nil || len(infos) == 0 {
+			t.Fatalf("versions %s: %d, err=%v", name, len(infos), err)
+		}
+		if _, err := reopened.Select(name, infos[len(infos)-1].ID); err != nil {
+			t.Fatalf("select newest of %s: %v", name, err)
+		}
+	}
+}
+
+// TestClosedStoreAnswers503 checks the service answers 503 once the
+// store is closed underneath it.
+func TestClosedStoreAnswers503(t *testing.T) {
+	_, store, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	if err := c.CreateArray(denseSchema("C", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Select("C", 1)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("select on closed store: %v", err)
+	}
+}
+
+// TestMetricsEndpoint checks request counters and store stats surface
+// in the Prometheus text output.
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	if err := c.CreateArray(denseSchema("M", 16)); err != nil {
+		t.Fatal(err)
+	}
+	d := array.MustDense(array.Int32, []int64{16, 16})
+	if _, err := c.Insert("M", core.DensePayload(d)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Select("M", 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`avstored_requests_total{route="create",code="201"} 1`,
+		`avstored_requests_total{route="insert",code="201"} 1`,
+		`avstored_requests_total{route="select",code="200"} 1`,
+		"avstored_request_duration_seconds_count 3",
+		"avstored_requests_rejected_total 0",
+		"avstored_store_chunks_written",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package wire is the binary frame codec of the avstored service layer
+// (see DESIGN.md "Service layer"). Control messages travel as JSON over
+// HTTP; array payloads — dense planes, sparse planes, insert payloads,
+// sparse result sets — travel as length-prefixed binary frames built on
+// the internal/array blob format, so dense data never round-trips
+// through base64 or JSON number arrays.
+//
+// Frame layout (little-endian):
+//
+//	offset 0: 4-byte magic "AVF1"
+//	offset 4: 1-byte frame kind
+//	offset 5: 8-byte payload length
+//	offset 13: payload bytes
+//
+// Readers enforce a maximum payload length so a corrupt or hostile
+// length prefix cannot drive an unbounded allocation, and reject
+// truncated headers and payloads.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+// Kind discriminates frame payloads.
+type Kind uint8
+
+// Frame kinds.
+const (
+	// KindDense carries one array.MarshalDense blob.
+	KindDense Kind = 1
+	// KindSparse carries one array.MarshalSparse blob.
+	KindSparse Kind = 2
+	// KindPayload carries an insert payload in any of the three forms
+	// (see EncodePayload).
+	KindPayload Kind = 3
+	// KindSparseSet carries an ordered set of sparse arrays (the
+	// SelectSparseMulti result shape).
+	KindSparseSet Kind = 4
+)
+
+// DefaultMaxFrameBytes bounds frame payloads when the caller passes a
+// non-positive limit to the read functions.
+const DefaultMaxFrameBytes = 1 << 30
+
+var magic = [4]byte{'A', 'V', 'F', '1'}
+
+// headerLen is the fixed frame header size: magic + kind + length.
+const headerLen = 13
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	ErrBadMagic      = errors.New("wire: bad frame magic")
+	ErrFrameTooLarge = errors.New("wire: frame payload exceeds size limit")
+)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting bad magic, truncated input, and
+// payloads larger than max (DefaultMaxFrameBytes when max <= 0).
+func ReadFrame(r io.Reader, max int64) (Kind, []byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return 0, nil, fmt.Errorf("wire: truncated frame header: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], magic[:]) {
+		return 0, nil, ErrBadMagic
+	}
+	kind := Kind(hdr[4])
+	n := binary.LittleEndian.Uint64(hdr[5:])
+	if n > uint64(max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return 0, nil, fmt.Errorf("wire: truncated frame payload: %w", io.ErrUnexpectedEOF)
+		}
+		// not a truncation: surface the real transport error
+		return 0, nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	return kind, payload, nil
+}
+
+// sliceCap bounds a pre-allocation driven by a decoded element count:
+// each element occupies at least minBytes of the remaining encoded
+// input, so a hostile count cannot reserve more memory than the bytes
+// actually present can back. The count itself is still validated by the
+// callers' per-element reads.
+func sliceCap(count uint64, remaining, minBytes int) int {
+	max := uint64(remaining / minBytes)
+	if count < max {
+		max = count
+	}
+	return int(max)
+}
+
+// --- planes ---
+
+// WritePlane frames one dense or sparse plane.
+func WritePlane(w io.Writer, pl core.Plane) error {
+	switch {
+	case pl.Dense != nil:
+		return WriteFrame(w, KindDense, array.MarshalDense(pl.Dense))
+	case pl.Sparse != nil:
+		return WriteFrame(w, KindSparse, array.MarshalSparse(pl.Sparse))
+	default:
+		return errors.New("wire: cannot frame an empty plane")
+	}
+}
+
+// ReadPlane reads a KindDense or KindSparse frame back into a plane.
+func ReadPlane(r io.Reader, max int64) (core.Plane, error) {
+	kind, payload, err := ReadFrame(r, max)
+	if err != nil {
+		return core.Plane{}, err
+	}
+	switch kind {
+	case KindDense:
+		d, err := array.UnmarshalDense(payload)
+		if err != nil {
+			return core.Plane{}, err
+		}
+		return core.Plane{Dense: d}, nil
+	case KindSparse:
+		sp, err := array.UnmarshalSparse(payload)
+		if err != nil {
+			return core.Plane{}, err
+		}
+		return core.Plane{Sparse: sp}, nil
+	default:
+		return core.Plane{}, fmt.Errorf("wire: expected a plane frame, got kind %d", kind)
+	}
+}
+
+// WriteDense frames one dense array (the SelectMulti result shape).
+func WriteDense(w io.Writer, d *array.Dense) error {
+	return WriteFrame(w, KindDense, array.MarshalDense(d))
+}
+
+// ReadDense reads a KindDense frame.
+func ReadDense(r io.Reader, max int64) (*array.Dense, error) {
+	kind, payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindDense {
+		return nil, fmt.Errorf("wire: expected a dense frame, got kind %d", kind)
+	}
+	return array.UnmarshalDense(payload)
+}
+
+// --- sparse sets ---
+
+// WriteSparseSet frames an ordered set of sparse arrays: a uvarint
+// count, then per element a uvarint length and a MarshalSparse blob.
+func WriteSparseSet(w io.Writer, set []*array.Sparse) error {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(set)))
+	for _, sp := range set {
+		blob := array.MarshalSparse(sp)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return WriteFrame(w, KindSparseSet, buf)
+}
+
+// ReadSparseSet reads a KindSparseSet frame.
+func ReadSparseSet(r io.Reader, max int64) ([]*array.Sparse, error) {
+	kind, payload, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindSparseSet {
+		return nil, fmt.Errorf("wire: expected a sparse-set frame, got kind %d", kind)
+	}
+	count, pos, err := readUvarint(payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(payload)) {
+		return nil, fmt.Errorf("wire: sparse set claims %d elements in a %d-byte frame", count, len(payload))
+	}
+	set := make([]*array.Sparse, 0, sliceCap(count, len(payload)-pos, 5))
+	for i := uint64(0); i < count; i++ {
+		n, next, err := readUvarint(payload, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+		if uint64(len(payload)-pos) < n {
+			return nil, fmt.Errorf("wire: truncated sparse set element %d", i)
+		}
+		sp, err := array.UnmarshalSparse(payload[pos : pos+int(n)])
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, sp)
+		pos += int(n)
+	}
+	return set, nil
+}
+
+// --- insert payloads ---
+
+// Payload form discriminators inside a KindPayload frame.
+const (
+	payloadFormPlanes    = 0
+	payloadFormDeltaList = 1
+)
+
+// EncodePayload flattens an insert payload into a KindPayload frame
+// body. Layout: one form byte, then either
+//
+//	planes form:     uvarint count, per plane uvarint len + array.Marshal blob
+//	delta-list form: uvarint base, uvarint count, per update
+//	                 uvarint len + attr bytes, uvarint ncoords,
+//	                 varint coords..., varint bits
+func EncodePayload(p core.Payload) ([]byte, error) {
+	var buf []byte
+	if p.DeltaBase > 0 {
+		buf = append(buf, payloadFormDeltaList)
+		buf = binary.AppendUvarint(buf, uint64(p.DeltaBase))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Updates)))
+		for _, u := range p.Updates {
+			buf = binary.AppendUvarint(buf, uint64(len(u.Attr)))
+			buf = append(buf, u.Attr...)
+			buf = binary.AppendUvarint(buf, uint64(len(u.Coords)))
+			for _, c := range u.Coords {
+				buf = binary.AppendVarint(buf, c)
+			}
+			buf = binary.AppendVarint(buf, u.Bits)
+		}
+		return buf, nil
+	}
+	if len(p.Planes) == 0 {
+		return nil, errors.New("wire: payload has no planes and no delta base")
+	}
+	buf = append(buf, payloadFormPlanes)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Planes)))
+	for i, pl := range p.Planes {
+		var blob []byte
+		switch {
+		case pl.Dense != nil:
+			blob = array.MarshalDense(pl.Dense)
+		case pl.Sparse != nil:
+			blob = array.MarshalSparse(pl.Sparse)
+		default:
+			return nil, fmt.Errorf("wire: payload plane %d is empty", i)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// DecodePayload parses a KindPayload frame body.
+func DecodePayload(blob []byte) (core.Payload, error) {
+	if len(blob) == 0 {
+		return core.Payload{}, errors.New("wire: empty payload frame")
+	}
+	form, pos := blob[0], 1
+	switch form {
+	case payloadFormPlanes:
+		count, next, err := readUvarint(blob, pos)
+		if err != nil {
+			return core.Payload{}, err
+		}
+		pos = next
+		if count == 0 || count > uint64(len(blob)) {
+			return core.Payload{}, fmt.Errorf("wire: payload claims %d planes in a %d-byte frame", count, len(blob))
+		}
+		p := core.Payload{Planes: make([]core.Plane, 0, sliceCap(count, len(blob)-pos, 5))}
+		for i := uint64(0); i < count; i++ {
+			n, next, err := readUvarint(blob, pos)
+			if err != nil {
+				return core.Payload{}, err
+			}
+			pos = next
+			if uint64(len(blob)-pos) < n {
+				return core.Payload{}, fmt.Errorf("wire: truncated payload plane %d", i)
+			}
+			a, err := array.Unmarshal(blob[pos : pos+int(n)])
+			if err != nil {
+				return core.Payload{}, err
+			}
+			pos += int(n)
+			switch v := a.(type) {
+			case *array.Dense:
+				p.Planes = append(p.Planes, core.Plane{Dense: v})
+			case *array.Sparse:
+				p.Planes = append(p.Planes, core.Plane{Sparse: v})
+			}
+		}
+		return p, nil
+	case payloadFormDeltaList:
+		base, next, err := readUvarint(blob, pos)
+		if err != nil {
+			return core.Payload{}, err
+		}
+		pos = next
+		count, next, err := readUvarint(blob, pos)
+		if err != nil {
+			return core.Payload{}, err
+		}
+		pos = next
+		if count > uint64(len(blob)) {
+			return core.Payload{}, fmt.Errorf("wire: payload claims %d updates in a %d-byte frame", count, len(blob))
+		}
+		p := core.Payload{DeltaBase: int(base), Updates: make([]core.CellUpdate, 0, sliceCap(count, len(blob)-pos, 3))}
+		for i := uint64(0); i < count; i++ {
+			alen, next, err := readUvarint(blob, pos)
+			if err != nil {
+				return core.Payload{}, err
+			}
+			pos = next
+			if uint64(len(blob)-pos) < alen {
+				return core.Payload{}, fmt.Errorf("wire: truncated payload update %d attr", i)
+			}
+			u := core.CellUpdate{Attr: string(blob[pos : pos+int(alen)])}
+			pos += int(alen)
+			ncoords, next, err := readUvarint(blob, pos)
+			if err != nil {
+				return core.Payload{}, err
+			}
+			pos = next
+			// each coord varint is at least one byte, so a count beyond
+			// the remaining input cannot be satisfied — reject before
+			// allocating for it
+			if ncoords > uint64(len(blob)-pos) {
+				return core.Payload{}, fmt.Errorf("wire: payload update %d claims %d coords with %d bytes left", i, ncoords, len(blob)-pos)
+			}
+			u.Coords = make([]int64, ncoords)
+			for c := range u.Coords {
+				v, next, err := readVarint(blob, pos)
+				if err != nil {
+					return core.Payload{}, err
+				}
+				u.Coords[c], pos = v, next
+			}
+			bits, next, err := readVarint(blob, pos)
+			if err != nil {
+				return core.Payload{}, err
+			}
+			u.Bits, pos = bits, next
+			p.Updates = append(p.Updates, u)
+		}
+		return p, nil
+	default:
+		return core.Payload{}, fmt.Errorf("wire: unknown payload form %d", form)
+	}
+}
+
+// WritePayload frames an insert payload.
+func WritePayload(w io.Writer, p core.Payload) error {
+	blob, err := EncodePayload(p)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, KindPayload, blob)
+}
+
+// ReadPayload reads a KindPayload frame back into an insert payload.
+func ReadPayload(r io.Reader, max int64) (core.Payload, error) {
+	kind, blob, err := ReadFrame(r, max)
+	if err != nil {
+		return core.Payload{}, err
+	}
+	if kind != KindPayload {
+		return core.Payload{}, fmt.Errorf("wire: expected a payload frame, got kind %d", kind)
+	}
+	return DecodePayload(blob)
+}
+
+func readUvarint(blob []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(blob[pos:])
+	if n <= 0 {
+		return 0, 0, errors.New("wire: truncated varint")
+	}
+	return v, pos + n, nil
+}
+
+func readVarint(blob []byte, pos int) (int64, int, error) {
+	v, n := binary.Varint(blob[pos:])
+	if n <= 0 {
+		return 0, 0, errors.New("wire: truncated varint")
+	}
+	return v, pos + n, nil
+}

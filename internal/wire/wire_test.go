@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+func testDense(t *testing.T) *array.Dense {
+	t.Helper()
+	d, err := array.NewDense(array.Int32, []int64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < d.NumCells(); i++ {
+		d.SetBits(i, i*3-17)
+	}
+	return d
+}
+
+func testSparse(t *testing.T) *array.Sparse {
+	t.Helper()
+	sp, err := array.NewSparse(array.Float64, []int64{100, 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		sp.SetBits(i*199, i<<20)
+	}
+	return sp
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, KindPayload, payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindPayload || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: kind=%d payload=%q", kind, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindDense, nil); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindDense || len(got) != 0 {
+		t.Fatalf("kind=%d len=%d", kind, len(got))
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := []byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00")
+	if _, _, err := ReadFrame(bytes.NewReader(raw), 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindDense, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// every strict prefix must be rejected as truncated
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindDense, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 1023); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// a hostile length prefix must be rejected before allocation
+	hostile := []byte{'A', 'V', 'F', '1', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := ReadFrame(bytes.NewReader(hostile), 1<<20); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPlaneRoundTripDense(t *testing.T) {
+	d := testDense(t)
+	var buf bytes.Buffer
+	if err := WritePlane(&buf, core.Plane{Dense: d}); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ReadPlane(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Dense == nil || !pl.Dense.Equal(d) {
+		t.Fatal("dense plane round trip mismatch")
+	}
+}
+
+func TestPlaneRoundTripSparse(t *testing.T) {
+	sp := testSparse(t)
+	var buf bytes.Buffer
+	if err := WritePlane(&buf, core.Plane{Sparse: sp}); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ReadPlane(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Sparse == nil || !pl.Sparse.Equal(sp) {
+		t.Fatal("sparse plane round trip mismatch")
+	}
+}
+
+func TestPlaneEmptyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlane(&buf, core.Plane{}); err == nil {
+		t.Fatal("empty plane accepted")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	d := testDense(t)
+	var buf bytes.Buffer
+	if err := WriteDense(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatal("dense round trip mismatch")
+	}
+}
+
+func TestReadDenseWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlane(&buf, core.Plane{Sparse: testSparse(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDense(&buf, 0); err == nil {
+		t.Fatal("sparse frame accepted as dense")
+	}
+}
+
+func TestSparseSetRoundTrip(t *testing.T) {
+	set := []*array.Sparse{testSparse(t), testSparse(t)}
+	set[1].SetBits(12345, 99)
+	var buf bytes.Buffer
+	if err := WriteSparseSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSparseSet(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(set[0]) || !got[1].Equal(set[1]) {
+		t.Fatal("sparse set round trip mismatch")
+	}
+	// empty set
+	buf.Reset()
+	if err := WriteSparseSet(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadSparseSet(&buf, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty set: %v, %d elements", err, len(got))
+	}
+}
+
+func TestSparseSetTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSparseSet(&buf, []*array.Sparse{testSparse(t)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// chop the inner payload (keep the frame header consistent by
+	// rebuilding the frame around a truncated body)
+	kind, body, err := ReadFrame(bytes.NewReader(full), 0)
+	if err != nil || kind != KindSparseSet {
+		t.Fatal(err)
+	}
+	var short bytes.Buffer
+	if err := WriteFrame(&short, KindSparseSet, body[:len(body)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSparseSet(&short, 0); err == nil {
+		t.Fatal("truncated sparse set accepted")
+	}
+}
+
+func TestPayloadRoundTripPlanes(t *testing.T) {
+	p := core.Payload{Planes: []core.Plane{{Dense: testDense(t)}, {Sparse: testSparse(t)}}}
+	var buf bytes.Buffer
+	if err := WritePayload(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPayload(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Planes) != 2 || got.DeltaBase != 0 {
+		t.Fatalf("planes=%d base=%d", len(got.Planes), got.DeltaBase)
+	}
+	if got.Planes[0].Dense == nil || !got.Planes[0].Dense.Equal(p.Planes[0].Dense) {
+		t.Fatal("plane 0 mismatch")
+	}
+	if got.Planes[1].Sparse == nil || !got.Planes[1].Sparse.Equal(p.Planes[1].Sparse) {
+		t.Fatal("plane 1 mismatch")
+	}
+}
+
+func TestPayloadRoundTripDeltaList(t *testing.T) {
+	p := core.DeltaListPayload(7, []core.CellUpdate{
+		{Coords: []int64{0, 5}, Bits: -42},
+		{Attr: "Temp", Coords: []int64{31, 0}, Bits: 1 << 40},
+	})
+	var buf bytes.Buffer
+	if err := WritePayload(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPayload(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeltaBase != 7 || len(got.Updates) != 2 {
+		t.Fatalf("base=%d updates=%d", got.DeltaBase, len(got.Updates))
+	}
+	u := got.Updates[1]
+	if u.Attr != "Temp" || u.Coords[0] != 31 || u.Coords[1] != 0 || u.Bits != 1<<40 {
+		t.Fatalf("update 1: %+v", u)
+	}
+	if got.Updates[0].Bits != -42 {
+		t.Fatalf("update 0 bits: %d", got.Updates[0].Bits)
+	}
+}
+
+func TestPayloadEmptyRejected(t *testing.T) {
+	if _, err := EncodePayload(core.Payload{}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	if _, err := DecodePayload([]byte{99}); err == nil {
+		t.Fatal("unknown form accepted")
+	}
+}
+
+// TestHostileCounts checks a claimed element count far beyond the bytes
+// actually present is rejected (or bounded) instead of driving a giant
+// pre-allocation.
+func TestHostileCounts(t *testing.T) {
+	// delta-list payload claiming 2^30 coords with a few bytes of input
+	hostile := []byte{payloadFormDeltaList}
+	hostile = append(hostile, 7)            // base
+	hostile = append(hostile, 1)            // one update
+	hostile = append(hostile, 0)            // empty attr
+	hostile = appendUvarint(hostile, 1<<30) // ncoords
+	hostile = append(hostile, 1, 2, 3)
+	if _, err := DecodePayload(hostile); err == nil {
+		t.Fatal("hostile coord count accepted")
+	}
+	// sparse set claiming many elements backed by nothing: per-element
+	// reads fail on the first missing length
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindSparseSet, appendUvarint(nil, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSparseSet(&buf, 0); err == nil {
+		t.Fatal("hostile sparse set count accepted")
+	}
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func TestPayloadTruncated(t *testing.T) {
+	p := core.Payload{Planes: []core.Plane{{Dense: testDense(t)}}}
+	blob, err := EncodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut += 7 {
+		if _, err := DecodePayload(blob[:cut]); err == nil {
+			t.Fatalf("truncated payload of %d/%d bytes accepted", cut, len(blob))
+		}
+	}
+}
