@@ -150,6 +150,9 @@ type (
 	ArrayInfo   = core.ArrayInfo
 	BranchRef   = core.BranchRef
 	IOStats     = core.IOStats
+	// RecoveryStats is what Open-time crash recovery repaired (populated
+	// when Options.Durability is on; see Store.Recovery).
+	RecoveryStats = core.RecoveryStats
 )
 
 // VerifyReport is the result of Store.Verify, an offline integrity check

@@ -26,12 +26,13 @@ func main() {
 	storeDir := flag.String("store", "", "store directory (required)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	durable := flag.Bool("durable", false, "fsync commits and run crash recovery at open (do not use on a store a live avstored owns)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "avql: -store is required")
 		os.Exit(2)
 	}
-	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism))
+	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism, *durable))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "avql: %v\n", err)
 		os.Exit(1)

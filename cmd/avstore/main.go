@@ -14,10 +14,17 @@
 //	avstore -store DIR reorganize -name A -policy optimal|algorithm1|algorithm2|linear|head
 //	avstore -store DIR delete-version -name A -version 2
 //	avstore -store DIR verify  -name A
+//	avstore -store DIR fsck    [-name A]
 //	avstore -store DIR drop    -name A
 //
 // The global -cache-bytes and -parallelism flags tune the decoded-chunk
-// cache and the hot-path worker pool for the invocation.
+// cache and the hot-path worker pool for the invocation. The global
+// -durable flag fsyncs every commit and runs crash recovery at open; it
+// is off by default so that read-only subcommands never mutate a store
+// directory (recovery truncates and sweeps — running it under a live
+// avstored would corrupt the daemon's in-flight writes). fsck forces it
+// on, reports what recovery repaired, and then runs the full integrity
+// check over every array; only run fsck with the daemon stopped.
 package main
 
 import (
@@ -45,12 +52,13 @@ func run(args []string) error {
 	storeDir := global.String("store", "", "store directory (required)")
 	cacheBytes := global.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 disables)")
 	parallelism := global.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	durable := global.Bool("durable", false, "fsync commits and run crash recovery at open (do not use on a store a live avstored owns)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|verify|delete-version|drop> [flags]")
+		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|verify|fsck|delete-version|drop> [flags]")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -82,7 +90,10 @@ func run(args []string) error {
 	if *storeDir == "" {
 		return fmt.Errorf("avstore: -store is required (or use: avstore stats -addr URL)")
 	}
-	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism))
+	if cmd == "fsck" {
+		*durable = true // fsck is pointless without recovery at open
+	}
+	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism, *durable))
 	if err != nil {
 		return err
 	}
@@ -223,6 +234,37 @@ func run(args []string) error {
 			}
 			return fmt.Errorf("%d integrity problem(s)", len(rep.Problems))
 		}
+	case "fsck":
+		// crash recovery already ran when the store opened; report it,
+		// then run the deep integrity check (decode every version)
+		rec := store.Stats()
+		fmt.Printf("recovery: removed %d stale files, truncated %d torn tails (%s), dropped %d unreadable versions\n",
+			rec.RecoveryRemovedFiles, rec.RecoveryTruncatedFiles, human(rec.RecoveryTruncatedBytes), rec.RecoveryDroppedVersions)
+		names := store.ListArrays()
+		if *name != "" {
+			names = []string{*name}
+		}
+		problems := 0
+		for _, n := range names {
+			rep, err := store.Verify(n)
+			if err != nil {
+				return err
+			}
+			status := "OK"
+			if !rep.Ok() {
+				status = fmt.Sprintf("%d PROBLEM(S)", len(rep.Problems))
+			}
+			fmt.Printf("array %s: %d versions, %d chunk payloads, %s dangling — %s\n",
+				n, rep.Versions, rep.Chunks, human(rep.DanglingBytes), status)
+			for _, p := range rep.Problems {
+				fmt.Printf("  PROBLEM: %s\n", p)
+				problems++
+			}
+		}
+		if problems > 0 {
+			return fmt.Errorf("fsck: %d integrity problem(s) across %d array(s)", problems, len(names))
+		}
+		fmt.Printf("fsck: %d array(s) clean\n", len(names))
 	case "drop":
 		if err := store.DeleteArray(*name); err != nil {
 			return err

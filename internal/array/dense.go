@@ -14,20 +14,38 @@ type Dense struct {
 	data  []byte // row-major, little-endian, len = NumCells*dtype.Size()
 }
 
+// checkedNumCells validates a shape and returns its cell count,
+// rejecting non-positive extents and products that overflow int64 —
+// decoded blobs carry shapes, so a hostile shape must fail before any
+// allocation sized by it.
+func checkedNumCells(shape []int64) (int64, error) {
+	if len(shape) == 0 {
+		return 0, fmt.Errorf("array: array needs at least one dimension")
+	}
+	n := int64(1)
+	for i, s := range shape {
+		if s <= 0 {
+			return 0, fmt.Errorf("array: dimension %d has non-positive extent %d", i, s)
+		}
+		if n > (1<<62)/s {
+			return 0, fmt.Errorf("array: shape %v cell count overflows", shape)
+		}
+		n *= s
+	}
+	return n, nil
+}
+
 // NewDense allocates a zero-filled dense array.
 func NewDense(dtype DataType, shape []int64) (*Dense, error) {
 	if !dtype.Valid() {
 		return nil, fmt.Errorf("array: invalid dtype %d", dtype)
 	}
-	if len(shape) == 0 {
-		return nil, fmt.Errorf("array: dense array needs at least one dimension")
+	n, err := checkedNumCells(shape)
+	if err != nil {
+		return nil, err
 	}
-	n := int64(1)
-	for i, s := range shape {
-		if s <= 0 {
-			return nil, fmt.Errorf("array: dimension %d has non-positive extent %d", i, s)
-		}
-		n *= s
+	if n > (1<<62)/int64(dtype.Size()) {
+		return nil, fmt.Errorf("array: shape %v byte size overflows", shape)
 	}
 	return &Dense{
 		dtype: dtype,
@@ -46,17 +64,25 @@ func MustDense(dtype DataType, shape []int64) *Dense {
 }
 
 // DenseFromBytes wraps an existing row-major buffer. The buffer is not
-// copied; it must have exactly NumCells*dtype.Size() bytes.
+// copied; it must have exactly NumCells*dtype.Size() bytes. The size
+// check runs before any allocation, so a hostile shape cannot drive an
+// oversized zero-fill.
 func DenseFromBytes(dtype DataType, shape []int64, data []byte) (*Dense, error) {
-	d, err := NewDense(dtype, shape)
+	if !dtype.Valid() {
+		return nil, fmt.Errorf("array: invalid dtype %d", dtype)
+	}
+	n, err := checkedNumCells(shape)
 	if err != nil {
 		return nil, err
 	}
-	if int64(len(data)) != d.NumCells()*int64(dtype.Size()) {
-		return nil, fmt.Errorf("array: buffer has %d bytes, want %d", len(data), d.NumCells()*int64(dtype.Size()))
+	if n > (1<<62)/int64(dtype.Size()) || int64(len(data)) != n*int64(dtype.Size()) {
+		return nil, fmt.Errorf("array: buffer has %d bytes, shape %v wants %d cells of %d bytes", len(data), shape, n, dtype.Size())
 	}
-	d.data = data
-	return d, nil
+	return &Dense{
+		dtype: dtype,
+		shape: append([]int64(nil), shape...),
+		data:  data,
+	}, nil
 }
 
 // DType returns the cell type.

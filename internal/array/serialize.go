@@ -107,14 +107,28 @@ func UnmarshalSparse(blob []byte) (*Sparse, error) {
 	if err != nil {
 		return nil, err
 	}
+	// every index gap is at least one byte and every value dtype.Size()
+	// bytes, so a count the remaining input cannot back is hostile —
+	// reject it before sizing any allocation by it
+	if nnz > uint64(len(blob)-pos)/uint64(1+dtype.Size()) {
+		return nil, fmt.Errorf("array: sparse blob claims %d pairs in %d bytes", nnz, len(blob)-pos)
+	}
+	total := s.NumCells()
 	s.idx = make([]int64, nnz)
-	prev := int64(0)
+	prev := int64(-1)
 	for k := uint64(0); k < nnz; k++ {
 		d, n := binary.Uvarint(blob[pos:])
 		if n <= 0 {
 			return nil, fmt.Errorf("array: truncated sparse blob index %d", k)
 		}
-		prev += int64(d)
+		gap := int64(d)
+		if k == 0 {
+			gap++ // first index is stored as-is; prev starts at -1
+		}
+		if gap <= 0 || prev > total-1-gap {
+			return nil, fmt.Errorf("array: sparse blob index %d out of range", k)
+		}
+		prev += gap
 		s.idx[k] = prev
 		pos += n
 	}

@@ -24,13 +24,8 @@ func NewSparse(dtype DataType, shape []int64, fill int64) (*Sparse, error) {
 	if !dtype.Valid() {
 		return nil, fmt.Errorf("array: invalid dtype %d", dtype)
 	}
-	if len(shape) == 0 {
-		return nil, fmt.Errorf("array: sparse array needs at least one dimension")
-	}
-	for i, s := range shape {
-		if s <= 0 {
-			return nil, fmt.Errorf("array: dimension %d has non-positive extent %d", i, s)
-		}
+	if _, err := checkedNumCells(shape); err != nil {
+		return nil, err
 	}
 	return &Sparse{
 		dtype: dtype,

@@ -215,8 +215,26 @@ func PackSigned(vs []int64, width int) []byte {
 	return w.Bytes()
 }
 
+// checkUnpack validates an unpack request before any allocation sized
+// by n: the buffer must actually hold n width-bit codes. Width 0 is the
+// exception (zero codes occupy no bytes), so its n must come from a
+// trusted source — every caller here derives it from the base array's
+// cell count, never from the blob being decoded.
+func checkUnpack(bufLen, n, width int) error {
+	if n < 0 || width < 0 || width > 64 {
+		return fmt.Errorf("bitpack: bad unpack of %d values at width %d", n, width)
+	}
+	if width > 0 && n > (bufLen*8)/width {
+		return fmt.Errorf("bitpack: unpack of %d %d-bit values overruns %d-byte buffer", n, width, bufLen)
+	}
+	return nil
+}
+
 // UnpackSigned extracts n signed values of the given width from buf.
 func UnpackSigned(buf []byte, n, width int) ([]int64, error) {
+	if err := checkUnpack(len(buf), n, width); err != nil {
+		return nil, err
+	}
 	out := make([]int64, n)
 	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = Unzigzag(u) })
 	if err != nil {
@@ -245,6 +263,9 @@ func PackUnsigned(vs []uint64, width int) []byte {
 
 // UnpackUnsigned extracts n unsigned codes of the given width from buf.
 func UnpackUnsigned(buf []byte, n, width int) ([]uint64, error) {
+	if err := checkUnpack(len(buf), n, width); err != nil {
+		return nil, err
+	}
 	out := make([]uint64, n)
 	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = u })
 	if err != nil {

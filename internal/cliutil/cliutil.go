@@ -19,11 +19,17 @@ import (
 )
 
 // StoreOptions returns the default store options with the shared
-// -cache-bytes and -parallelism flag values applied.
-func StoreOptions(cacheBytes int64, parallelism int) core.Options {
+// -cache-bytes, -parallelism, and -durable flag values applied. Durable
+// opens fsync every commit and run crash recovery at Open. Only the
+// daemon (which owns its store exclusively) and `avstore fsck` default
+// it on; avstore/avql default it off so read-only invocations never
+// mutate a store directory another process may own, and benchmarks
+// keep it off so I/O accounting matches the paper.
+func StoreOptions(cacheBytes int64, parallelism int, durable bool) core.Options {
 	opts := core.DefaultOptions()
 	opts.CacheBytes = cacheBytes
 	opts.Parallelism = parallelism
+	opts.Durability = durable
 	return opts
 }
 
@@ -137,6 +143,10 @@ func StatsCounters(st core.IOStats) []Counter {
 		{"cache_rejected", st.CacheRejected},
 		{"cache_bytes", st.CacheBytes},
 		{"cache_entries", st.CacheEntries},
+		{"recovery_truncated_files", st.RecoveryTruncatedFiles},
+		{"recovery_truncated_bytes", st.RecoveryTruncatedBytes},
+		{"recovery_removed_files", st.RecoveryRemovedFiles},
+		{"recovery_dropped_versions", st.RecoveryDroppedVersions},
 	}
 }
 

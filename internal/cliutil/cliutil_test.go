@@ -43,13 +43,13 @@ func TestParsePolicyMatchesString(t *testing.T) {
 }
 
 func TestStoreOptions(t *testing.T) {
-	opts := StoreOptions(1<<20, 3)
-	if opts.CacheBytes != 1<<20 || opts.Parallelism != 3 {
+	opts := StoreOptions(1<<20, 3, true)
+	if opts.CacheBytes != 1<<20 || opts.Parallelism != 3 || !opts.Durability {
 		t.Fatalf("opts: %+v", opts)
 	}
 	// zero values preserve the paper defaults
-	def := StoreOptions(0, 0)
-	if def.CacheBytes != 0 || def.ChunkBytes != core.DefaultOptions().ChunkBytes {
+	def := StoreOptions(0, 0, false)
+	if def.CacheBytes != 0 || def.ChunkBytes != core.DefaultOptions().ChunkBytes || def.Durability {
 		t.Fatalf("defaults: %+v", def)
 	}
 }
@@ -64,7 +64,7 @@ func TestStatsCounters(t *testing.T) {
 			t.Errorf("WriteStats output missing %q", want)
 		}
 	}
-	if len(StatsCounters(st)) != 10 {
+	if len(StatsCounters(st)) != 14 {
 		t.Errorf("StatsCounters: %d entries", len(StatsCounters(st)))
 	}
 }

@@ -101,6 +101,14 @@ func Compress(c Codec, data []byte, p Params) ([]byte, error) {
 	}
 }
 
+// MaxDecodedBytes bounds the output any single Decompress call may
+// produce. Decoders see length fields from untrusted bytes (network
+// frames, possibly corrupt chunk files); a hostile header must not
+// drive an allocation beyond what any legitimate chunk payload could
+// need. Far above the ~10 MB default chunk size; fuzz targets lower it
+// to keep executions fast.
+var MaxDecodedBytes int64 = 1 << 30
+
 // Decompress decodes a blob produced by Compress with the same codec and
 // params.
 func Decompress(c Codec, blob []byte, p Params) ([]byte, error) {
@@ -142,9 +150,13 @@ func lzCompress(data []byte) ([]byte, error) {
 func lzDecompress(blob []byte) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(blob))
 	defer r.Close()
-	out, err := io.ReadAll(r)
+	// cap the inflation so a DEFLATE bomb cannot balloon memory
+	out, err := io.ReadAll(io.LimitReader(r, MaxDecodedBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("compress: lz decode: %w", err)
+	}
+	if int64(len(out)) > MaxDecodedBytes {
+		return nil, fmt.Errorf("compress: lz output exceeds %d byte limit", MaxDecodedBytes)
 	}
 	return out, nil
 }
@@ -185,8 +197,17 @@ func rleDecompress(blob []byte, elem int) ([]byte, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("compress: rle: truncated header")
 	}
+	if n > uint64(MaxDecodedBytes)/uint64(elem) {
+		return nil, fmt.Errorf("compress: rle: %d cells of %d bytes exceeds decode limit", n, elem)
+	}
 	pos := k
-	out := make([]byte, 0, int(n)*elem)
+	// the claimed size is bounded above, but still pre-allocate
+	// conservatively: the cap is attacker-chosen until the runs check out
+	capHint := int64(n) * int64(elem)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
 	for uint64(len(out)) < n*uint64(elem) {
 		run, k := binary.Uvarint(blob[pos:])
 		if k <= 0 || run == 0 {
@@ -198,6 +219,11 @@ func rleDecompress(blob []byte, elem int) ([]byte, error) {
 		}
 		val := blob[pos : pos+elem]
 		pos += elem
+		// clamp the run to the claimed total so one hostile run cannot
+		// overshoot it (the final length check still rejects the blob)
+		if max := n - uint64(len(out))/uint64(elem); run > max {
+			run = max + 1
+		}
 		for r := uint64(0); r < run; r++ {
 			out = append(out, val...)
 		}
@@ -252,6 +278,9 @@ func nsDecompress(blob []byte, elem int) ([]byte, error) {
 	n64, k := binary.Uvarint(blob)
 	if k <= 0 {
 		return nil, fmt.Errorf("compress: nullsupp: truncated header")
+	}
+	if n64 > uint64(MaxDecodedBytes)/uint64(elem) {
+		return nil, fmt.Errorf("compress: nullsupp: %d cells of %d bytes exceeds decode limit", n64, elem)
 	}
 	n := int(n64)
 	nibLen := (n + 1) / 2

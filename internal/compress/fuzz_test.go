@@ -1,0 +1,61 @@
+package compress
+
+import (
+	"testing"
+)
+
+// FuzzDecompress feeds every decompressor arbitrary blobs under every
+// codec and a spread of element sizes. Decoders must error on garbage
+// rather than panic, and must never allocate beyond MaxDecodedBytes no
+// matter what lengths the blob claims (the limit is lowered here so a
+// hostile-but-capped claim cannot slow fuzzing down); whatever inflates
+// successfully must deflate again.
+func FuzzDecompress(f *testing.F) {
+	cells := make([]byte, 64*64*4)
+	for i := range cells {
+		cells[i] = byte(i / 7 % 100)
+	}
+	p := Params{Elem: 4, Width: 64, Height: 64}
+	for _, c := range []Codec{LZ, RLE, NullSupp, PNG, Wavelet} {
+		if blob, err := Compress(c, cells, p); err == nil {
+			f.Add(byte(c), byte(4), blob)
+		}
+	}
+	f.Add(byte(RLE), byte(8), []byte{0xff, 0xff, 0xff, 0xff, 0x0f, 0x01, 0x01})
+	f.Add(byte(PNG), byte(1), []byte{0xff, 0xff, 0x03, 0xff, 0xff, 0x03})
+	f.Add(byte(Wavelet), byte(2), []byte{0x20, 0x00})
+
+	f.Fuzz(func(t *testing.T, codecByte, elemByte byte, blob []byte) {
+		if len(blob) > 1<<15 {
+			return
+		}
+		old := MaxDecodedBytes
+		MaxDecodedBytes = 1 << 20
+		defer func() { MaxDecodedBytes = old }()
+
+		codec := Codec(codecByte % 6)
+		elem := int(elemByte%8) + 1
+		params := Params{Elem: elem, Width: 64, Height: 64, Signed: elemByte%2 == 0}
+		out, err := Decompress(codec, blob, params)
+		if err != nil {
+			return
+		}
+		if int64(len(out)) > MaxDecodedBytes {
+			t.Fatalf("decoder produced %d bytes past the %d limit", len(out), MaxDecodedBytes)
+		}
+		// wavelet/png require exact 2D geometry to re-compress; the
+		// cell-stream codecs must accept their own output
+		switch codec {
+		case LZ:
+			if _, err := Compress(codec, out, params); err != nil {
+				t.Fatalf("re-compress of decoded output failed: %v", err)
+			}
+		case RLE, NullSupp:
+			if len(out)%elem == 0 {
+				if _, err := Compress(codec, out, params); err != nil {
+					t.Fatalf("re-compress of decoded output failed: %v", err)
+				}
+			}
+		}
+	})
+}

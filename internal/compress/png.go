@@ -76,6 +76,12 @@ func pngDecompress(blob []byte, p Params) ([]byte, error) {
 		return nil, fmt.Errorf("compress: png: truncated header")
 	}
 	pos += k
+	// header fields are untrusted: bound them before any product is used
+	// to size an allocation (and so the products cannot overflow int)
+	if rows64 > uint64(MaxDecodedBytes) || rowBytes64 > uint64(MaxDecodedBytes) ||
+		rows64*(rowBytes64+1) > uint64(MaxDecodedBytes) {
+		return nil, fmt.Errorf("compress: png: %d rows of %d bytes exceeds decode limit", rows64, rowBytes64)
+	}
 	rows, rowBytes := int(rows64), int(rowBytes64)
 	bpp := p.Elem
 	if bpp <= 0 {

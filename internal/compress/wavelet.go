@@ -61,6 +61,11 @@ func waveletDecompress(blob []byte, p Params) ([]byte, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("compress: wavelet: truncated header")
 	}
+	// the encoder never exceeds maxWaveletLevels; a corrupt count would
+	// otherwise drive an unbounded level-reconstruction loop
+	if levels64 > maxWaveletLevels {
+		return nil, fmt.Errorf("compress: wavelet: %d levels exceeds maximum %d", levels64, maxWaveletLevels)
+	}
 	coefs, err := lzDecompress(blob[k:])
 	if err != nil {
 		return nil, err

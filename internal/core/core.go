@@ -14,11 +14,13 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"arrayvers/internal/chunk"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/delta"
+	"arrayvers/internal/fsio"
 )
 
 // Options configures a Store.
@@ -81,6 +84,17 @@ type Options struct {
 	// delta chains, the paper's Fig. 2 behavior); the cache trades memory
 	// for skipping chain walks on repeated and overlapping version reads.
 	CacheBytes int64
+	// Durability makes every commit crash-safe: chunk writes are fsynced
+	// (file and directory) before the metadata commit, metadata commits
+	// go through tmp-write + fsync + rename + parent-dir fsync, and Open
+	// runs crash recovery (see DESIGN.md "Durability & recovery"). Off by
+	// default so I/O accounting matches the paper's tables; avstored and
+	// the avstore CLI turn it on.
+	Durability bool
+	// FS overrides the filesystem used by every write path; nil means the
+	// real OS. Tests inject fsio.Fault here to crash the store at an
+	// arbitrary write/sync/rename step.
+	FS fsio.FS
 }
 
 // DefaultCacheBytes is a reasonable decoded-chunk cache budget for
@@ -115,6 +129,9 @@ func (o *Options) fillDefaults() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.FS == nil {
+		o.FS = fsio.OS
+	}
 }
 
 // Store is a single-node versioned storage system rooted at a directory.
@@ -130,7 +147,8 @@ type Store struct {
 	mu     sync.RWMutex
 	dir    string
 	opts   Options
-	closed bool // set by Close; guarded by mu
+	fs     fsio.FS // all write paths go through this (Options.FS)
+	closed bool    // set by Close; guarded by mu
 	arrays map[string]*arrayState
 	// epochs[name] is bumped whenever an array's on-disk encoding is
 	// invalidated (Reorganize, DeleteVersion, DeleteArray); it is part of
@@ -143,9 +161,29 @@ type Store struct {
 
 	statsMu sync.Mutex
 	stats   IOStats
+	// recovery is what Open-time crash recovery repaired; immutable after
+	// Open, merged into Stats() and never cleared by ResetStats.
+	recovery RecoveryStats
 
 	// clock returns commit timestamps; replaceable in tests.
 	clock func() time.Time
+}
+
+// RecoveryStats summarizes what Open-time crash recovery repaired (only
+// populated when Options.Durability is on).
+type RecoveryStats struct {
+	// TruncatedFiles/TruncatedBytes count chunk files whose torn or
+	// garbage tails past the last committed frame were cut off.
+	TruncatedFiles int64
+	TruncatedBytes int64
+	// RemovedFiles counts filesystem entries swept: metadata tmp files,
+	// stale chunk generations, orphaned chunk files from uncommitted
+	// inserts, and half-created array directories.
+	RemovedFiles int64
+	// DroppedVersions counts versions dropped because their chunk data
+	// did not survive — zero for any store written with Durability on,
+	// since the metadata commit point orders after the data sync.
+	DroppedVersions int64
 }
 
 // IOStats counts storage-level activity since the last Reset. The cache
@@ -166,17 +204,30 @@ type IOStats struct {
 	CacheRejected int64
 	CacheBytes    int64
 	CacheEntries  int64
+
+	// Recovery* mirror RecoveryStats: what Open-time crash recovery
+	// repaired. Fixed at Open; ResetStats leaves them alone.
+	RecoveryTruncatedFiles  int64
+	RecoveryTruncatedBytes  int64
+	RecoveryRemovedFiles    int64
+	RecoveryDroppedVersions int64
 }
 
-// Open creates or reopens a store rooted at dir.
+// Open creates or reopens a store rooted at dir. With
+// Options.Durability on, Open also runs crash recovery: it sweeps
+// commit leftovers (metadata tmp files, stale chunk generations,
+// orphaned chunk files), truncates torn chunk-file tails, and
+// reconciles the version metadata against the payloads that survived;
+// what it repaired is reported through Stats().
 func Open(dir string, opts Options) (*Store, error) {
 	opts.fillDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("core: create store dir: %w", err)
 	}
 	s := &Store{
 		dir:        dir,
 		opts:       opts,
+		fs:         opts.FS,
 		arrays:     make(map[string]*arrayState),
 		epochs:     make(map[string]uint64),
 		chunkCache: cache.New(opts.CacheBytes),
@@ -190,11 +241,41 @@ func Open(dir string, opts Options) (*Store, error) {
 		if !e.IsDir() {
 			continue
 		}
-		st, err := loadArrayState(filepath.Join(dir, e.Name()))
+		adir := filepath.Join(dir, e.Name())
+		if strings.HasSuffix(e.Name(), tombstoneSuffix) {
+			// a committed DeleteArray whose post-commit sweep was
+			// interrupted; never load it, remove it when recovering
+			if opts.Durability {
+				if err := s.fs.RemoveAll(adir); err != nil {
+					return nil, fmt.Errorf("core: sweep deleted array %q: %w", e.Name(), err)
+				}
+				s.recovery.RemovedFiles++
+			}
+			continue
+		}
+		st, err := loadArrayState(adir)
 		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// a directory without committed metadata is a crashed
+				// CreateArray: the array never existed. Recovery sweeps
+				// it; a non-durable open just skips it so read-only
+				// tools still work on a store with crash debris
+				if opts.Durability {
+					if rerr := s.fs.RemoveAll(adir); rerr != nil {
+						return nil, fmt.Errorf("core: sweep half-created array %q: %w", e.Name(), rerr)
+					}
+					s.recovery.RemovedFiles++
+				}
+				continue
+			}
 			return nil, fmt.Errorf("core: load array %q: %w", e.Name(), err)
 		}
 		s.arrays[st.Schema.Name] = st
+	}
+	if opts.Durability {
+		if err := s.recoverLocked(); err != nil {
+			return nil, fmt.Errorf("core: crash recovery: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -246,8 +327,15 @@ func (s *Store) Stats() IOStats {
 	out.CacheRejected = cs.Rejected
 	out.CacheBytes = cs.Bytes
 	out.CacheEntries = cs.Entries
+	out.RecoveryTruncatedFiles = s.recovery.TruncatedFiles
+	out.RecoveryTruncatedBytes = s.recovery.TruncatedBytes
+	out.RecoveryRemovedFiles = s.recovery.RemovedFiles
+	out.RecoveryDroppedVersions = s.recovery.DroppedVersions
 	return out
 }
+
+// Recovery returns what Open-time crash recovery repaired.
+func (s *Store) Recovery() RecoveryStats { return s.recovery }
 
 // ResetStats zeroes the I/O counters and the cache's cumulative counters
 // (cache residency is untouched).
@@ -312,6 +400,20 @@ type arrayState struct {
 	NextID       int            `json:"nextId"`
 	Versions     []*versionMeta `json:"versions"`
 	BranchedFrom *BranchRef     `json:"branchedFrom,omitempty"`
+	// Format is the on-disk chunk format: formatRaw for pre-frame stores
+	// (absent in their metadata), formatFramed for checksummed frames.
+	Format int `json:"format,omitempty"`
+	// Gen numbers the committed chunks directory ("chunks" for 0,
+	// "chunks.gN" after N destructive rewrites). Reorganize and Compact
+	// build generation N+1 beside the live one and switch with the
+	// metadata commit, so a crash can never leave committed metadata
+	// pointing at half-rewritten payloads.
+	Gen int `json:"gen,omitempty"`
+	// FileSeq names per-version chunk files uniquely so re-encodes write
+	// fresh files instead of truncating ones a committed version (or an
+	// in-flight reader) still references. Accessed atomically from
+	// parallel insert workers.
+	FileSeq int64 `json:"fileSeq,omitempty"`
 
 	dir string `json:"-"`
 
@@ -373,16 +475,54 @@ func loadArrayState(dir string) (*arrayState, error) {
 	return &st, nil
 }
 
-func (st *arrayState) save() error {
+// chunksDirName is the name of the committed chunks directory for a
+// generation number.
+func chunksDirName(gen int) string {
+	if gen == 0 {
+		return "chunks"
+	}
+	return fmt.Sprintf("chunks.g%d", gen)
+}
+
+// chunksDir returns the array's committed chunks directory.
+func (st *arrayState) chunksDir() string {
+	return filepath.Join(st.dir, chunksDirName(st.Gen))
+}
+
+// saveMeta commits an array's metadata: marshal to a tmp file, rename
+// over versions.json, and — with Durability on — fsync the tmp file
+// before the rename and the array directory after it. The rename is the
+// commit point of every mutation: chunk payloads are synced before
+// saveMeta is called, so once the new metadata is durable everything it
+// references is too, and anything it does not reference is garbage for
+// recovery and Compact to reclaim.
+func (s *Store) saveMeta(st *arrayState) error {
 	raw, err := json.MarshalIndent(st, "", " ")
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(st.dir, metaFile+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(st.dir, metaFile))
+	_, werr := f.Write(raw)
+	if werr == nil && s.opts.Durability {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(st.dir, metaFile)); err != nil {
+		return err
+	}
+	if s.opts.Durability {
+		return s.fs.SyncDir(st.dir)
+	}
+	return nil
 }
 
 // --- array lifecycle (the five basic operations, §II) ---
@@ -406,7 +546,7 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		return fmt.Errorf("core: array %q already exists", schema.Name)
 	}
 	dir := filepath.Join(s.dir, schema.Name)
-	if err := os.MkdirAll(filepath.Join(dir, "chunks"), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Join(dir, "chunks")); err != nil {
 		return err
 	}
 	elem := schema.Attrs[0].Type.Size()
@@ -419,16 +559,33 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		ChunkSide:    ck.Side(),
 		NextID:       1,
 		BranchedFrom: branchedFrom,
+		Format:       formatFramed,
 		dir:          dir,
 	}
-	if err := st.save(); err != nil {
+	if err := s.saveMeta(st); err != nil {
 		return err
+	}
+	if s.opts.Durability {
+		// the array directory's entry in the store root must survive too
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return err
+		}
 	}
 	s.arrays[schema.Name] = st
 	return nil
 }
 
-// DeleteArray removes an array and all of its versions.
+// tombstoneSuffix marks an array directory whose deletion committed but
+// whose removal may not have finished. Array names cannot contain dots
+// (array.Schema validation), so the suffix can never collide with a
+// live array.
+const tombstoneSuffix = ".deleting"
+
+// DeleteArray removes an array and all of its versions. The commit
+// point is a single rename to a tombstone name (made durable with a
+// store-root sync); the tree removal happens after it, so a crash can
+// only ever leave a tombstone for Open-time recovery to sweep — never a
+// half-deleted array that resurrects with versions missing.
 func (s *Store) DeleteArray(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,12 +596,19 @@ func (s *Store) DeleteArray(name string) error {
 	if !ok {
 		return fmt.Errorf("core: no array %q", name)
 	}
+	tomb := st.dir + tombstoneSuffix
 	st.ioMu.Lock()
-	err := os.RemoveAll(st.dir)
+	err := s.fs.Rename(st.dir, tomb)
+	if err == nil && s.opts.Durability {
+		err = s.fs.SyncDir(s.dir)
+	}
 	st.ioMu.Unlock()
 	if err != nil {
 		return err
 	}
+	// post-commit garbage collection; a failure just leaves the
+	// tombstone for the next Open's recovery
+	_ = s.fs.RemoveAll(tomb)
 	delete(s.arrays, name)
 	s.invalidateArrayLocked(name)
 	return nil

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/fsio"
+)
+
+// The crash-point matrix: a fixed insert → delta-list → delete-version →
+// reorganize → compact workload is run once to count every mutating
+// filesystem step (write, sync, rename, dir-sync, mkdir, remove,
+// truncate), then re-run from scratch once per step with an injected
+// crash at exactly that step. After each crash the store is reopened
+// with recovery on; every version whose commit succeeded before the
+// crash must read back byte-identical, the interrupted operation must be
+// atomically in or out, Verify must pass, and recovery must never have
+// dropped a committed version (the commit-protocol invariant: data is
+// synced before the metadata rename).
+
+// crashModel tracks what the workload committed.
+type crashModel struct {
+	// content maps committed version id -> expected cells.
+	content map[int]*array.Dense
+	// pendingID/pendingContent describe the operation the crash
+	// interrupted, when it has a maybe-committed version to account for.
+	pendingID      int
+	pendingContent *array.Dense
+	// pendingDeleted is the id of a version whose DeleteVersion was
+	// interrupted (it may be gone or still fully readable).
+	pendingDeleted int
+	// aux tracks the second array ("Aux"), which exercises the
+	// CreateArray and DeleteArray (tombstone) crash points.
+	auxInsertOK  bool // Aux's single insert committed
+	auxDeleteTry bool // DeleteArray("Aux") was attempted
+	auxDeleteOK  bool // DeleteArray("Aux") returned success
+}
+
+func durableOpts(coLocate bool, fs fsio.FS) Options {
+	o := smallOpts()
+	o.ChunkBytes = 1 << 10 // several chunks even at side 16
+	o.CoLocate = coLocate
+	o.Durability = true
+	o.FS = fs
+	o.Parallelism = 1 // deterministic step ordering for the matrix
+	o.DeltaCandidates = 2
+	return o
+}
+
+func crashContent(seed, side int64) *array.Dense {
+	d := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < d.NumCells(); i++ {
+		d.SetBits(i, (i*7+seed*131)%1000)
+	}
+	return d
+}
+
+// runCrashWorkload drives the workload until completion or the first
+// error. It returns the model of committed state; on error the model's
+// pending fields describe the interrupted operation.
+func runCrashWorkload(s *Store, side int64) (*crashModel, error) {
+	m := &crashModel{content: map[int]*array.Dense{}}
+	if err := s.CreateArray(schema2D("M", side)); err != nil {
+		return m, err
+	}
+
+	insert := func(seed int64) error {
+		content := crashContent(seed, side)
+		m.pendingID = nextLiveID(m)
+		m.pendingContent = content
+		id, err := s.Insert("M", DensePayload(content))
+		if err != nil {
+			return err
+		}
+		m.content[id] = content
+		m.pendingID, m.pendingContent = 0, nil
+		return nil
+	}
+
+	if err := insert(1); err != nil {
+		return m, err
+	}
+	if err := insert(2); err != nil {
+		return m, err
+	}
+	// delta-list update off version 1
+	{
+		updates := []CellUpdate{
+			{Coords: []int64{0, 0}, Bits: 4242},
+			{Coords: []int64{side - 1, side - 1}, Bits: 7},
+		}
+		want := m.content[1].Clone()
+		for _, u := range updates {
+			want.SetBitsAt(u.Coords, u.Bits)
+		}
+		m.pendingID = nextLiveID(m)
+		m.pendingContent = want
+		id, err := s.Insert("M", DeltaListPayload(1, updates))
+		if err != nil {
+			return m, err
+		}
+		m.content[id] = want
+		m.pendingID, m.pendingContent = 0, nil
+	}
+	if err := insert(3); err != nil {
+		return m, err
+	}
+	// second array: create, fill, and tombstone-delete it so the matrix
+	// covers the array-lifecycle commit points too
+	if err := s.CreateArray(schema2D("Aux", side)); err != nil {
+		return m, err
+	}
+	if _, err := s.Insert("Aux", DensePayload(crashContent(77, side))); err != nil {
+		return m, err
+	}
+	m.auxInsertOK = true
+	m.auxDeleteTry = true
+	if err := s.DeleteArray("Aux"); err != nil {
+		return m, err
+	}
+	m.auxDeleteOK = true
+	// delete version 2 (children may be delta'ed against it)
+	m.pendingDeleted = 2
+	if err := s.DeleteVersion("M", 2); err != nil {
+		return m, err
+	}
+	delete(m.content, 2)
+	m.pendingDeleted = 0
+	// destructive rewrites
+	if err := s.Reorganize("M", ReorganizeOptions{Policy: PolicyOptimal}); err != nil {
+		return m, err
+	}
+	if err := insert(4); err != nil {
+		return m, err
+	}
+	if err := s.Compact("M"); err != nil {
+		return m, err
+	}
+	if err := insert(5); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// nextLiveID predicts the id the next insert will be assigned (version
+// ids are never reused, so it is one past everything ever inserted).
+func nextLiveID(m *crashModel) int {
+	max := 0
+	for id := range m.content {
+		if id > max {
+			max = id
+		}
+	}
+	if m.pendingID > max {
+		max = m.pendingID
+	}
+	return max + 1
+}
+
+func TestCrashPointMatrix(t *testing.T) {
+	const side = 16
+	for _, coLocate := range []bool{true, false} {
+		coLocate := coLocate
+		t.Run(fmt.Sprintf("coLocate=%v", coLocate), func(t *testing.T) {
+			// pass 1: count the total number of mutation steps
+			counter := fsio.NewFault(0)
+			s, err := Open(t.TempDir(), durableOpts(coLocate, counter))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := runCrashWorkload(s, side); err != nil {
+				t.Fatalf("counting run failed: %v", err)
+			}
+			total := counter.Steps()
+			if total < 50 {
+				t.Fatalf("workload only has %d fault points; expected a rich matrix", total)
+			}
+			t.Logf("crash matrix: %d fault injection points", total)
+
+			for n := int64(1); n <= total; n++ {
+				fault := fsio.NewFault(n)
+				dir := t.TempDir()
+				s, err := Open(dir, durableOpts(coLocate, fault))
+				var m *crashModel
+				if err == nil {
+					m, err = runCrashWorkload(s, side)
+				} else {
+					m = &crashModel{content: map[int]*array.Dense{}}
+				}
+				if err == nil {
+					t.Fatalf("crash at step %d/%d did not surface", n, total)
+				}
+				if !errors.Is(err, fsio.ErrCrashed) {
+					t.Fatalf("crash at step %d: non-crash error %v", n, err)
+				}
+				checkRecovered(t, dir, n, m, side, coLocate)
+			}
+		})
+	}
+}
+
+// TestLegacyRawFormatCompat pins the on-disk format versioning: arrays
+// written before chunk frames existed (format 0, raw payloads) must
+// keep reading, and a destructive rewrite must upgrade them to framed
+// format 1 without changing their contents.
+func TestLegacyRawFormatCompat(t *testing.T) {
+	const side = 16
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.ChunkBytes = 1 << 10
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateArray(schema2D("Old", side)); err != nil {
+		t.Fatal(err)
+	}
+	// rewind the array to the legacy format before anything is written,
+	// exactly as a pre-frame store would load
+	st := s.arrays["Old"]
+	st.Format = formatRaw
+	if err := s.saveMeta(st); err != nil {
+		t.Fatal(err)
+	}
+	want := []*array.Dense{crashContent(1, side), crashContent(2, side)}
+	for _, w := range want {
+		if _, err := s.Insert("Old", DensePayload(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// reopen (with recovery) and read the raw-format payloads back
+	ropts := opts
+	ropts.Durability = true
+	r, err := Open(dir, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, err := r.Select("Old", i+1)
+		if err != nil {
+			t.Fatalf("raw-format version %d unreadable: %v", i+1, err)
+		}
+		if !got.Dense.Equal(w) {
+			t.Fatalf("raw-format version %d corrupted", i+1)
+		}
+	}
+	if r.arrays["Old"].Format != formatRaw {
+		t.Fatal("plain open must not silently rewrite the on-disk format")
+	}
+	// a rewrite upgrades to checksummed frames
+	if err := r.Reorganize("Old", ReorganizeOptions{Policy: PolicyOptimal}); err != nil {
+		t.Fatal(err)
+	}
+	if r.arrays["Old"].Format != formatFramed {
+		t.Fatal("Reorganize should upgrade to the framed format")
+	}
+	for i, w := range want {
+		got, err := r.Select("Old", i+1)
+		if err != nil {
+			t.Fatalf("upgraded version %d unreadable: %v", i+1, err)
+		}
+		if !got.Dense.Equal(w) {
+			t.Fatalf("upgraded version %d corrupted", i+1)
+		}
+	}
+	rep, err := r.Verify("Old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("upgraded store fails verify: %v", rep.Problems)
+	}
+}
+
+// TestRecoveryReconcilesLostData covers the defense-in-depth path: a
+// store written *without* durability crashes in a way that loses
+// committed chunk bytes. Recovery must drop the unreadable versions
+// (and their delta dependents) rather than serving garbage, and leave a
+// store that passes Verify.
+func TestRecoveryReconcilesLostData(t *testing.T) {
+	const side = 16
+	dir := t.TempDir()
+	opts := smallOpts()
+	opts.ChunkBytes = 1 << 10
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateArray(schema2D("M", side)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := crashContent(1, side)
+	if _, err := s.Insert("M", DensePayload(v1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("M", DensePayload(crashContent(2, side))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("M", DensePayload(crashContent(3, side))); err != nil {
+		t.Fatal(err)
+	}
+	// simulate a non-durable crash: cut the tail off every chain file,
+	// destroying the later versions' frames (v2/v3 are delta chains or
+	// appended frames past v1's)
+	st := s.arrays["M"]
+	sizes, err := chunkFileSizes(st.chunksDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxV1 := map[string]int64{}
+	for _, chunks := range st.Versions[0].Chunks {
+		for _, e := range chunks {
+			if end := e.Offset + frameLen(st.Format, e.Length); end > maxV1[e.File] {
+				maxV1[e.File] = end
+			}
+		}
+	}
+	for name, size := range sizes {
+		cut := maxV1[name] // keep only v1's frames (plus a torn byte)
+		if cut < size {
+			if err := fsio.OS.Truncate(st.chunksDir()+"/"+name, cut+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ropts := opts
+	ropts.Durability = true
+	r, err := Open(dir, ropts)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	if got := r.Recovery().DroppedVersions; got != 2 {
+		t.Fatalf("recovery dropped %d versions, want 2", got)
+	}
+	rep, err := r.Verify("M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("reconciled store fails verify: %v", rep.Problems)
+	}
+	got, err := r.Select("M", 1)
+	if err != nil {
+		t.Fatalf("surviving version unreadable: %v", err)
+	}
+	if !got.Dense.Equal(v1) {
+		t.Fatal("surviving version corrupted")
+	}
+}
+
+// checkRecovered reopens a crashed store with recovery and asserts the
+// durability contract.
+func checkRecovered(t *testing.T, dir string, step int64, m *crashModel, side int64, coLocate bool) {
+	t.Helper()
+	s, err := Open(dir, durableOpts(coLocate, fsio.OS))
+	if err != nil {
+		t.Fatalf("step %d: reopen after crash: %v", step, err)
+	}
+	if got := s.Recovery().DroppedVersions; got != 0 {
+		t.Fatalf("step %d: recovery dropped %d committed versions", step, got)
+	}
+	arrays := map[string]bool{}
+	for _, n := range s.ListArrays() {
+		arrays[n] = true
+	}
+	// the Aux array's lifecycle must be atomic: a committed DeleteArray
+	// can never resurrect it, a committed insert can only vanish with a
+	// committed (or in-flight) delete, and whatever survives verifies
+	switch {
+	case m.auxDeleteOK && arrays["Aux"]:
+		t.Fatalf("step %d: deleted array resurrected after recovery", step)
+	case m.auxInsertOK && !m.auxDeleteTry && !arrays["Aux"]:
+		t.Fatalf("step %d: array with committed data vanished", step)
+	case arrays["Aux"]:
+		rep, err := s.Verify("Aux")
+		if err != nil {
+			t.Fatalf("step %d: verify Aux: %v", step, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("step %d: recovered Aux fails verify: %v", step, rep.Problems)
+		}
+		infos, err := s.Versions("Aux")
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, vi := range infos {
+			got, err := s.Select("Aux", vi.ID)
+			if err != nil || !got.Dense.Equal(crashContent(77, side)) {
+				t.Fatalf("step %d: Aux version %d wrong after recovery (%v)", step, vi.ID, err)
+			}
+		}
+	}
+	if !arrays["M"] {
+		// the crash interrupted CreateArray itself
+		if len(m.content) != 0 {
+			t.Fatalf("step %d: array vanished with %d committed versions", step, len(m.content))
+		}
+		return
+	}
+	rep, err := s.Verify("M")
+	if err != nil {
+		t.Fatalf("step %d: verify: %v", step, err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("step %d: recovered store fails verify: %v", step, rep.Problems)
+	}
+	infos, err := s.Versions("M")
+	if err != nil {
+		t.Fatalf("step %d: versions: %v", step, err)
+	}
+	present := map[int]bool{}
+	for _, vi := range infos {
+		present[vi.ID] = true
+	}
+	// every committed version must be present and byte-identical
+	for id, want := range m.content {
+		if !present[id] {
+			t.Fatalf("step %d: committed version %d lost", step, id)
+		}
+		got, err := s.Select("M", id)
+		if err != nil {
+			t.Fatalf("step %d: committed version %d unreadable: %v", step, id, err)
+		}
+		if !got.Dense.Equal(want) {
+			t.Fatalf("step %d: committed version %d corrupted", step, id)
+		}
+		delete(present, id)
+	}
+	// the interrupted op must be atomically in or out
+	for id := range present {
+		switch {
+		case id == m.pendingID && m.pendingContent != nil:
+			got, err := s.Select("M", id)
+			if err != nil {
+				t.Fatalf("step %d: maybe-committed version %d unreadable: %v", step, id, err)
+			}
+			if !got.Dense.Equal(m.pendingContent) {
+				t.Fatalf("step %d: maybe-committed version %d has wrong content", step, id)
+			}
+		case id == m.pendingDeleted:
+			// an interrupted DeleteVersion left the version live; it must
+			// still read back as it did before the delete
+			got, err := s.Select("M", id)
+			if err != nil {
+				t.Fatalf("step %d: undeleted version %d unreadable: %v", step, id, err)
+			}
+			if !got.Dense.Equal(crashContent(int64(id), side)) {
+				t.Fatalf("step %d: undeleted version %d corrupted", step, id)
+			}
+		default:
+			t.Fatalf("step %d: unexpected version %d in recovered store", step, id)
+		}
+	}
+	// the recovered store must be fully writable again
+	if _, err := s.Insert("M", DensePayload(crashContent(99, side))); err != nil {
+		t.Fatalf("step %d: insert after recovery: %v", step, err)
+	}
+}

@@ -142,10 +142,24 @@ func (s *Store) insertLocked(name string, p Payload, kind string, extraParents [
 	if err := s.maybeBatchReencode(st); err != nil {
 		return 0, err
 	}
-	if err := st.save(); err != nil {
+	if err := s.syncChunks(st); err != nil {
+		return 0, err
+	}
+	if err := s.saveMeta(st); err != nil {
 		return 0, err
 	}
 	return id, nil
+}
+
+// syncChunks makes the chunks directory's entries durable before a
+// metadata commit: the payload bytes were already fsynced by writeBlob,
+// but files created by this mutation also need their directory entry on
+// disk before metadata can reference them. No-op without Durability.
+func (s *Store) syncChunks(st *arrayState) error {
+	if !s.opts.Durability {
+		return nil
+	}
+	return s.fs.SyncDir(st.chunksDir())
 }
 
 // maybeBatchReencode implements §IV-E's batched update heuristic: once
@@ -162,15 +176,10 @@ func (s *Store) maybeBatchReencode(st *arrayState) error {
 		return nil
 	}
 	batch := live[len(live)-k:]
-	// re-encoding existing versions in per-version file mode rewrites
-	// their chunk files in place (os.WriteFile truncates), which would
-	// race in-flight lock-free readers whose snapshots reference those
-	// files; drain and exclude them for the rewrite. Co-located chains
-	// only ever append, so readers are unaffected there.
-	if !s.opts.CoLocate {
-		st.ioMu.Lock()
-		defer st.ioMu.Unlock()
-	}
+	// re-encodes only ever append: chain files grow at the tail and
+	// per-version files get fresh FileSeq names, so in-flight lock-free
+	// readers keep decoding the byte ranges their snapshots reference
+	// and no I/O latch is needed here.
 	// load batch contents
 	planes := make([][]Plane, k)
 	for i, vm := range batch {
@@ -573,7 +582,9 @@ func (s *Store) Merge(newName string, parents []VersionRef) error {
 
 func (s *Store) rollbackArrayLocked(name string) {
 	if st, ok := s.arrays[name]; ok {
-		_ = removeAllQuiet(st.dir)
+		// through the FS seam so a fault-injected crash cannot "remove"
+		// files a dead process never could
+		_ = s.fs.RemoveAll(st.dir)
 		delete(s.arrays, name)
 		s.invalidateArrayLocked(name)
 	}

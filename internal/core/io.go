@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/compress"
@@ -15,18 +16,24 @@ import (
 // are appended to a single file, eliminating seeks when a delta chain is
 // read.
 //
-// Concurrency contract: chunk files are append-only between destructive
-// rewrites, so readBlob may run with no store lock held — a reader's
-// metadata snapshot only references (file, offset, length) triples that
-// were durable before the snapshot, and appends never disturb earlier
-// bytes. writeBlob is called from parallel insert workers; each worker
-// targets a distinct file (chain files are per chunk key, per-version
-// files are per chunk key too), so writers never share a file handle.
-// The exceptions to append-only all hold the array's exclusive I/O
-// latch: Reorganize/Compact/DeleteArray replace or remove files, and —
-// in per-version file mode only — the re-encode paths
-// (maybeBatchReencode, DeleteVersion) rewrite an existing version's
-// files in place via os.WriteFile.
+// Concurrency contract: every chunk write is an append to a file whose
+// committed prefix is never disturbed — chain files grow at the tail,
+// and re-encodes in per-version mode write fresh FileSeq-named files
+// rather than truncating old ones — so readBlob may run with no store
+// lock held: a reader's metadata snapshot only references (file, offset,
+// length) triples that existed before the snapshot. writeBlob is called
+// from parallel insert workers; each worker targets a distinct file, so
+// writers never share a file handle. The only destructive operations
+// (Reorganize, Compact, DeleteArray) build a new chunk generation
+// beside the live one, commit it with the metadata rename, and remove
+// the old generation under the array's exclusive I/O latch.
+//
+// Durability contract: with Options.Durability on, every append is
+// fsynced before writeBlob returns, and mutators sync the chunks
+// directory before committing metadata, so the metadata rename in
+// saveMeta is the commit point — everything a committed version
+// references is already durable, and anything past the last committed
+// frame in a file is garbage that recovery truncates.
 
 // chainFileName returns the co-located chain file for one (attr, chunk).
 func chainFileName(attr, chunkKey string) string {
@@ -34,50 +41,89 @@ func chainFileName(attr, chunkKey string) string {
 }
 
 // versionFileName returns the per-version file for one (version, attr,
-// chunk).
-func versionFileName(id int, attr, chunkKey string) string {
-	return fmt.Sprintf("v%d-%s-%s.dat", id, attr, chunkKey)
+// chunk). seq makes re-encodes of the same chunk land in fresh files
+// (no-overwrite at the file level; Compact reclaims the superseded
+// ones).
+func versionFileName(id int, attr, chunkKey string, seq int64) string {
+	return fmt.Sprintf("v%d-%s-%s-f%d.dat", id, attr, chunkKey, seq)
 }
 
 // writeBlob stores an encoded chunk payload and returns its location.
 func (s *Store) writeBlob(st *arrayState, id int, attr, chunkKey string, blob []byte) (file string, off int64, err error) {
 	if s.opts.CoLocate {
 		file = chainFileName(attr, chunkKey)
-		path := filepath.Join(st.dir, "chunks", file)
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return "", 0, err
-		}
-		defer f.Close()
-		info, err := f.Stat()
-		if err != nil {
-			return "", 0, err
-		}
-		off = info.Size()
-		if _, err := f.Write(blob); err != nil {
-			return "", 0, err
-		}
 	} else {
-		file = versionFileName(id, attr, chunkKey)
-		if err := os.WriteFile(filepath.Join(st.dir, "chunks", file), blob, 0o644); err != nil {
-			return "", 0, err
-		}
+		file = versionFileName(id, attr, chunkKey, atomic.AddInt64(&st.FileSeq, 1))
+	}
+	off, err = s.appendBlob(filepath.Join(st.chunksDir(), file), st.Format, blob, true)
+	if err != nil {
+		return "", 0, err
 	}
 	s.addWrite(int64(len(blob)))
 	return file, off, nil
 }
 
-// readBlob fetches an encoded chunk payload.
-func (s *Store) readBlob(st *arrayState, e chunkEntry) ([]byte, error) {
-	path := filepath.Join(st.dir, "chunks", e.File)
+// appendBlob appends one payload (framed under formatFramed) to path and
+// returns the offset its frame starts at. With Durability on and sync
+// set the data is fsynced before returning; generation builds pass sync
+// false and batch one fsync per file into commitGen instead. The close
+// error is always checked — a failed close after a buffered write is
+// silent data loss.
+func (s *Store) appendBlob(path string, format int, payload []byte, sync bool) (int64, error) {
+	f, err := s.fs.Append(path)
+	if err != nil {
+		return 0, err
+	}
+	off, err := f.Size()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	buf := payload
+	if format == formatFramed {
+		// the frame header stores the payload length as uint32; a payload
+		// it cannot represent would commit as a permanently unreadable
+		// frame, so refuse it up front (chunks are ~10 MB by design)
+		if int64(len(payload)) >= 1<<32 {
+			f.Close()
+			return 0, fmt.Errorf("core: chunk payload of %d bytes exceeds the frame format limit", len(payload))
+		}
+		buf = appendFrame(make([]byte, 0, frameLen(format, int64(len(payload)))), payload)
+	}
+	_, werr := f.Write(buf)
+	if werr == nil && sync && s.opts.Durability {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return 0, fmt.Errorf("core: append chunk to %s: %w", filepath.Base(path), werr)
+	}
+	return off, nil
+}
+
+// readBlob fetches an encoded chunk payload from the given chunks
+// directory. Under formatFramed the frame header is validated — magic,
+// length, and payload CRC32-C — so torn writes, stale offsets, and bit
+// rot surface as errors instead of garbage decodes.
+func (s *Store) readBlob(dir string, format int, e chunkEntry) ([]byte, error) {
+	path := filepath.Join(dir, e.File)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: open chunk file: %w", err)
 	}
 	defer f.Close()
-	blob := make([]byte, e.Length)
-	if _, err := f.ReadAt(blob, e.Offset); err != nil {
+	buf := make([]byte, frameLen(format, e.Length))
+	if _, err := f.ReadAt(buf, e.Offset); err != nil {
 		return nil, fmt.Errorf("core: read chunk %s@%d+%d: %w", e.File, e.Offset, e.Length, err)
+	}
+	blob := buf
+	if format == formatFramed {
+		blob, err = parseFrame(buf, e.Length)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %s@%d: %w", e.File, e.Offset, err)
+		}
 	}
 	s.addRead(e.Length)
 	return blob, nil

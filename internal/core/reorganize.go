@@ -262,13 +262,16 @@ func remapWorkload(wl []layout.Query, ids []int) ([]layout.Query, error) {
 }
 
 // rewriteLocked re-encodes all versions per the layout into a fresh
-// chunks directory, then swaps it in.
+// chunk generation directory, then commits it via the metadata rename
+// (see commitGen). The rewrite always produces checksummed frames, so
+// it also upgrades legacy raw-format arrays.
 func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l layout.Layout) error {
-	tmpDir := filepath.Join(st.dir, "chunks.tmp")
-	if err := os.RemoveAll(tmpDir); err != nil {
+	newGen := st.Gen + 1
+	tmpDir := filepath.Join(st.dir, chunksDirName(newGen)+".build")
+	if err := s.fs.RemoveAll(tmpDir); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(tmpDir); err != nil {
 		return err
 	}
 	newEntries := make([]map[string]map[string]chunkEntry, len(ids))
@@ -288,7 +291,7 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 					return err
 				}
 				file := chainFileName(attr.Name, "chunk-full")
-				off, err := appendTo(filepath.Join(tmpDir, file), sealed)
+				off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, sealed, false)
 				if err != nil {
 					return err
 				}
@@ -338,7 +341,7 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 					return err
 				}
 				file := chainFileName(attr.Name, key)
-				off, err := appendTo(filepath.Join(tmpDir, file), sealed)
+				off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, sealed, false)
 				if err != nil {
 					return err
 				}
@@ -349,19 +352,78 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 			}
 		}
 	}
-	if err := swapChunksDir(st, tmpDir); err != nil {
-		return err
-	}
-	idPos := make(map[int]int, len(ids))
-	for i, id := range ids {
-		idPos[id] = i
-	}
-	for _, vm := range st.Versions {
-		if i, ok := idPos[vm.ID]; ok {
-			vm.Chunks = newEntries[i]
+	return s.commitGen(st, newGen, tmpDir, func() {
+		idPos := make(map[int]int, len(ids))
+		for i, id := range ids {
+			idPos[id] = i
+		}
+		for _, vm := range st.Versions {
+			if i, ok := idPos[vm.ID]; ok {
+				vm.Chunks = newEntries[i]
+			}
+		}
+	})
+}
+
+// commitGen publishes a fully built chunk generation directory. The
+// sequence is the store's commit protocol for destructive rewrites:
+//
+//  1. sync the build directory (its files were synced as they were
+//     written), then rename it to its committed generation name and
+//     sync the array directory — the new payloads are now durable but
+//     unreferenced;
+//  2. stage the new metadata (generation number, framed format, the
+//     entries the apply callback installs) and commit it with saveMeta's
+//     atomic rename — this is the commit point;
+//  3. remove the old generation under the exclusive I/O latch, waiting
+//     out in-flight readers whose snapshots pinned it.
+//
+// A crash before step 2 leaves the old metadata pointing at the intact
+// old generation (recovery sweeps the unreferenced new one); a crash
+// after it leaves the new metadata pointing at the fully synced new
+// generation (recovery sweeps the old one).
+func (s *Store) commitGen(st *arrayState, newGen int, buildDir string, apply func()) error {
+	if s.opts.Durability {
+		// the build phase appends unsynced (one fsync per append would
+		// make rewrites O(chunks) in disk-flush cost); sync each built
+		// file exactly once here, before anything can reference it
+		if err := s.syncDirFiles(buildDir); err != nil {
+			return err
+		}
+		if err := s.fs.SyncDir(buildDir); err != nil {
+			return err
 		}
 	}
-	return st.save()
+	finalDir := filepath.Join(st.dir, chunksDirName(newGen))
+	// a leftover directory with this generation name can only be debris
+	// from an interrupted rewrite that never committed
+	if err := s.fs.RemoveAll(finalDir); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(buildDir, finalDir); err != nil {
+		return err
+	}
+	if s.opts.Durability {
+		if err := s.fs.SyncDir(st.dir); err != nil {
+			return err
+		}
+	}
+	oldDir := st.chunksDir()
+	st.Gen = newGen
+	st.Format = formatFramed
+	apply()
+	if err := s.saveMeta(st); err != nil {
+		// the commit did not land on disk; in-memory state keeps the new
+		// generation (its payloads are all present and durable) and a
+		// reopen recovers to the old metadata + old generation
+		return err
+	}
+	// post-commit garbage collection; a failure just leaves a stale
+	// generation for the next Open's recovery to sweep
+	st.ioMu.Lock()
+	_ = s.fs.RemoveAll(oldDir)
+	st.ioMu.Unlock()
+	return nil
 }
 
 func encodeSparseAgainst(planes [][]Plane, l layout.Layout, i, ai int, ids []int) ([]byte, int, error) {
@@ -380,20 +442,29 @@ func encodeSparseAgainst(planes [][]Plane, l layout.Layout, i, ai int, ids []int
 	return array.MarshalSparse(sp), -1, nil
 }
 
-func appendTo(path string, blob []byte) (int64, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// syncDirFiles fsyncs every regular file in dir.
+func (s *Store) syncDirFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		return 0, err
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := s.fs.Append(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		serr := f.Sync()
+		if cerr := f.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil {
+			return serr
+		}
 	}
-	if _, err := f.Write(blob); err != nil {
-		return 0, err
-	}
-	return info.Size(), nil
+	return nil
 }
 
 // DeleteVersion removes a version. Versions delta'ed against it are
@@ -415,13 +486,9 @@ func (s *Store) DeleteVersion(name string, id int) error {
 		return err
 	}
 	st.cachedView.Store(nil)
-	// the child re-encode below rewrites existing per-version chunk
-	// files in place when CoLocate is off; exclude in-flight readers,
-	// whose snapshots reference those files (chain mode only appends)
-	if !s.opts.CoLocate {
-		st.ioMu.Lock()
-		defer st.ioMu.Unlock()
-	}
+	// the child re-encodes below only ever append (fresh FileSeq files in
+	// per-version mode, chain tails in co-located mode), so in-flight
+	// readers keep decoding their snapshots without a latch
 	// re-encode every live chunk that bases on the deleted version
 	for _, child := range st.live() {
 		if child.ID == id {
@@ -462,18 +529,18 @@ func (s *Store) DeleteVersion(name string, id int) error {
 		}
 	}
 	vm.Deleted = true
-	if err := st.save(); err != nil {
+	if err := s.syncChunks(st); err != nil {
+		return err
+	}
+	if err := s.saveMeta(st); err != nil {
 		return err
 	}
 	// drain in-flight readers before sweeping the cache: a reader that
 	// snapshotted before the delete may otherwise re-insert entries after
 	// the sweep, leaving them resident until eviction pressure finds
-	// them. In per-version file mode the exclusive latch taken above
-	// already drained them.
-	if s.opts.CoLocate {
-		st.ioMu.Lock()
-		st.ioMu.Unlock() //nolint:staticcheck // empty critical section = barrier
-	}
+	// them.
+	st.ioMu.Lock()
+	st.ioMu.Unlock() //nolint:staticcheck // empty critical section = barrier
 	// only the deleted version's decoded chunks are invalid — children
 	// were re-encoded above but their decoded content is unchanged, so
 	// the rest of the array's warm cache stays (no epoch bump: version
@@ -497,11 +564,12 @@ func (s *Store) Compact(name string) error {
 		return fmt.Errorf("core: no array %q", name)
 	}
 	st.cachedView.Store(nil)
-	tmpDir := filepath.Join(st.dir, "chunks.tmp")
-	if err := os.RemoveAll(tmpDir); err != nil {
+	newGen := st.Gen + 1
+	tmpDir := filepath.Join(st.dir, chunksDirName(newGen)+".build")
+	if err := s.fs.RemoveAll(tmpDir); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(tmpDir); err != nil {
 		return err
 	}
 	// copy referenced payloads in a deterministic order
@@ -535,7 +603,7 @@ func (s *Store) Compact(name string) error {
 	fresh := make(map[*versionMeta]map[string]map[string]chunkEntry)
 	for _, r := range refs {
 		e := r.vm.Chunks[r.attr][r.key]
-		blob, err := s.readBlob(st, e)
+		blob, err := s.readBlob(st.chunksDir(), st.Format, e)
 		if err != nil {
 			return err
 		}
@@ -543,7 +611,8 @@ func (s *Store) Compact(name string) error {
 		if s.opts.CoLocate {
 			file = chainFileName(r.attr, r.key)
 		}
-		off, err := appendTo(filepath.Join(tmpDir, file), blob)
+		// the copy re-frames every payload, upgrading raw-format arrays
+		off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, blob, false)
 		if err != nil {
 			return err
 		}
@@ -559,27 +628,11 @@ func (s *Store) Compact(name string) error {
 		}
 		byAttr[r.attr][r.key] = e
 	}
-	if err := swapChunksDir(st, tmpDir); err != nil {
-		return err
-	}
-	for vm, byAttr := range fresh {
-		for attr, m := range byAttr {
-			vm.Chunks[attr] = m
+	return s.commitGen(st, newGen, tmpDir, func() {
+		for vm, byAttr := range fresh {
+			for attr, m := range byAttr {
+				vm.Chunks[attr] = m
+			}
 		}
-	}
-	return st.save()
-}
-
-// swapChunksDir replaces the array's chunks directory with tmpDir under
-// the exclusive I/O latch, waiting out in-flight readers still decoding
-// against the old files.
-func swapChunksDir(st *arrayState, tmpDir string) error {
-	oldDir := filepath.Join(st.dir, "chunks")
-	st.ioMu.Lock()
-	err := os.RemoveAll(oldDir)
-	if err == nil {
-		err = os.Rename(tmpDir, oldDir)
-	}
-	st.ioMu.Unlock()
-	return err
+	})
 }

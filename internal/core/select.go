@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/cache"
@@ -301,7 +300,7 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	if !ok {
 		return nil, fmt.Errorf("core: version %d missing chunk %s/%s", id, attr, key)
 	}
-	blob, err := s.readBlob(st, e)
+	blob, err := s.readBlob(v.dir, v.format, e)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +361,7 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 	if !ok {
 		return nil, false, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
 	}
-	blob, err := s.readBlob(st, e)
+	blob, err := s.readBlob(v.dir, v.format, e)
 	if err != nil {
 		return nil, false, err
 	}
@@ -390,5 +389,3 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 	local[id] = sparseRes{sp: out, shared: shared}
 	return out, shared, nil
 }
-
-func removeAllQuiet(dir string) error { return os.RemoveAll(dir) }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 )
 
@@ -75,7 +74,7 @@ func (s *Store) Verify(name string) (VerifyReport, error) {
 					rep.Problems = append(rep.Problems,
 						fmt.Sprintf("version %d: chunk %s/%s delta-based on non-live version %d", vm.ID, attr.Name, key, e.Base))
 				}
-				used[e.File] = append(used[e.File], fileRange{e.Offset, e.Offset + e.Length})
+				used[e.File] = append(used[e.File], fileRange{e.Offset, e.Offset + frameLen(st.Format, e.Length)})
 			}
 			// delta-chain depth and cycle detection per chunk
 			for _, key := range wantKeys {
@@ -98,8 +97,7 @@ func (s *Store) Verify(name string) (VerifyReport, error) {
 		}
 	}
 	// dangling bytes: file sizes minus referenced ranges
-	chunksDir := filepath.Join(st.dir, "chunks")
-	entries, err := os.ReadDir(chunksDir)
+	entries, err := os.ReadDir(st.chunksDir())
 	if err != nil {
 		return rep, err
 	}

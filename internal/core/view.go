@@ -19,6 +19,12 @@ import (
 type readView struct {
 	st    *arrayState
 	epoch uint64
+	// dir and format pin the chunk generation the snapshot reads from:
+	// a destructive rewrite commits a new generation directory (and may
+	// upgrade the chunk format), and a reader must keep decoding the one
+	// its metadata references.
+	dir    string
+	format int
 	// byID holds cloned live version metadata; nil means "reading under
 	// the store lock, use st directly".
 	byID map[int]*versionMeta
@@ -31,7 +37,7 @@ type readView struct {
 // replaces inner maps wholesale rather than writing into published ones,
 // so a snapshot costs O(versions × attrs), independent of chunk count.
 func (s *Store) viewLocked(st *arrayState, clone bool) *readView {
-	v := &readView{st: st, epoch: s.epochs[st.Schema.Name]}
+	v := &readView{st: st, epoch: s.epochs[st.Schema.Name], dir: st.chunksDir(), format: st.Format}
 	if !clone {
 		return v
 	}

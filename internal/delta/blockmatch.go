@@ -134,7 +134,9 @@ func applyBlockMatch(blob []byte, base *array.Dense) (*array.Dense, error) {
 		return nil, fmt.Errorf("delta: truncated blockmatch count")
 	}
 	pos += k
-	if len(blob) < pos+int(nblocks)*2 {
+	// every block vector occupies two bytes; reject counts the input
+	// cannot back (also keeps pos+2*nblocks from overflowing)
+	if nblocks > uint64(len(blob)-pos)/2 {
 		return nil, fmt.Errorf("delta: truncated blockmatch vectors")
 	}
 	h, w := base.Shape()[0], base.Shape()[1]

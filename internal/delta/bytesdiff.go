@@ -54,7 +54,8 @@ func BytesPatch(old, patch []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if uint64(len(patch)-pos) != ccLen+dcLen+ecLen {
+	rest := uint64(len(patch) - pos)
+	if ccLen > rest || dcLen > rest || ecLen > rest || ccLen+dcLen+ecLen != rest {
 		return nil, fmt.Errorf("delta: patch stream lengths do not match")
 	}
 	ctrl, err := compress.Decompress(compress.LZ, patch[pos:pos+int(ccLen)], compress.Params{})
@@ -71,6 +72,12 @@ func BytesPatch(old, patch []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// every output byte is copied from the diff or extra stream, so a
+	// claimed length those streams cannot back is hostile — reject it
+	// before allocating the output
+	if newLen > uint64(len(diff))+uint64(len(extra)) {
+		return nil, fmt.Errorf("delta: patch claims %d output bytes backed by %d", newLen, len(diff)+len(extra))
+	}
 	out := make([]byte, newLen)
 	var cpos, opos, npos, dpos, epos int
 	for npos < int(newLen) {
@@ -84,6 +91,9 @@ func BytesPatch(old, patch []byte) ([]byte, error) {
 			return nil, fmt.Errorf("delta: truncated patch ctrl")
 		}
 		cpos += k
+		if lenf > uint64(len(diff)) || extraLen > uint64(len(extra)) {
+			return nil, fmt.Errorf("delta: patch segment lengths out of range")
+		}
 		seek, k := binary.Varint(ctrl[cpos:])
 		if k <= 0 {
 			return nil, fmt.Errorf("delta: truncated patch ctrl")

@@ -103,6 +103,11 @@ func applySparse(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 		return nil, fmt.Errorf("delta: truncated sparse delta count")
 	}
 	pos += k
+	// each entry needs at least one index byte and one value byte; a
+	// count the input cannot back must not size an allocation
+	if nnz > uint64(len(blob)-pos)/2 {
+		return nil, fmt.Errorf("delta: sparse delta claims %d entries in %d bytes", nnz, len(blob)-pos)
+	}
 	idx := make([]int64, nnz)
 	prev := int64(0)
 	for i := range idx {
@@ -123,7 +128,7 @@ func applySparse(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 			return nil, fmt.Errorf("delta: truncated sparse delta value %d", i)
 		}
 		pos += k
-		if idx[i] >= n {
+		if idx[i] < 0 || idx[i] >= n {
 			return nil, fmt.Errorf("delta: sparse delta index %d out of range", idx[i])
 		}
 		if reverse {
@@ -235,6 +240,9 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 		return nil, fmt.Errorf("delta: truncated hybrid delta")
 	}
 	width := int(blob[2])
+	if width > 64 {
+		return nil, fmt.Errorf("delta: hybrid width %d out of range", width)
+	}
 	n := from.NumCells()
 	planeBytes := int((n*int64(width) + 7) / 8)
 	if len(blob) < 3+planeBytes {
@@ -250,6 +258,10 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 		return nil, fmt.Errorf("delta: truncated hybrid overlay count")
 	}
 	pos += k
+	// each overlay entry needs at least an index byte and a value byte
+	if nnz > uint64(len(blob)-pos)/2 {
+		return nil, fmt.Errorf("delta: hybrid overlay claims %d entries in %d bytes", nnz, len(blob)-pos)
+	}
 	idx := make([]int64, nnz)
 	prev := int64(0)
 	for i := range idx {
@@ -267,7 +279,7 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 			return nil, fmt.Errorf("delta: truncated hybrid overlay value %d", i)
 		}
 		pos += k
-		if idx[i] >= n {
+		if idx[i] < 0 || idx[i] >= n {
 			return nil, fmt.Errorf("delta: hybrid overlay index %d out of range", idx[i])
 		}
 		plane[idx[i]] = d

@@ -1,0 +1,77 @@
+package delta
+
+import (
+	"testing"
+
+	"arrayvers/internal/array"
+)
+
+func fuzzBase() *array.Dense {
+	d := array.MustDense(array.Int32, []int64{8, 8})
+	for i := int64(0); i < d.NumCells(); i++ {
+		d.SetBits(i, i*13%500-200)
+	}
+	return d
+}
+
+func fuzzSparseBase() *array.Sparse {
+	sp := array.MustSparse(array.Int16, []int64{64, 64}, 7)
+	for i := int64(0); i < 30; i++ {
+		sp.SetBits(i*111%4096, i-15)
+	}
+	return sp
+}
+
+// FuzzApply hurls arbitrary blobs at every delta decoder — the five
+// dense Apply methods, the bidirectional Unapply path, the sparse-ops
+// decoder, and the byte-level bsdiff patcher. A hostile blob must come
+// back as an error, never a panic or an allocation unmoored from the
+// input size; base arrays are never mutated.
+func FuzzApply(f *testing.F) {
+	base := fuzzBase()
+	target := fuzzBase()
+	for i := int64(0); i < 12; i++ {
+		target.SetBits(i*5, target.Bits(i*5)+1000)
+	}
+	// seed corpus: one valid blob per method
+	for _, m := range []Method{Dense, Sparse, Hybrid, BlockMatch, BSDiff} {
+		if blob, err := Encode(m, target, base); err == nil {
+			f.Add(blob)
+		}
+	}
+	spBase := fuzzSparseBase()
+	spTarget := spBase.Clone()
+	spTarget.SetBits(5, 123)
+	if blob, err := EncodeSparseOps(spTarget, spBase); err == nil {
+		f.Add(blob)
+	}
+	f.Add(BytesDiff([]byte("old content old content"), []byte("new content, rather longer")))
+	f.Add([]byte{byte(Hybrid), 3, 200}) // implausible width
+	f.Add([]byte{byte(Sparse), 3, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if len(blob) > 1<<16 {
+			return
+		}
+		base := fuzzBase()
+		pristine := base.Clone()
+		if out, err := Apply(blob, base); err == nil && out == nil {
+			t.Fatal("Apply returned nil array without error")
+		}
+		if out, err := Unapply(blob, base); err == nil && out == nil {
+			t.Fatal("Unapply returned nil array without error")
+		}
+		if !base.Equal(pristine) {
+			t.Fatal("Apply/Unapply mutated the base array")
+		}
+		sp := fuzzSparseBase()
+		spPristine := sp.Clone()
+		_, _ = ApplySparseOps(blob, sp)
+		_, _ = UnapplySparseOps(blob, sp)
+		if !sp.Equal(spPristine) {
+			t.Fatal("sparse ops mutated the base array")
+		}
+		_, _ = BytesPatch([]byte("old content old content"), blob)
+		_, _ = MethodOf(blob)
+	})
+}

@@ -106,6 +106,11 @@ func applySparseOps(blob []byte, from *array.Sparse, reverse bool) (*array.Spars
 		return nil, fmt.Errorf("delta: truncated sparseops count")
 	}
 	pos += k
+	// every edit carries an index gap plus two value varints, one byte
+	// minimum each; reject counts the input cannot back before allocating
+	if n > uint64(len(blob)-pos)/3 {
+		return nil, fmt.Errorf("delta: sparseops claims %d edits in %d bytes", n, len(blob)-pos)
+	}
 	idx := make([]int64, n)
 	prev := int64(0)
 	for i := range idx {
@@ -141,7 +146,7 @@ func applySparseOps(blob []byte, from *array.Sparse, reverse bool) (*array.Spars
 	out := from.Clone()
 	total := from.NumCells()
 	for i := range idx {
-		if idx[i] >= total {
+		if idx[i] < 0 || idx[i] >= total {
 			return nil, fmt.Errorf("delta: sparseops index %d out of range", idx[i])
 		}
 		if reverse {

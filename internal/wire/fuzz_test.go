@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+)
+
+// FuzzFrameCodec drives every wire decoder that faces network bytes
+// with arbitrary input: the frame reader, the insert-payload decoder,
+// and the plane/sparse-set readers. None may panic or allocate beyond
+// the size limit regardless of input; whatever decodes successfully
+// must re-encode cleanly (the codec is total on its own output).
+func FuzzFrameCodec(f *testing.F) {
+	// seed corpus: one valid frame of every kind plus both payload forms
+	dense := array.MustDense(array.Int32, []int64{4, 4})
+	for i := int64(0); i < dense.NumCells(); i++ {
+		dense.SetBits(i, i*7)
+	}
+	sparse := array.MustSparse(array.Float64, []int64{32, 32}, 0)
+	sparse.SetBits(17, 99)
+	sparse.SetBits(900, -3)
+
+	var buf bytes.Buffer
+	_ = WriteDense(&buf, dense)
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = WritePlane(&buf, core.Plane{Sparse: sparse})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = WriteSparseSet(&buf, []*array.Sparse{sparse, sparse})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = WritePayload(&buf, core.DensePayload(dense))
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = WritePayload(&buf, core.DeltaListPayload(2, []core.CellUpdate{
+		{Attr: "A", Coords: []int64{1, 2}, Bits: 42},
+		{Coords: []int64{3, 3}, Bits: -1},
+	}))
+	f.Add(buf.Bytes())
+	// hostile shapes: truncated header, bad magic, oversized length
+	f.Add([]byte("AVF1"))
+	f.Add([]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("AVF1\x01\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	const max = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > max {
+			return
+		}
+		if kind, payload, err := ReadFrame(bytes.NewReader(data), max); err == nil {
+			var out bytes.Buffer
+			if err := WriteFrame(&out, kind, payload); err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+		}
+		if p, err := DecodePayload(data); err == nil {
+			if _, err := EncodePayload(p); err != nil {
+				t.Fatalf("re-encode of decoded payload failed: %v", err)
+			}
+		}
+		_, _ = ReadPlane(bytes.NewReader(data), max)
+		_, _ = ReadSparseSet(bytes.NewReader(data), max)
+		_, _ = ReadDense(bytes.NewReader(data), max)
+		_, _ = ReadPayload(bytes.NewReader(data), max)
+	})
+}

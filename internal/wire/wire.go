@@ -323,6 +323,11 @@ func DecodePayload(blob []byte) (core.Payload, error) {
 		if err != nil {
 			return core.Payload{}, err
 		}
+		// a delta-list against version 0 is meaningless (EncodePayload
+		// never produces it) and version ids are small positive ints
+		if base == 0 || base > 1<<31 {
+			return core.Payload{}, fmt.Errorf("wire: payload has invalid delta base %d", base)
+		}
 		pos = next
 		count, next, err := readUvarint(blob, pos)
 		if err != nil {

@@ -164,7 +164,7 @@ func TestReadDenseWrongKind(t *testing.T) {
 
 func TestSparseSetRoundTrip(t *testing.T) {
 	set := []*array.Sparse{testSparse(t), testSparse(t)}
-	set[1].SetBits(12345, 99)
+	set[1].SetBits(2345, 99)
 	var buf bytes.Buffer
 	if err := WriteSparseSet(&buf, set); err != nil {
 		t.Fatal(err)
