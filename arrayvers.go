@@ -164,6 +164,20 @@ type VerifyReport = core.VerifyReport
 type (
 	ReorganizeOptions = core.ReorganizeOptions
 	LayoutPolicy      = core.LayoutPolicy
+	// Layout assigns each version a materialization or a delta parent;
+	// Store.CurrentLayout reports the one on disk.
+	Layout = layout.Layout
+)
+
+// Adaptive reorganization (the closed loop on §IV-D): the store records
+// every select's version set; the background tuner re-lays arrays out
+// with PolicyWorkloadAware when the recorded workload's projected I/O
+// savings clear Options.AutoTune.MinSavings. See Store.Tune,
+// Store.Workload, and DESIGN.md "Adaptive reorganization".
+type (
+	AutoTuneOptions = core.AutoTuneOptions
+	TuneReport      = core.TuneReport
+	Tuner           = core.Tuner
 )
 
 // Layout policies.

@@ -391,6 +391,29 @@ func (c *Client) Reorganize(name string, opts arrayvers.ReorganizeOptions) error
 	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/reorganize", body, nil)
 }
 
+// Tune forces one adaptive-tuner pass over the array on the server and
+// returns its report (whether a reorganization was triggered, the
+// estimated costs, and the reason when it was skipped).
+func (c *Client) Tune(name string) (arrayvers.TuneReport, error) {
+	var rep arrayvers.TuneReport
+	err := c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/tune", nil, &rep)
+	return rep, err
+}
+
+// Workload returns the array's recorded access histogram as weighted
+// queries, heaviest first.
+func (c *Client) Workload(name string) ([]arrayvers.Query, error) {
+	var wl []arrayvers.Query
+	err := c.getJSON("/v1/arrays/"+url.PathEscape(name)+"/workload", &wl)
+	return wl, err
+}
+
+// RecordWorkload merges the given weighted queries into the array's
+// recorded workload on the server, seeding the adaptive tuner.
+func (c *Client) RecordWorkload(name string, queries []arrayvers.Query) error {
+	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/workload", queries, nil)
+}
+
 // DeleteVersion marks one version deleted.
 func (c *Client) DeleteVersion(name string, id int) error {
 	return c.sendJSON(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/delete-version",
@@ -466,6 +489,9 @@ type storeShape interface {
 	Branch(string, int, string) error
 	Merge(string, []arrayvers.VersionRef) error
 	Reorganize(string, arrayvers.ReorganizeOptions) error
+	Tune(string) (arrayvers.TuneReport, error)
+	Workload(string) ([]arrayvers.Query, error)
+	RecordWorkload(string, []arrayvers.Query) error
 	DeleteVersion(string, int) error
 	Compact(string) error
 	Verify(string) (arrayvers.VerifyReport, error)

@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath|server]
+//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath|server|adaptive]
 //	        [-scale default|quick] [-workdir DIR]
 //	        [-parallelism N] [-cache-bytes N] [-json-dir DIR]
 //
 // Each experiment prints a table mirroring the paper's rows; see
-// EXPERIMENTS.md for the paper-vs-measured comparison. The hotpath and
-// server experiments additionally write BENCH_hotpath.json (ns/op,
-// MB/s, cache hit rate) and BENCH_server.json (remote select throughput
-// vs client fan-out) into -json-dir so the perf trajectory is
-// machine-trackable across PRs.
+// EXPERIMENTS.md for the paper-vs-measured comparison. The hotpath,
+// server, and adaptive experiments additionally write
+// BENCH_hotpath.json (ns/op, MB/s, cache hit rate), BENCH_server.json
+// (remote select throughput vs client fan-out), and BENCH_adaptive.json
+// (skewed-trace read amplification before/after an adaptive tuner pass)
+// into -json-dir so the perf trajectory is machine-trackable across
+// PRs. JSON results are committed by writing a hidden temp file and
+// renaming it into place, so an interrupted run can never leave a torn
+// BENCH_*.json for a CI artifact step to archive.
 package main
 
 import (
@@ -28,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, or server")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, or adaptive")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -77,12 +81,24 @@ func main() {
 		}
 	}
 
+	adaptive := func() {
+		t, results, err := bench.Adaptive(dir, sc, *parallelism)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_adaptive.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "hotpath":
 			hotpath()
 		case "server":
 			serverExp()
+		case "adaptive":
+			adaptive()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -142,22 +158,47 @@ func main() {
 		emit(ta, err)
 		hotpath()
 		serverExp()
+		adaptive()
 		return
 	}
 	run(*experiment)
 }
 
-// writeJSON atomically replaces path with the indented JSON encoding of v.
+// writeJSON atomically replaces path with the indented JSON encoding of
+// v. The temp file is hidden (dot-prefixed) and uniquely named so an
+// interrupted or concurrent bench run can neither leave a torn file
+// matching the BENCH_*.json artifact glob nor corrupt another run's
+// write, and it is fsynced before the rename so the committed file is
+// never empty after a crash.
 func writeJSON(path string, v any) error {
 	raw, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	_, werr := f.Write(append(raw, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
 }
 
 func emit(t bench.Table, err error) {

@@ -12,10 +12,20 @@
 //	avstore -store DIR stats             # or: avstore stats -addr http://host:7421
 //	avstore -store DIR list
 //	avstore -store DIR reorganize -name A -policy optimal|algorithm1|algorithm2|linear|head
+//	avstore -store DIR tune    -name A [-spec "1*50,3-8*10"] [-min-savings 0.1]
+//	avstore tune -addr http://host:7421 -name A   # force a pass on a daemon
 //	avstore -store DIR delete-version -name A -version 2
 //	avstore -store DIR verify  -name A
 //	avstore -store DIR fsck    [-name A]
 //	avstore -store DIR drop    -name A
+//
+// tune runs one adaptive-reorganizer pass (§IV-D): it weighs the
+// array's recorded workload against the current layout and re-lays the
+// array out when the projected I/O savings clear -min-savings. An
+// embedded store has no recorded traffic of its own, so -spec seeds the
+// histogram with an a-priori workload: comma-separated v*weight
+// (snapshot) or lo-hi*weight (range) terms. With -addr the pass runs on
+// a live daemon, which has been recording its clients' selects.
 //
 // The global -cache-bytes and -parallelism flags tune the decoded-chunk
 // cache and the hot-path worker pool for the invocation. The global
@@ -58,7 +68,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|verify|fsck|delete-version|drop> [flags]")
+		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|tune|verify|fsck|delete-version|drop> [flags]")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -70,22 +80,50 @@ func run(args []string) error {
 	attrs := fs.String("attrs", "", "attributes, e.g. V:float32")
 	boxSpec := fs.String("box", "", "region, e.g. 0,0:16,16 (lo:hi, hi exclusive)")
 	policy := fs.String("policy", "optimal", "layout policy for reorganize")
-	addr := fs.String("addr", "", "avstored base URL (stats only: query a running daemon instead of a store directory)")
+	spec := fs.String("spec", "", "tune: seed workload, comma-separated v*weight or lo-hi*weight terms")
+	minSavings := fs.Float64("min-savings", 0, "tune: fractional projected I/O savings required to re-lay out (0 = default 0.10)")
+	addr := fs.String("addr", "", "avstored base URL (stats and tune: talk to a running daemon instead of a store directory)")
 	if err := fs.Parse(cmdArgs); err != nil {
 		return err
 	}
 
-	// `stats -addr` asks a running daemon, no store directory needed
+	// `stats -addr` / `tune -addr` ask a running daemon, no store
+	// directory needed
 	if *addr != "" {
-		if cmd != "stats" {
-			return fmt.Errorf("avstore: -addr is only supported by the stats subcommand")
+		c := client.New(*addr)
+		switch cmd {
+		case "stats":
+			st, err := c.Stats()
+			if err != nil {
+				return err
+			}
+			cliutil.WriteStats(os.Stdout, st)
+			return nil
+		case "tune":
+			if *name == "" {
+				return fmt.Errorf("tune needs -name")
+			}
+			if *minSavings != 0 {
+				return fmt.Errorf("-min-savings only applies to embedded stores; the daemon's threshold is its -autotune-min-savings flag")
+			}
+			if *spec != "" {
+				queries, err := parseWorkloadSpec(*spec)
+				if err != nil {
+					return err
+				}
+				if err := c.RecordWorkload(*name, queries); err != nil {
+					return err
+				}
+			}
+			rep, err := c.Tune(*name)
+			if err != nil {
+				return err
+			}
+			printTuneReport(rep)
+			return nil
+		default:
+			return fmt.Errorf("avstore: -addr is only supported by the stats and tune subcommands")
 		}
-		st, err := client.New(*addr).Stats()
-		if err != nil {
-			return err
-		}
-		cliutil.WriteStats(os.Stdout, st)
-		return nil
 	}
 	if *storeDir == "" {
 		return fmt.Errorf("avstore: -store is required (or use: avstore stats -addr URL)")
@@ -93,7 +131,14 @@ func run(args []string) error {
 	if cmd == "fsck" {
 		*durable = true // fsck is pointless without recovery at open
 	}
-	store, err := arrayvers.Open(*storeDir, cliutil.StoreOptions(*cacheBytes, *parallelism, *durable))
+	opts := cliutil.StoreOptions(*cacheBytes, *parallelism, *durable)
+	if cmd == "tune" {
+		opts.AutoTune.MinSavings = *minSavings
+		// a forced CLI pass should always estimate, even for a small
+		// seeded workload
+		opts.AutoTune.MinOps = 1
+	}
+	store, err := arrayvers.Open(*storeDir, opts)
 	if err != nil {
 		return err
 	}
@@ -204,6 +249,24 @@ func run(args []string) error {
 		}
 		info, _ := store.Info(*name)
 		fmt.Printf("reorganized %s with %s layout: %s on disk\n", *name, *policy, human(info.DiskBytes))
+	case "tune":
+		if *name == "" {
+			return fmt.Errorf("tune needs -name")
+		}
+		if *spec != "" {
+			queries, err := parseWorkloadSpec(*spec)
+			if err != nil {
+				return err
+			}
+			if err := store.RecordWorkload(*name, queries); err != nil {
+				return err
+			}
+		}
+		rep, err := store.Tune(*name)
+		if err != nil {
+			return err
+		}
+		printTuneReport(rep)
 	case "delete-version":
 		if err := store.DeleteVersion(*name, *version); err != nil {
 			return err
@@ -305,6 +368,53 @@ func parseSchema(name, dims, attrs string) (arrayvers.Schema, error) {
 		schema.Attrs = append(schema.Attrs, arrayvers.Attribute{Name: parts[0], Type: dt})
 	}
 	return schema, schema.Validate()
+}
+
+// parseWorkloadSpec parses the tune -spec syntax: comma-separated terms,
+// each "v*weight" (a snapshot query of version v) or "lo-hi*weight" (a
+// range query over versions lo..hi inclusive); "*weight" defaults to 1.
+func parseWorkloadSpec(spec string) ([]arrayvers.Query, error) {
+	var out []arrayvers.Query
+	for _, term := range strings.Split(spec, ",") {
+		weight := 1.0
+		vers := term
+		if star := strings.LastIndex(term, "*"); star >= 0 {
+			w, err := strconv.ParseFloat(term[star+1:], 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad workload weight in %q", term)
+			}
+			weight = w
+			vers = term[:star]
+		}
+		if lo, hi, ok := strings.Cut(vers, "-"); ok {
+			l, err1 := strconv.Atoi(lo)
+			h, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || l > h {
+				return nil, fmt.Errorf("bad workload range in %q", term)
+			}
+			out = append(out, arrayvers.Range(l, h, weight))
+			continue
+		}
+		v, err := strconv.Atoi(vers)
+		if err != nil {
+			return nil, fmt.Errorf("bad workload version in %q", term)
+		}
+		out = append(out, arrayvers.Snapshot(v, weight))
+	}
+	return out, nil
+}
+
+func printTuneReport(rep arrayvers.TuneReport) {
+	fmt.Printf("array %s: %.1f recorded ops across %d patterns\n", rep.Array, rep.Ops, rep.Patterns)
+	if rep.CurrentCost > 0 {
+		fmt.Printf("workload I/O cost: current %.0f, workload-aware %.0f (%.1f%% savings, threshold %.1f%%)\n",
+			rep.CurrentCost, rep.ProjectedCost, rep.Savings*100, rep.MinSavings*100)
+	}
+	if rep.Reorganized {
+		fmt.Println("reorganized with the workload-aware layout")
+	} else {
+		fmt.Printf("not reorganized: %s\n", rep.Reason)
+	}
 }
 
 // parseBox and parsePolicy delegate to the shared cliutil forms, which

@@ -68,6 +68,30 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+func TestParseWorkloadSpec(t *testing.T) {
+	qs, err := parseWorkloadSpec("1*50,3-8*10,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries: %v", len(qs), qs)
+	}
+	if qs[0].Weight != 50 || len(qs[0].Versions) != 1 || qs[0].Versions[0] != 1 {
+		t.Fatalf("snapshot term: %+v", qs[0])
+	}
+	if qs[1].Weight != 10 || len(qs[1].Versions) != 6 || qs[1].Versions[5] != 8 {
+		t.Fatalf("range term: %+v", qs[1])
+	}
+	if qs[2].Weight != 1 || qs[2].Versions[0] != 4 {
+		t.Fatalf("default-weight term: %+v", qs[2])
+	}
+	for _, bad := range []string{"", "x*2", "3-1*2", "1*-2", "1*0", "2-x"} {
+		if _, err := parseWorkloadSpec(bad); err == nil {
+			t.Errorf("parseWorkloadSpec(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	store := filepath.Join(dir, "store")
@@ -90,6 +114,7 @@ func TestRunEndToEnd(t *testing.T) {
 		{"-store", store, "select", "-name", "A", "-version", "2"},
 		{"-store", store, "select", "-name", "A", "-version", "1", "-box", "0,0:2,2", "-out", filepath.Join(dir, "out.dat")},
 		{"-store", store, "reorganize", "-name", "A", "-policy", "optimal"},
+		{"-store", store, "tune", "-name", "A", "-spec", "1*20,1-2*5"},
 		{"-store", store, "verify", "-name", "A"},
 		{"-store", store, "delete-version", "-name", "A", "-version", "1"},
 		{"-store", store, "drop", "-name", "A"},

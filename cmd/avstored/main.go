@@ -11,11 +11,22 @@
 //	avstored -store DIR [-addr localhost:7421]
 //	         [-cache-bytes N] [-parallelism N] [-durable=true]
 //	         [-max-inflight N] [-request-timeout 60s] [-max-frame-bytes N]
+//	         [-autotune 0] [-autotune-min-savings 0.1] [-autotune-decay 0.5]
 //
 // Durability is on by default: every commit is fsynced and startup runs
 // crash recovery over the store (recovery counters are exposed at
 // /metrics and through /v1/stats), so a SIGKILL or power cut mid-write
 // never corrupts committed versions.
+//
+// -autotune INTERVAL (e.g. -autotune 5m) enables the adaptive
+// reorganizer: the daemon records every select's version set and, each
+// interval, re-lays arrays out with the workload-aware policy when the
+// projected I/O savings reach -autotune-min-savings (fraction, default
+// 0.10). -autotune-decay (default 0.5) is the per-pass exponential decay
+// of the recorded workload, so tuning follows recent traffic. Tuner
+// rewrites ride the same crash-safe generation-commit protocol as
+// explicit reorganizes; a pass can also be forced per array with
+// POST /v1/arrays/{name}/tune (or `avstore tune -addr URL -name A`).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting connections, drains in-flight requests (up to the request
@@ -48,20 +59,30 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "concurrent request limit (excess answered 429)")
 	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler timeout")
 	maxFrameBytes := flag.Int64("max-frame-bytes", 0, "largest accepted wire frame payload (0 = 1 GiB)")
+	autoTune := flag.Duration("autotune", 0, "adaptive reorganizer pass interval (0 disables the background tuner)")
+	autoTuneMinSavings := flag.Float64("autotune-min-savings", 0, "fractional projected I/O savings required before the tuner re-lays an array out (0 = default 0.10)")
+	autoTuneDecay := flag.Float64("autotune-decay", 0, "per-pass exponential decay of the recorded workload (0 = default 0.5)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "avstored: -store is required")
 		os.Exit(2)
 	}
 	logger := log.New(os.Stderr, "avstored: ", log.LstdFlags|log.Lmsgprefix)
-	if err := run(*storeDir, *addr, *cacheBytes, *parallelism, *durability, *maxInFlight, *requestTimeout, *maxFrameBytes, logger); err != nil {
+	autotune := core.AutoTuneOptions{
+		Interval:   *autoTune,
+		MinSavings: *autoTuneMinSavings,
+		Decay:      *autoTuneDecay,
+	}
+	if err := run(*storeDir, *addr, *cacheBytes, *parallelism, *durability, *maxInFlight, *requestTimeout, *maxFrameBytes, autotune, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bool, maxInFlight int,
-	requestTimeout time.Duration, maxFrameBytes int64, logger *log.Logger) error {
-	store, err := core.Open(storeDir, cliutil.StoreOptions(cacheBytes, parallelism, durability))
+	requestTimeout time.Duration, maxFrameBytes int64, autotune core.AutoTuneOptions, logger *log.Logger) error {
+	opts := cliutil.StoreOptions(cacheBytes, parallelism, durability)
+	opts.AutoTune = autotune
+	store, err := core.Open(storeDir, opts)
 	if err != nil {
 		return err
 	}
@@ -69,6 +90,9 @@ func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bo
 	if rec := store.Recovery(); rec != (core.RecoveryStats{}) {
 		logger.Printf("crash recovery: removed %d stale files, truncated %d torn tails (%d bytes), dropped %d unreadable versions",
 			rec.RemovedFiles, rec.TruncatedFiles, rec.TruncatedBytes, rec.DroppedVersions)
+	}
+	if autotune.Interval > 0 {
+		logger.Printf("adaptive tuner running every %s", autotune.Interval)
 	}
 
 	srv, err := server.New(server.Config{

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/core"
+	"arrayvers/internal/workload"
+)
+
+// The adaptive experiment measures the closed workload loop this repo
+// adds on top of the paper's §IV-D: a skewed (Zipfian) single-version
+// read trace hammers old versions of a linear-chain-encoded array — the
+// §V-D baseline layout, pathological for that trace because every read
+// of an old version unwinds the whole chain — then the adaptive tuner
+// observes the recorded workload and re-lays the array out. The
+// experiment reports select read amplification (bytes read from disk
+// per logical byte requested) before and after the tuner pass; the CI
+// quick-bench job fails unless the post-tune I/O is strictly below the
+// untuned run.
+
+// AdaptiveRun is one trace replay's I/O measurement.
+type AdaptiveRun struct {
+	Name       string `json:"name"`
+	ReadBytes  int64  `json:"read_bytes"`
+	ChunksRead int64  `json:"chunks_read"`
+	// ReadAmplification is bytes read / logical bytes requested.
+	ReadAmplification float64 `json:"read_amplification"`
+}
+
+// AdaptiveResult is the machine-readable experiment outcome, serialized
+// into BENCH_adaptive.json by cmd/avbench.
+type AdaptiveResult struct {
+	Versions     int     `json:"versions"`
+	TraceOps     int     `json:"trace_ops"`
+	ZipfS        float64 `json:"zipf_s"`
+	LogicalBytes int64   `json:"logical_bytes_requested"`
+	// Untuned replays the trace against the linear-chain baseline;
+	// PostTune replays the identical trace after one adaptive pass.
+	Untuned  AdaptiveRun `json:"untuned"`
+	PostTune AdaptiveRun `json:"post_tune"`
+	// Reduction is the fractional drop in read bytes (1 - post/untuned).
+	Reduction float64         `json:"reduction"`
+	Tune      core.TuneReport `json:"tune"`
+}
+
+// adaptiveTraceOps is the skewed trace length; enough weight lands on
+// the hot old versions to clear the tuner's MinOps threshold many times
+// over while keeping the quick CI run cheap.
+const adaptiveTraceOps = 150
+
+// adaptiveZipfS is the Zipf exponent: heavily skewed toward the oldest
+// versions, the worst case for the linear-chain baseline.
+const adaptiveZipfS = 1.6
+
+// Adaptive runs the experiment. The decoded-chunk cache is forced off so
+// the byte counters measure real chain-walk I/O, matching the paper's
+// accounting.
+func Adaptive(workDir string, sc Scale, parallelism int) (Table, AdaptiveResult, error) {
+	res := AdaptiveResult{
+		Versions: HotPathVersions,
+		TraceOps: adaptiveTraceOps,
+		ZipfS:    adaptiveZipfS,
+	}
+	side := sc.NOAASide
+	if side < 64 {
+		side = 64
+	}
+	dir := workDir + "/adaptive"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Table{}, res, err
+	}
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = hotPathChunkBytes
+	opts.Parallelism = parallelism
+	opts.CacheBytes = 0
+	s, err := core.Open(dir, opts)
+	if err != nil {
+		return Table{}, res, err
+	}
+	sch := array.Schema{
+		Name:  "Chain",
+		Dims:  []array.Dimension{{Name: "Y", Lo: 0, Hi: side - 1}, {Name: "X", Lo: 0, Hi: side - 1}},
+		Attrs: []array.Attribute{{Name: "V", Type: array.Int32}},
+	}
+	if err := s.CreateArray(sch); err != nil {
+		return Table{}, res, err
+	}
+	for _, v := range AdaptiveSeries(side, sc.Seed) {
+		if _, err := s.Insert("Chain", core.DensePayload(v)); err != nil {
+			return Table{}, res, err
+		}
+	}
+	// the untuned baseline: a linear chain differenced backwards from
+	// the newest version (§V-D), so the Zipf-hot oldest versions sit at
+	// the far end of the delta chain
+	if err := s.Reorganize("Chain", core.ReorganizeOptions{Policy: core.PolicyLinearChain}); err != nil {
+		return Table{}, res, err
+	}
+
+	trace := workload.Zipfian(HotPathVersions, adaptiveTraceOps, adaptiveZipfS, sc.Seed)
+	replay := func(name string) (AdaptiveRun, error) {
+		s.ResetStats()
+		logical, err := replayReadOps(s, "Chain", trace)
+		if err != nil {
+			return AdaptiveRun{}, err
+		}
+		res.LogicalBytes = logical
+		st := s.Stats()
+		return AdaptiveRun{
+			Name:              name,
+			ReadBytes:         st.BytesRead,
+			ChunksRead:        st.ChunksRead,
+			ReadAmplification: float64(st.BytesRead) / float64(logical),
+		}, nil
+	}
+
+	// cold replay on the linear layout; this is also what feeds the
+	// tuner's workload histogram
+	if res.Untuned, err = replay("linear-untuned"); err != nil {
+		return Table{}, res, err
+	}
+	rep, err := s.Tune("Chain")
+	if err != nil {
+		return Table{}, res, err
+	}
+	res.Tune = rep
+	if !rep.Reorganized {
+		return Table{}, res, fmt.Errorf("bench: adaptive tuner declined to reorganize: %s", rep.Reason)
+	}
+	if res.PostTune, err = replay("post-tune"); err != nil {
+		return Table{}, res, err
+	}
+	if res.Untuned.ReadBytes > 0 {
+		res.Reduction = 1 - float64(res.PostTune.ReadBytes)/float64(res.Untuned.ReadBytes)
+	}
+
+	t := Table{
+		Title:   "Adaptive reorganization — skewed trace, auto-tuned layout",
+		Columns: []string{"Config", "Read bytes", "Chunks", "Read amp.", "vs untuned"},
+	}
+	for _, r := range []AdaptiveRun{res.Untuned, res.PostTune} {
+		vs := "1.00x"
+		if r.Name != res.Untuned.Name && res.Untuned.ReadBytes > 0 {
+			vs = fmt.Sprintf("%.2fx", float64(r.ReadBytes)/float64(res.Untuned.ReadBytes))
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmtBytes(r.ReadBytes),
+			fmt.Sprintf("%d", r.ChunksRead),
+			fmt.Sprintf("%.2f", r.ReadAmplification),
+			vs,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Zipf(s=%.1f) trace of %d selects over a %d-version chain of %dx%d int32 cells, hottest = oldest",
+			adaptiveZipfS, adaptiveTraceOps, HotPathVersions, side, side),
+		fmt.Sprintf("tuner: %.1f recorded ops, projected savings %.1f%% (threshold %.1f%%), read bytes down %.1f%%",
+			rep.Ops, rep.Savings*100, rep.MinSavings*100, res.Reduction*100),
+	)
+	return t, res, nil
+}
+
+// AdaptiveSeries builds the experiment's version series: like
+// HotPathSeries but with a quarter of the cells changing per step, so
+// consecutive deltas carry real weight and a long chain walk costs
+// several times a materialized read — the regime where layout choice
+// dominates select I/O (§IV-D).
+func AdaptiveSeries(side, seed int64) []*array.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*array.Dense, HotPathVersions)
+	cur := array.MustDense(array.Int32, []int64{side, side})
+	for i := int64(0); i < cur.NumCells(); i++ {
+		cur.SetBits(i, int64(rng.Intn(1000)))
+	}
+	for v := range out {
+		out[v] = cur.Clone()
+		for i := int64(0); i < cur.NumCells(); i++ {
+			if rng.Float64() < 0.25 {
+				cur.SetBits(i, cur.Bits(i)+int64(rng.Intn(9)-4))
+			}
+		}
+	}
+	return out
+}
+
+// replayReadOps executes a read-only workload trace against a store and
+// returns the logical bytes the trace requested (versions × plane size).
+func replayReadOps(s *core.Store, name string, ops []workload.Op) (int64, error) {
+	info, err := s.Info(name)
+	if err != nil {
+		return 0, err
+	}
+	logical := int64(0)
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.SelectOne:
+			if _, err := s.Select(name, op.Versions[0]); err != nil {
+				return 0, err
+			}
+		case workload.SelectRange:
+			if _, err := s.SelectMulti(name, op.Versions); err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("bench: replay supports read ops only, got %v", op.Kind)
+		}
+		logical += int64(len(op.Versions)) * info.LogicalSize
+	}
+	return logical, nil
+}

@@ -147,6 +147,10 @@ func StatsCounters(st core.IOStats) []Counter {
 		{"recovery_truncated_bytes", st.RecoveryTruncatedBytes},
 		{"recovery_removed_files", st.RecoveryRemovedFiles},
 		{"recovery_dropped_versions", st.RecoveryDroppedVersions},
+		{"workload_ops", st.WorkloadOps},
+		{"workload_patterns", st.WorkloadPatterns},
+		{"tune_passes", st.TunePasses},
+		{"tune_reorganizes", st.TuneReorganizes},
 	}
 }
 

@@ -84,6 +84,13 @@ type Options struct {
 	// delta chains, the paper's Fig. 2 behavior); the cache trades memory
 	// for skipping chain walks on repeated and overlapping version reads.
 	CacheBytes int64
+	// AutoTune configures the adaptive reorganizer: a background tuner
+	// that watches the recorded select workload and re-lays arrays out
+	// with PolicyWorkloadAware when the projected I/O savings clear
+	// MinSavings (§IV-D closed-loop; see DESIGN.md "Adaptive
+	// reorganization"). The zero value keeps the background loop off;
+	// workload recording and forced Store.Tune passes work regardless.
+	AutoTune AutoTuneOptions
 	// Durability makes every commit crash-safe: chunk writes are fsynced
 	// (file and directory) before the metadata commit, metadata commits
 	// go through tmp-write + fsync + rename + parent-dir fsync, and Open
@@ -95,6 +102,54 @@ type Options struct {
 	// real OS. Tests inject fsio.Fault here to crash the store at an
 	// arbitrary write/sync/rename step.
 	FS fsio.FS
+}
+
+// AutoTuneOptions parameterizes the adaptive reorganizer. Interval
+// controls the background loop only; the thresholds also govern forced
+// Tune passes.
+type AutoTuneOptions struct {
+	// Interval is the background tuner's pass period; 0 (the default)
+	// disables the background loop (Tune can still be called directly).
+	Interval time.Duration
+	// MinSavings is the fractional projected I/O-cost reduction a
+	// workload-aware re-layout must achieve before the tuner rewrites
+	// anything (0 means the 0.10 default). It is the no-regression guard:
+	// a workload the current layout already serves well never triggers a
+	// reorganization.
+	MinSavings float64
+	// Decay multiplies every recorded pattern weight after each tuner
+	// pass, making the histogram an exponentially decayed window of
+	// recent traffic (0 means the 0.5 default; 1 disables decay).
+	Decay float64
+	// MinOps is the total recorded access weight an array needs before a
+	// pass will even estimate costs (0 means the default of 8); it keeps
+	// the tuner from thrashing on a handful of samples.
+	MinOps float64
+	// MatrixSample, when positive, builds the tuner's materialization
+	// matrices from sampled cells (§IV-A), bounding pass cost on large
+	// arrays.
+	MatrixSample int
+	// BatchK, when positive, re-encodes in independent batches of K
+	// versions (§IV-E), bounding matrix size and delta-chain length for
+	// tuner-triggered reorganizations.
+	BatchK int
+}
+
+// withDefaults fills the zero thresholds.
+func (a AutoTuneOptions) withDefaults() AutoTuneOptions {
+	if a.MinSavings <= 0 {
+		a.MinSavings = 0.10
+	}
+	if a.Decay <= 0 {
+		a.Decay = 0.5
+	}
+	if a.Decay > 1 {
+		a.Decay = 1
+	}
+	if a.MinOps <= 0 {
+		a.MinOps = 8
+	}
+	return a
 }
 
 // DefaultCacheBytes is a reasonable decoded-chunk cache budget for
@@ -159,6 +214,27 @@ type Store struct {
 	// chunkCache is the store-wide decoded-chunk LRU (nil when disabled).
 	chunkCache *cache.Cache
 
+	// workload is the per-array access histogram the adaptive tuner
+	// feeds on; every successful select records into it.
+	workload *workloadRecorder
+	// tuner is the background auto-tune loop (nil unless
+	// Options.AutoTune.Interval > 0). Stopped by Close.
+	tuner *Tuner
+	// tunePasses/tuneReorgs count tuner activity for Stats().
+	tunePasses atomic.Int64
+	tuneReorgs atomic.Int64
+	// tuneEst caches each array's tuner estimation inputs (cost matrix,
+	// current layout) keyed by its mutation sequence, so a background
+	// pass over an unmutated array re-evaluates costs against fresh
+	// traffic without re-decoding the whole version history. Guarded by
+	// tuneEstMu.
+	tuneEstMu sync.Mutex
+	tuneEst   map[string]*tuneEstimate
+	// buildSeq names off-lock rewrite build directories uniquely so a
+	// retried or concurrent rewrite can never scribble on another
+	// build's files.
+	buildSeq atomic.Int64
+
 	statsMu sync.Mutex
 	stats   IOStats
 	// recovery is what Open-time crash recovery repaired; immutable after
@@ -205,6 +281,17 @@ type IOStats struct {
 	CacheBytes    int64
 	CacheEntries  int64
 
+	// WorkloadOps is the cumulative count of recorded select accesses;
+	// WorkloadPatterns is the current number of distinct access patterns
+	// in the adaptive tuner's histogram.
+	WorkloadOps      int64
+	WorkloadPatterns int64
+	// TunePasses counts adaptive-tuner passes (including ones skipped
+	// below the MinOps gate); TuneReorganizes counts the passes that
+	// actually triggered a re-layout.
+	TunePasses      int64
+	TuneReorganizes int64
+
 	// Recovery* mirror RecoveryStats: what Open-time crash recovery
 	// repaired. Fixed at Open; ResetStats leaves them alone.
 	RecoveryTruncatedFiles  int64
@@ -231,6 +318,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		arrays:     make(map[string]*arrayState),
 		epochs:     make(map[string]uint64),
 		chunkCache: cache.New(opts.CacheBytes),
+		workload:   newWorkloadRecorder(),
+		tuneEst:    make(map[string]*tuneEstimate),
 		clock:      time.Now,
 	}
 	entries, err := os.ReadDir(dir)
@@ -277,6 +366,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("core: crash recovery: %w", err)
 		}
 	}
+	s.startTuner()
 	return s, nil
 }
 
@@ -300,11 +390,18 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	tuner := s.tuner
 	arrays := make([]*arrayState, 0, len(s.arrays))
 	for _, st := range s.arrays {
 		arrays = append(arrays, st)
 	}
 	s.mu.Unlock()
+	// stop the background tuner before draining the latches: an
+	// in-flight pass fails fast on the closed flag and releases whatever
+	// it holds
+	if tuner != nil {
+		tuner.Stop()
+	}
 	for _, st := range arrays {
 		st.ioMu.Lock()
 		st.ioMu.Unlock()
@@ -331,6 +428,9 @@ func (s *Store) Stats() IOStats {
 	out.RecoveryTruncatedBytes = s.recovery.TruncatedBytes
 	out.RecoveryRemovedFiles = s.recovery.RemovedFiles
 	out.RecoveryDroppedVersions = s.recovery.DroppedVersions
+	out.WorkloadOps, out.WorkloadPatterns = s.workload.totals()
+	out.TunePasses = s.tunePasses.Load()
+	out.TuneReorganizes = s.tuneReorgs.Load()
 	return out
 }
 
@@ -424,6 +524,17 @@ type arrayState struct {
 	// need no latch: a reader's metadata snapshot only references offsets
 	// written before the snapshot was taken.
 	ioMu sync.RWMutex
+
+	// reorgMu serializes destructive rewrites (Reorganize, Compact) on
+	// this array without blocking readers or inserts; it is always
+	// acquired before Store.mu, never while holding it.
+	reorgMu sync.Mutex
+
+	// seq counts metadata mutations (insert, delete-version, rewrite
+	// commits). An off-lock rewrite snapshots it and only commits if it
+	// is unchanged, so a build can never publish entries computed from
+	// superseded contents. Guarded by Store.mu.
+	seq uint64
 
 	// cachedView memoizes the cloned metadata snapshot between
 	// mutations, so repeated selects pay O(1) for metadata regardless of
@@ -611,6 +722,8 @@ func (s *Store) DeleteArray(name string) error {
 	_ = s.fs.RemoveAll(tomb)
 	delete(s.arrays, name)
 	s.invalidateArrayLocked(name)
+	s.workload.drop(name)
+	s.dropTuneEstimate(name)
 	return nil
 }
 

@@ -36,6 +36,11 @@ type crashModel struct {
 	auxInsertOK  bool // Aux's single insert committed
 	auxDeleteTry bool // DeleteArray("Aux") was attempted
 	auxDeleteOK  bool // DeleteArray("Aux") returned success
+	// tuneReorganized records whether the forced adaptive-tuner pass at
+	// the end of the workload actually committed a re-layout (asserted
+	// on the fault-free counting run, so the matrix provably covers the
+	// tuner's commit points).
+	tuneReorganized bool
 }
 
 func durableOpts(coLocate bool, fs fsio.FS) Options {
@@ -46,6 +51,11 @@ func durableOpts(coLocate bool, fs fsio.FS) Options {
 	o.FS = fs
 	o.Parallelism = 1 // deterministic step ordering for the matrix
 	o.DeltaCandidates = 2
+	// the workload's forced tune pass must deterministically reorganize
+	// (the skewed selects easily clear a 1% bar); the background loop
+	// stays off so the matrix is single-threaded
+	o.AutoTune.MinSavings = 0.01
+	o.AutoTune.MinOps = 1
 	return o
 }
 
@@ -141,6 +151,34 @@ func runCrashWorkload(s *Store, side int64) (*crashModel, error) {
 	if err := insert(5); err != nil {
 		return m, err
 	}
+	// adaptive tuner: put the array in the linear baseline, record a
+	// hot-old-version workload (selects inject no fault points — only
+	// writes count), and force a tune pass. Its workload-aware rewrite
+	// commits through the same generation protocol, so every
+	// write/sync/rename inside the tuner-initiated reorganize becomes a
+	// crash point of the matrix.
+	if err := s.Reorganize("M", ReorganizeOptions{Policy: PolicyLinearChain}); err != nil {
+		return m, err
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := s.Select("M", 1); err != nil {
+			return m, err
+		}
+	}
+	if _, err := s.Select("M", 4); err != nil {
+		return m, err
+	}
+	rep, err := s.Tune("M")
+	if err != nil {
+		return m, err
+	}
+	m.tuneReorganized = rep.Reorganized
+	// one final insert so a crash injected at the tuner's post-commit
+	// cleanup steps (whose errors are deliberately swallowed) still
+	// surfaces through a later failing operation
+	if err := insert(6); err != nil {
+		return m, err
+	}
 	return m, nil
 }
 
@@ -170,8 +208,12 @@ func TestCrashPointMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := runCrashWorkload(s, side); err != nil {
+			model, err := runCrashWorkload(s, side)
+			if err != nil {
 				t.Fatalf("counting run failed: %v", err)
+			}
+			if !model.tuneReorganized {
+				t.Fatal("forced tune pass did not reorganize; the matrix would not cover the tuner's commit points")
 			}
 			total := counter.Steps()
 			if total < 50 {

@@ -99,7 +99,7 @@ func (s *Store) insertLocked(name string, p Payload, kind string, extraParents [
 	if !ok {
 		return 0, fmt.Errorf("core: no array %q", name)
 	}
-	st.cachedView.Store(nil)
+	st.mutateLocked()
 	planes, parents, err := s.resolvePayload(st, p)
 	if err != nil {
 		return 0, err
@@ -587,5 +587,7 @@ func (s *Store) rollbackArrayLocked(name string) {
 		_ = s.fs.RemoveAll(st.dir)
 		delete(s.arrays, name)
 		s.invalidateArrayLocked(name)
+		s.workload.drop(name)
+		s.dropTuneEstimate(name)
 	}
 }

@@ -69,23 +69,52 @@ type ReorganizeOptions struct {
 	// consecutive batches of K versions (§IV-E), bounding matrix size and
 	// delta-chain length.
 	BatchK int
+	// lenientWorkload re-filters the workload against the live version
+	// set at plan time instead of erroring on an unknown version. The
+	// tuner sets it: its recorded queries can reference versions deleted
+	// between the histogram snapshot and the rewrite, and a routine race
+	// must not fail the pass. Explicit API callers keep the strict error.
+	lenientWorkload bool
+	// plan carries the tuner's already-decoded planes and chosen layout
+	// so an uncontended tuner rewrite does not decode every version a
+	// second time. It is used only if the array's mutation sequence
+	// still matches plan.seq at snapshot time; otherwise the rewrite
+	// replans from live metadata as usual.
+	plan *rewritePlan
+}
+
+// rewritePlan is a precomputed rewrite input, valid for one exact
+// mutation sequence of the array.
+type rewritePlan struct {
+	seq    uint64
+	ids    []int
+	planes [][]Plane
+	layout layout.Layout
 }
 
 // ComputeLayout builds the materialization matrix for an array's live
 // versions and the layout the given policy selects, without rewriting
 // anything. The returned id slice maps layout indices to version IDs.
+//
+// The store lock is held only long enough to snapshot the array's
+// metadata; version decoding and matrix construction run against the
+// snapshot with no lock held, so layout planning never stalls concurrent
+// inserts or selects. (BatchK is ignored here: the matrix and layout
+// describe the whole version set; Reorganize applies batching.)
 func (s *Store) ComputeLayout(name string, opts ReorganizeOptions) (layout.Layout, *matmat.Matrix, []int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.arrays[name]
-	if !ok {
-		return layout.Layout{}, nil, nil, fmt.Errorf("core: no array %q", name)
-	}
-	ids, planes, err := s.loadAllPlanes(st)
+	v, release, err := s.snapshotUncached(name)
 	if err != nil {
 		return layout.Layout{}, nil, nil, err
 	}
-	mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
+	defer release()
+	ids, planes, err := s.loadPlanesView(v)
+	if err != nil {
+		return layout.Layout{}, nil, nil, err
+	}
+	if len(ids) == 0 {
+		return layout.NewLayout(0), matmat.New(0), ids, nil
+	}
+	mm, err := s.buildMatrix(v.st, planes, opts.MatrixSample)
 	if err != nil {
 		return layout.Layout{}, nil, nil, err
 	}
@@ -96,31 +125,216 @@ func (s *Store) ComputeLayout(name string, opts ReorganizeOptions) (layout.Layou
 	return l, mm, ids, nil
 }
 
+// reorgRetries bounds the off-lock rebuild attempts a Reorganize makes
+// before falling back to rebuilding under the exclusive store lock
+// (guaranteed progress when the array mutates faster than it can be
+// re-encoded).
+const reorgRetries = 3
+
 // Reorganize re-encodes every live version of an array according to the
 // chosen layout policy — the "background re-organization step" of §IV-E.
 // Old chunk payloads are dropped (the chunks directory is rewritten).
+//
+// The rewrite is built optimistically off-lock: the array's metadata is
+// snapshotted under the store lock, every version is decoded and
+// re-encoded into a fresh generation directory with no store lock held,
+// and the result is committed under the lock only if the array's
+// mutation sequence is unchanged (otherwise the build is discarded and
+// retried). Readers and inserts therefore proceed concurrently with the
+// bulk of the work; only the metadata swap itself serializes with them.
+// Destructive rewrites on one array are serialized by a per-array latch.
 func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
+	st, err := s.lockRewrite(name)
+	if err != nil {
+		return err
+	}
+	defer st.reorgMu.Unlock()
+	for attempt := 0; attempt < reorgRetries; attempt++ {
+		committed, err := s.tryReorganize(name, st, opts)
+		if committed || err != nil {
+			return err
+		}
+	}
+	// the array is mutating faster than the off-lock builds can keep up;
+	// rebuild under the exclusive lock so the call terminates
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	st, ok := s.arrays[name]
-	if !ok {
+	if s.arrays[name] != st {
 		return fmt.Errorf("core: no array %q", name)
 	}
-	st.cachedView.Store(nil)
-	ids, planes, err := s.loadAllPlanes(st)
+	return s.reorganizeLocked(st, opts)
+}
+
+// lockRewrite resolves an array and takes its rewrite latch, handling
+// the race where the array is dropped or replaced while waiting. The
+// caller must release st.reorgMu. The latch is always acquired without
+// holding Store.mu.
+func (s *Store) lockRewrite(name string) (*arrayState, error) {
+	for {
+		s.mu.RLock()
+		st, ok := s.arrays[name]
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no array %q", name)
+		}
+		st.reorgMu.Lock()
+		s.mu.RLock()
+		cur := s.arrays[name]
+		s.mu.RUnlock()
+		if cur == st {
+			return st, nil
+		}
+		st.reorgMu.Unlock() // dropped or replaced while we waited; retry
+	}
+}
+
+// tryReorganize performs one optimistic off-lock rebuild attempt.
+// It reports whether the rewrite committed; (false, nil) means the
+// metadata moved underneath the build and the caller should retry.
+func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOptions) (bool, error) {
+	v, release, err := s.snapshotUncached(name)
+	if err != nil {
+		return false, err
+	}
+	if v.st != st {
+		release()
+		return false, fmt.Errorf("core: array %q was replaced during reorganize", name)
+	}
+	var (
+		ids    []int
+		planes [][]Plane
+		l      layout.Layout
+	)
+	if p := opts.plan; p != nil && p.seq == v.seq {
+		// the tuner already decoded this exact state while estimating
+		ids, planes, l = p.ids, p.planes, p.layout
+	} else {
+		var err error
+		ids, planes, err = s.loadPlanesView(v)
+		if err != nil {
+			release()
+			return false, err
+		}
+		if len(ids) == 0 {
+			release()
+			return true, nil
+		}
+		l, err = s.planLayout(v.st, ids, planes, opts)
+		if err != nil {
+			release()
+			return false, err
+		}
+	}
+	buildDir := s.newBuildDir(st)
+	entries, err := s.buildRewrite(v.st, buildDir, ids, planes, l)
+	if err == nil {
+		// the build dir is immutable from here on; run its per-file
+		// fsync sweep before touching the store lock so the commit's
+		// critical section is just the rename + metadata write
+		err = s.syncBuild(buildDir)
+	}
+	release()
+	if err != nil {
+		_ = s.fs.RemoveAll(buildDir)
+		return false, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = s.fs.RemoveAll(buildDir)
+		return false, ErrClosed
+	}
+	if s.arrays[name] != st || st.seq != v.seq {
+		// a concurrent mutation invalidated the build: its planes (and
+		// therefore its encodings) may describe superseded contents
+		s.mu.Unlock()
+		_ = s.fs.RemoveAll(buildDir)
+		return false, nil
+	}
+	st.mutateLocked()
+	oldDir, err := s.commitRewriteLocked(st, buildDir, ids, entries)
+	if err != nil {
+		s.mu.Unlock()
+		// a failure before the generation rename leaves the build dir
+		// behind, and non-durable stores never sweep chunks* debris
+		_ = s.fs.RemoveAll(buildDir)
+		return false, err
+	}
+	// decoded content is unchanged, but the encoding generation moved on;
+	// drop cached chunks so stale in-flight readers cannot repopulate the
+	// current generation (the epoch in every cache key enforces this)
+	s.invalidateArrayLocked(name)
+	s.mu.Unlock()
+	// post-commit garbage collection: waiting out in-flight readers that
+	// pinned the old generation happens with no store lock held, so new
+	// selects (on this and every other array) proceed meanwhile
+	st.ioMu.Lock()
+	_ = s.fs.RemoveAll(oldDir)
+	st.ioMu.Unlock()
+	return true, nil
+}
+
+// reorganizeLocked is the contended-fallback rewrite: build and commit
+// while holding Store.mu exclusively. Callers hold the rewrite latch and
+// Store.mu.
+func (s *Store) reorganizeLocked(st *arrayState, opts ReorganizeOptions) error {
+	st.mutateLocked()
+	v := s.viewLocked(st, false)
+	v.noCache = true
+	ids, planes, err := s.loadPlanesView(v)
 	if err != nil {
 		return err
 	}
 	if len(ids) == 0 {
 		return nil
 	}
-	var l layout.Layout
+	l, err := s.planLayout(st, ids, planes, opts)
+	if err != nil {
+		return err
+	}
+	buildDir := s.newBuildDir(st)
+	entries, err := s.buildRewrite(st, buildDir, ids, planes, l)
+	if err != nil {
+		_ = s.fs.RemoveAll(buildDir)
+		return err
+	}
+	if err := s.commitRewrite(st, buildDir, ids, entries); err != nil {
+		_ = s.fs.RemoveAll(buildDir)
+		return err
+	}
+	s.invalidateArrayLocked(st.Schema.Name)
+	return nil
+}
+
+// newBuildDir names a fresh, private build directory for one rewrite
+// attempt. The "chunks" prefix puts leftovers from interrupted builds in
+// recovery's sweep path; the sequence number keeps retried builds from
+// ever sharing a directory.
+func (s *Store) newBuildDir(st *arrayState) string {
+	return filepath.Join(st.dir, fmt.Sprintf("chunks.build-%d", s.buildSeq.Add(1)))
+}
+
+// planLayout chooses the layout for a full rewrite, applying §IV-E
+// batching when requested.
+func (s *Store) planLayout(st *arrayState, ids []int, planes [][]Plane, opts ReorganizeOptions) (layout.Layout, error) {
 	if opts.BatchK > 0 && opts.BatchK < len(ids) {
+		if opts.Policy == PolicyWorkloadAware && !opts.lenientWorkload {
+			// strict callers get the same unknown-version validation the
+			// non-batched path applies, before batching slices the
+			// workload per range
+			if _, err := remapWorkload(opts.Workload, ids); err != nil {
+				return layout.Layout{}, err
+			}
+		}
 		// §IV-E: optimize each batch of K versions independently
-		l = layout.NewLayout(len(ids))
+		l := layout.NewLayout(len(ids))
 		for lo := 0; lo < len(ids); lo += opts.BatchK {
 			hi := lo + opts.BatchK
 			if hi > len(ids) {
@@ -128,31 +342,22 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 			}
 			sub, err := s.layoutForRange(st, planes, ids, lo, hi, opts)
 			if err != nil {
-				return err
+				return layout.Layout{}, err
 			}
 			for i := lo; i < hi; i++ {
-				p := sub.Parent[i-lo] + lo
-				l.Parent[i] = p
+				l.Parent[i] = sub.Parent[i-lo] + lo
 			}
 		}
-	} else {
-		mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
-		if err != nil {
-			return err
-		}
-		l, err = chooseLayout(mm, ids, opts)
-		if err != nil {
-			return err
-		}
+		return l, nil
 	}
-	if err := s.rewriteLocked(st, ids, planes, l); err != nil {
-		return err
+	mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
+	if err != nil {
+		return layout.Layout{}, err
 	}
-	// decoded content is unchanged, but the encoding generation moved on;
-	// drop cached chunks so stale in-flight readers cannot repopulate the
-	// current generation (the epoch in every cache key enforces this)
-	s.invalidateArrayLocked(name)
-	return nil
+	if opts.lenientWorkload && opts.Policy == PolicyWorkloadAware {
+		opts.Workload = FilterWorkload(opts.Workload, ids)
+	}
+	return chooseLayout(mm, ids, opts)
 }
 
 func (s *Store) layoutForRange(st *arrayState, planes [][]Plane, ids []int, lo, hi int, opts ReorganizeOptions) (layout.Layout, error) {
@@ -161,20 +366,29 @@ func (s *Store) layoutForRange(st *arrayState, planes [][]Plane, ids []int, lo, 
 	if err != nil {
 		return layout.Layout{}, err
 	}
+	if opts.Policy == PolicyWorkloadAware {
+		// batches are laid out independently, so each one sees only the
+		// slice of the workload that falls inside it
+		opts.Workload = FilterWorkload(opts.Workload, ids[lo:hi])
+	}
 	return chooseLayout(mm, ids[lo:hi], opts)
 }
 
-// loadAllPlanes reconstructs every live version's content (all
-// attributes), in version order.
-func (s *Store) loadAllPlanes(st *arrayState) ([]int, [][]Plane, error) {
-	live := st.live()
-	ids := make([]int, len(live))
-	planes := make([][]Plane, len(live))
-	for i, vm := range live {
-		ids[i] = vm.ID
-		planes[i] = make([]Plane, len(st.Schema.Attrs))
-		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readPlaneLocked(st, vm.ID, attr.Name)
+// loadPlanesView reconstructs every live version's content (all
+// attributes) against a metadata snapshot, in version order. Safe to
+// call with no store lock held when v is a cloned snapshot. The scan
+// shares one per-call memo across versions, so each delta chain is
+// walked once regardless of version count — it does not rely on (or,
+// through an uncached view, touch) the store-wide LRU.
+func (s *Store) loadPlanesView(v *readView) ([]int, [][]Plane, error) {
+	ids := v.ids
+	full := array.BoxOf(v.st.Schema.Shape())
+	planes := make([][]Plane, len(ids))
+	qc := newChunkCache()
+	for i, id := range ids {
+		planes[i] = make([]Plane, len(v.st.Schema.Attrs))
+		for ai, attr := range v.st.Schema.Attrs {
+			pl, err := s.readRegionView(v, id, attr.Name, full, qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -185,7 +399,8 @@ func (s *Store) loadAllPlanes(st *arrayState) ([]int, [][]Plane, error) {
 }
 
 // buildMatrix computes the materialization matrix over versions, summing
-// costs across attributes.
+// costs across attributes. It reads only immutable arrayState fields
+// (schema, representation), so it is safe off-lock.
 func (s *Store) buildMatrix(st *arrayState, planes [][]Plane, sample int) (*matmat.Matrix, error) {
 	n := len(planes)
 	total := matmat.New(n)
@@ -261,18 +476,46 @@ func remapWorkload(wl []layout.Query, ids []int) ([]layout.Query, error) {
 	return out, nil
 }
 
-// rewriteLocked re-encodes all versions per the layout into a fresh
-// chunk generation directory, then commits it via the metadata rename
-// (see commitGen). The rewrite always produces checksummed frames, so
-// it also upgrades legacy raw-format arrays.
-func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l layout.Layout) error {
-	newGen := st.Gen + 1
-	tmpDir := filepath.Join(st.dir, chunksDirName(newGen)+".build")
-	if err := s.fs.RemoveAll(tmpDir); err != nil {
-		return err
+// FilterWorkload restricts workload queries to the given version IDs:
+// versions outside the set are dropped from each query, and queries left
+// empty are removed. The tuner uses it to shed references to deleted
+// versions; batched rewrites use it to slice the workload per batch.
+func FilterWorkload(wl []layout.Query, ids []int) []layout.Query {
+	in := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
 	}
-	if err := s.fs.MkdirAll(tmpDir); err != nil {
-		return err
+	var out []layout.Query
+	for _, q := range wl {
+		var vs []int
+		for _, v := range q.Versions {
+			if in[v] {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) > 0 {
+			out = append(out, layout.Query{Versions: vs, Weight: q.Weight})
+		}
+	}
+	return out
+}
+
+// buildRewrite re-encodes all versions per the layout into the given
+// private build directory and returns the new chunk entries, one map per
+// id. It reads only immutable arrayState fields and the passed planes,
+// so it runs with no store lock held; the caller pins the source
+// generation via the snapshot's read latch. The rewrite always produces
+// checksummed frames, so committing it also upgrades legacy raw-format
+// arrays.
+func (s *Store) buildRewrite(st *arrayState, buildDir string, ids []int, planes [][]Plane, l layout.Layout) ([]map[string]map[string]chunkEntry, error) {
+	// the sequence restarts per process, so a crashed non-durable run
+	// (which never sweeps chunks* debris at Open) can have left a stale
+	// directory under this name; never append after its garbage
+	if err := s.fs.RemoveAll(buildDir); err != nil {
+		return nil, err
+	}
+	if err := s.fs.MkdirAll(buildDir); err != nil {
+		return nil, err
 	}
 	newEntries := make([]map[string]map[string]chunkEntry, len(ids))
 	for i := range ids {
@@ -283,17 +526,17 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 			for i := range ids {
 				payload, base, err := encodeSparseAgainst(planes, l, i, ai, ids)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				codec := pickCodec(s.opts.Codec, false)
 				sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, compress.Params{Elem: 1})
 				if err != nil {
-					return err
+					return nil, err
 				}
 				file := chainFileName(attr.Name, "chunk-full")
-				off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, sealed, false)
+				off, err := s.appendBlob(filepath.Join(buildDir, file), formatFramed, sealed, false)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				s.addWrite(int64(len(sealed)))
 				newEntries[i][attr.Name] = map[string]chunkEntry{
@@ -304,7 +547,7 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 		}
 		ck, err := st.chunker()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for i := range ids {
 			newEntries[i][attr.Name] = make(map[string]chunkEntry)
@@ -315,7 +558,7 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 			for i := range ids {
 				target, err := planes[i][ai].Dense.Slice(box)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				payload := target.Bytes()
 				entryBase := -1
@@ -323,11 +566,11 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 				if p := l.Parent[i]; p != i {
 					baseChunk, err := planes[p][ai].Dense.Slice(box)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					blob, err := delta.Encode(s.opts.DeltaMethod, target, baseChunk)
 					if err != nil {
-						return err
+						return nil, err
 					}
 					if len(blob) < len(payload) {
 						payload = blob
@@ -338,12 +581,12 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 				codec := pickCodec(s.opts.Codec, rawDense)
 				sealed, used, err := seal(codec, s.opts.AdaptiveCodec, payload, sealParams(rawDense, box, attr.Type))
 				if err != nil {
-					return err
+					return nil, err
 				}
 				file := chainFileName(attr.Name, key)
-				off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, sealed, false)
+				off, err := s.appendBlob(filepath.Join(buildDir, file), formatFramed, sealed, false)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				s.addWrite(int64(len(sealed)))
 				newEntries[i][attr.Name][key] = chunkEntry{
@@ -352,26 +595,49 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 			}
 		}
 	}
-	return s.commitGen(st, newGen, tmpDir, func() {
-		idPos := make(map[int]int, len(ids))
-		for i, id := range ids {
-			idPos[id] = i
-		}
-		for _, vm := range st.Versions {
-			if i, ok := idPos[vm.ID]; ok {
-				vm.Chunks = newEntries[i]
-			}
-		}
-	})
+	return newEntries, nil
 }
 
-// commitGen publishes a fully built chunk generation directory. The
-// sequence is the store's commit protocol for destructive rewrites:
+// applyEntries builds the commit callback that installs a rewrite's new
+// chunk maps on the rewritten versions — shared by the off-lock and
+// under-lock commit paths so they cannot drift.
+func applyEntries(st *arrayState, ids []int, entries []map[string]map[string]chunkEntry) func() {
+	idPos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idPos[id] = i
+	}
+	return func() {
+		for _, vm := range st.Versions {
+			if i, ok := idPos[vm.ID]; ok {
+				vm.Chunks = entries[i]
+			}
+		}
+	}
+}
+
+// commitRewrite is the single-call form of commitRewriteLocked for
+// callers that hold Store.mu across the whole rewrite (the contended
+// fallback): sync, commit, and remove the old generation in place.
+func (s *Store) commitRewrite(st *arrayState, buildDir string, ids []int, entries []map[string]map[string]chunkEntry) error {
+	return s.commitGen(st, st.Gen+1, buildDir, applyEntries(st, ids, entries))
+}
+
+// commitRewriteLocked publishes a fully built, already-synced rewrite:
+// the build directory becomes the next chunk generation and the new
+// entries replace the rewritten versions' chunk maps. It returns the
+// superseded generation directory, which the caller removes under the
+// I/O latch after releasing Store.mu. Callers hold Store.mu and the
+// rewrite latch and have already called syncBuild.
+func (s *Store) commitRewriteLocked(st *arrayState, buildDir string, ids []int, entries []map[string]map[string]chunkEntry) (string, error) {
+	return s.commitGenLocked(st, st.Gen+1, buildDir, applyEntries(st, ids, entries))
+}
+
+// The commit protocol for destructive rewrites:
 //
-//  1. sync the build directory (its files were synced as they were
-//     written), then rename it to its committed generation name and
-//     sync the array directory — the new payloads are now durable but
-//     unreferenced;
+//  1. sync the build directory's files (syncBuild — runnable before any
+//     lock, since a finished build is immutable), then rename it to its
+//     committed generation name and sync the array directory — the new
+//     payloads are now durable but unreferenced;
 //  2. stage the new metadata (generation number, framed format, the
 //     entries the apply callback installs) and commit it with saveMeta's
 //     atomic rename — this is the commit point;
@@ -382,30 +648,39 @@ func (s *Store) rewriteLocked(st *arrayState, ids []int, planes [][]Plane, l lay
 // old generation (recovery sweeps the unreferenced new one); a crash
 // after it leaves the new metadata pointing at the fully synced new
 // generation (recovery sweeps the old one).
-func (s *Store) commitGen(st *arrayState, newGen int, buildDir string, apply func()) error {
-	if s.opts.Durability {
-		// the build phase appends unsynced (one fsync per append would
-		// make rewrites O(chunks) in disk-flush cost); sync each built
-		// file exactly once here, before anything can reference it
-		if err := s.syncDirFiles(buildDir); err != nil {
-			return err
-		}
-		if err := s.fs.SyncDir(buildDir); err != nil {
-			return err
-		}
+
+// syncBuild makes a finished build directory durable (step 1's fsync
+// sweep). The build phase appends unsynced — one fsync per append would
+// make rewrites O(chunks) in disk-flush cost — so each built file is
+// synced exactly once here, before anything can reference it. No-op
+// without Durability.
+func (s *Store) syncBuild(buildDir string) error {
+	if !s.opts.Durability {
+		return nil
 	}
+	if err := s.syncDirFiles(buildDir); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(buildDir)
+}
+
+// commitGenLocked runs steps 1b–2: rename the synced build directory to
+// its generation name and commit the metadata. It returns the
+// superseded generation directory for the caller to remove (step 3)
+// once it is safe to wait on the I/O latch. Callers hold Store.mu.
+func (s *Store) commitGenLocked(st *arrayState, newGen int, buildDir string, apply func()) (string, error) {
 	finalDir := filepath.Join(st.dir, chunksDirName(newGen))
 	// a leftover directory with this generation name can only be debris
 	// from an interrupted rewrite that never committed
 	if err := s.fs.RemoveAll(finalDir); err != nil {
-		return err
+		return "", err
 	}
 	if err := s.fs.Rename(buildDir, finalDir); err != nil {
-		return err
+		return "", err
 	}
 	if s.opts.Durability {
 		if err := s.fs.SyncDir(st.dir); err != nil {
-			return err
+			return "", err
 		}
 	}
 	oldDir := st.chunksDir()
@@ -416,10 +691,23 @@ func (s *Store) commitGen(st *arrayState, newGen int, buildDir string, apply fun
 		// the commit did not land on disk; in-memory state keeps the new
 		// generation (its payloads are all present and durable) and a
 		// reopen recovers to the old metadata + old generation
+		return "", err
+	}
+	return oldDir, nil
+}
+
+// commitGen is the single-call form for rewrites that run fully under
+// Store.mu (Compact, the contended Reorganize fallback): sync, commit,
+// and remove the old generation in place. A removal failure just leaves
+// a stale generation for the next Open's recovery to sweep.
+func (s *Store) commitGen(st *arrayState, newGen int, buildDir string, apply func()) error {
+	if err := s.syncBuild(buildDir); err != nil {
 		return err
 	}
-	// post-commit garbage collection; a failure just leaves a stale
-	// generation for the next Open's recovery to sweep
+	oldDir, err := s.commitGenLocked(st, newGen, buildDir, apply)
+	if err != nil {
+		return err
+	}
 	st.ioMu.Lock()
 	_ = s.fs.RemoveAll(oldDir)
 	st.ioMu.Unlock()
@@ -485,7 +773,7 @@ func (s *Store) DeleteVersion(name string, id int) error {
 	if err != nil {
 		return err
 	}
-	st.cachedView.Store(nil)
+	st.mutateLocked()
 	// the child re-encodes below only ever append (fresh FileSeq files in
 	// per-version mode, chain tails in co-located mode), so in-flight
 	// readers keep decoding their snapshots without a latch
@@ -552,24 +840,31 @@ func (s *Store) DeleteVersion(name string, id int) error {
 
 // Compact rewrites an array's chunk files keeping only payloads
 // referenced by live versions, reclaiming space left behind by
-// DeleteVersion and superseded encodings.
+// DeleteVersion and superseded encodings. Like Reorganize, it serializes
+// with other destructive rewrites on the array's rewrite latch; the copy
+// itself runs under the store lock (it is pure I/O relocation, far
+// cheaper than a re-encode).
 func (s *Store) Compact(name string) error {
+	st, err := s.lockRewrite(name)
+	if err != nil {
+		return err
+	}
+	defer st.reorgMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	st, ok := s.arrays[name]
-	if !ok {
+	if s.arrays[name] != st {
 		return fmt.Errorf("core: no array %q", name)
 	}
-	st.cachedView.Store(nil)
-	newGen := st.Gen + 1
-	tmpDir := filepath.Join(st.dir, chunksDirName(newGen)+".build")
-	if err := s.fs.RemoveAll(tmpDir); err != nil {
+	st.mutateLocked()
+	buildDir := s.newBuildDir(st)
+	// sweep any same-named debris a crashed non-durable run left behind
+	if err := s.fs.RemoveAll(buildDir); err != nil {
 		return err
 	}
-	if err := s.fs.MkdirAll(tmpDir); err != nil {
+	if err := s.fs.MkdirAll(buildDir); err != nil {
 		return err
 	}
 	// copy referenced payloads in a deterministic order
@@ -612,7 +907,7 @@ func (s *Store) Compact(name string) error {
 			file = chainFileName(r.attr, r.key)
 		}
 		// the copy re-frames every payload, upgrading raw-format arrays
-		off, err := s.appendBlob(filepath.Join(tmpDir, file), formatFramed, blob, false)
+		off, err := s.appendBlob(filepath.Join(buildDir, file), formatFramed, blob, false)
 		if err != nil {
 			return err
 		}
@@ -628,11 +923,15 @@ func (s *Store) Compact(name string) error {
 		}
 		byAttr[r.attr][r.key] = e
 	}
-	return s.commitGen(st, newGen, tmpDir, func() {
+	err = s.commitGen(st, st.Gen+1, buildDir, func() {
 		for vm, byAttr := range fresh {
 			for attr, m := range byAttr {
 				vm.Chunks[attr] = m
 			}
 		}
 	})
+	if err != nil {
+		_ = s.fs.RemoveAll(buildDir)
+	}
+	return err
 }

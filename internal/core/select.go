@@ -37,7 +37,11 @@ func (s *Store) SelectAttr(name string, id int, attr string) (Plane, error) {
 		return Plane{}, err
 	}
 	defer release()
-	return s.readRegionView(v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
+	pl, err := s.readRegionView(v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
+	if err == nil {
+		s.recordAccess(name, []int{id})
+	}
+	return pl, err
 }
 
 // SelectRegion returns the hyper-rectangle box of one version's first
@@ -53,7 +57,11 @@ func (s *Store) SelectRegionAttr(name string, id int, attr string, box array.Box
 		return Plane{}, err
 	}
 	defer release()
-	return s.readRegionView(v, id, s.attrName(v.st, attr), box, nil)
+	pl, err := s.readRegionView(v, id, s.attrName(v.st, attr), box, nil)
+	if err == nil {
+		s.recordAccess(name, []int{id})
+	}
+	return pl, err
 }
 
 // SelectMulti returns an (N+1)-dimensional stack of the given dense
@@ -97,6 +105,7 @@ func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array
 			slabs[i] = pl.Dense
 		}
 	}
+	s.recordAccess(name, ids)
 	return array.Stack(slabs)
 }
 
@@ -125,6 +134,7 @@ func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*arr
 		}
 		out[i] = pl.Sparse
 	}
+	s.recordAccess(name, ids)
 	return out, nil
 }
 
@@ -287,10 +297,12 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	st := v.st
 	key := ck.Key(origin)
 	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: key}
-	if got, ok := s.chunkCache.Get(ckey); ok {
-		d := got.(*array.Dense)
-		local[id] = d
-		return d, nil
+	if !v.noCache {
+		if got, ok := s.chunkCache.Get(ckey); ok {
+			d := got.(*array.Dense)
+			local[id] = d
+			return d, nil
+		}
 	}
 	vm, err := v.version(id)
 	if err != nil {
@@ -328,7 +340,9 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 		}
 	}
 	local[id] = out
-	s.chunkCache.Put(ckey, out)
+	if !v.noCache {
+		s.chunkCache.Put(ckey, out)
+	}
 	return out, nil
 }
 
@@ -348,10 +362,12 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 	}
 	st := v.st
 	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: "chunk-full"}
-	if got, ok := s.chunkCache.Get(ckey); ok {
-		sp := got.(*array.Sparse)
-		local[id] = sparseRes{sp: sp, shared: true}
-		return sp, true, nil
+	if !v.noCache {
+		if got, ok := s.chunkCache.Get(ckey); ok {
+			sp := got.(*array.Sparse)
+			local[id] = sparseRes{sp: sp, shared: true}
+			return sp, true, nil
+		}
 	}
 	vm, err := v.version(id)
 	if err != nil {
@@ -385,7 +401,10 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 		}
 	}
-	shared := s.chunkCache.Put(ckey, out)
+	shared := false
+	if !v.noCache {
+		shared = s.chunkCache.Put(ckey, out)
+	}
 	local[id] = sparseRes{sp: out, shared: shared}
 	return out, shared, nil
 }

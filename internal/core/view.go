@@ -19,12 +19,24 @@ import (
 type readView struct {
 	st    *arrayState
 	epoch uint64
+	// seq is the array's mutation sequence at snapshot time; an off-lock
+	// rewrite commits only if it is still current (see tryReorganize).
+	seq uint64
 	// dir and format pin the chunk generation the snapshot reads from:
 	// a destructive rewrite commits a new generation directory (and may
 	// upgrade the chunk format), and a reader must keep decoding the one
 	// its metadata references.
 	dir    string
 	format int
+	// ids lists the live version IDs in version order (the order
+	// Reorganize and the materialization matrix use).
+	ids []int
+	// noCache bypasses the store-wide decoded-chunk LRU for reads
+	// through this view. Bulk scans that decode every version — tuner
+	// cost estimation, rewrite plane loads — would otherwise evict the
+	// clients' hot working set and skew the hit-rate counters; they
+	// memoize within the scan (chunkCache) instead.
+	noCache bool
 	// byID holds cloned live version metadata; nil means "reading under
 	// the store lock, use st directly".
 	byID map[int]*versionMeta
@@ -37,12 +49,17 @@ type readView struct {
 // replaces inner maps wholesale rather than writing into published ones,
 // so a snapshot costs O(versions × attrs), independent of chunk count.
 func (s *Store) viewLocked(st *arrayState, clone bool) *readView {
-	v := &readView{st: st, epoch: s.epochs[st.Schema.Name], dir: st.chunksDir(), format: st.Format}
+	v := &readView{st: st, epoch: s.epochs[st.Schema.Name], seq: st.seq, dir: st.chunksDir(), format: st.Format}
+	live := st.live()
+	v.ids = make([]int, len(live))
+	for i, vm := range live {
+		v.ids[i] = vm.ID
+	}
 	if !clone {
 		return v
 	}
 	v.byID = make(map[int]*versionMeta)
-	for _, vm := range st.live() {
+	for _, vm := range live {
 		cp := *vm
 		cp.Chunks = make(map[string]map[string]chunkEntry, len(vm.Chunks))
 		for attr, m := range vm.Chunks {
@@ -86,6 +103,36 @@ func (s *Store) snapshot(name string) (*readView, func(), error) {
 	st.ioMu.RLock()
 	s.mu.RUnlock()
 	return v, st.ioMu.RUnlock, nil
+}
+
+// snapshotUncached is snapshot for bulk scans: it returns a private
+// (never memoized) clone whose reads bypass the store-wide chunk cache,
+// so decoding every version of an array leaves the LRU's hot working
+// set untouched.
+func (s *Store) snapshotUncached(name string) (*readView, func(), error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	st, ok := s.arrays[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, nil, fmt.Errorf("core: no array %q", name)
+	}
+	v := s.viewLocked(st, true)
+	v.noCache = true
+	st.ioMu.RLock()
+	s.mu.RUnlock()
+	return v, st.ioMu.RUnlock, nil
+}
+
+// mutateLocked marks a metadata mutation: it bumps the sequence (which
+// invalidates any in-flight off-lock rewrite build) and drops the
+// memoized read view. Callers hold Store.mu exclusively.
+func (st *arrayState) mutateLocked() {
+	st.seq++
+	st.cachedView.Store(nil)
 }
 
 func (v *readView) version(id int) (*versionMeta, error) {

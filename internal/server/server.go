@@ -116,6 +116,9 @@ func New(cfg Config) (*Server, error) {
 	s.routeStream(mux, "GET /v1/arrays/{name}/select-sparse-multi", "select-sparse-multi", s.handleSelectSparseMulti)
 	s.route(mux, "POST /v1/arrays/{name}/branch", "branch", s.handleBranch)
 	s.route(mux, "POST /v1/arrays/{name}/reorganize", "reorganize", s.handleReorganize)
+	s.route(mux, "POST /v1/arrays/{name}/tune", "tune", s.handleTune)
+	s.route(mux, "GET /v1/arrays/{name}/workload", "workload", s.handleWorkload)
+	s.route(mux, "POST /v1/arrays/{name}/workload", "workload-record", s.handleWorkloadRecord)
 	s.route(mux, "POST /v1/arrays/{name}/delete-version", "delete-version", s.handleDeleteVersion)
 	s.route(mux, "POST /v1/arrays/{name}/compact", "compact", s.handleCompact)
 	s.route(mux, "POST /v1/merge", "merge", s.handleMerge)
@@ -541,6 +544,47 @@ func (s *Server) handleReorganize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "reorganized"})
+}
+
+// handleTune forces one adaptive-tuner pass over the array: it
+// estimates the I/O cost of the current layout against the
+// workload-aware one for the recorded traffic, reorganizes when the
+// savings clear the threshold, and returns the TuneReport either way.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.Tune(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	wl, err := s.store.Workload(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if wl == nil {
+		wl = []layout.Query{}
+	}
+	writeJSON(w, http.StatusOK, wl)
+}
+
+// handleWorkloadRecord merges client-supplied weighted queries into the
+// array's recorded workload, seeding the adaptive tuner with a-priori
+// knowledge instead of waiting for live traffic.
+func (s *Server) handleWorkloadRecord(w http.ResponseWriter, r *http.Request) {
+	var queries []layout.Query
+	if err := decodeJSONBody(r, &queries); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.store.RecordWorkload(r.PathValue("name"), queries); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 }
 
 func (s *Server) handleDeleteVersion(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"arrayvers/client"
 	"arrayvers/internal/array"
 	"arrayvers/internal/core"
+	"arrayvers/internal/layout"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *core.Store, *httptest.Server) {
@@ -520,5 +521,109 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q", want)
 		}
+	}
+}
+
+// TestTuneEndpoint drives the adaptive-tuner surface end to end over
+// HTTP: remote selects feed the daemon's workload histogram (visible via
+// GET workload), a forced tune pass reorganizes the skewed array, reads
+// stay byte-identical afterwards, and the tune counters reach /metrics.
+func TestTuneEndpoint(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = 4 << 10
+	opts.AutoTune.MinOps = 1
+	opts.AutoTune.MinSavings = 0.01
+	store, err := core.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ts := newTestServer(t, Config{Store: store})
+	c := client.New(ts.URL)
+
+	const side, n = 48, 8
+	if err := c.CreateArray(denseSchema("T", side)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	versions := make([]*array.Dense, n)
+	cur := randDense(rng, side)
+	for i := range versions {
+		versions[i] = cur.Clone()
+		for j := int64(0); j < cur.NumCells(); j++ {
+			if rng.Float64() < 0.1 {
+				cur.SetBits(j, cur.Bits(j)+1)
+			}
+		}
+		if _, err := c.Insert("T", core.DensePayload(versions[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Reorganize("T", core.ReorganizeOptions{Policy: core.PolicyLinearChain}); err != nil {
+		t.Fatal(err)
+	}
+	// skewed remote traffic: the oldest version is hot
+	for i := 0; i < 20; i++ {
+		if _, err := c.Select("T", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wl, err := c.Workload("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl) == 0 || wl[0].Weight < 20 || wl[0].Versions[0] != 1 {
+		t.Fatalf("daemon did not record the remote selects: %v", wl)
+	}
+	rep, err := c.Tune("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reorganized {
+		t.Fatalf("remote tune pass declined: %s", rep.Reason)
+	}
+	for i, want := range versions {
+		got, err := c.Select("T", i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Dense.Equal(want) {
+			t.Fatalf("version %d not byte-identical after remote tune", i+1)
+		}
+	}
+	// seeding via the API merges into the histogram
+	if err := c.RecordWorkload("T", []layout.Query{layout.Snapshot(2, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	wl, err = c.Workload("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl) == 0 || wl[0].Weight < 50 || wl[0].Versions[0] != 2 {
+		t.Fatalf("seeded workload not recorded: %v", wl)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TunePasses != 1 || st.TuneReorganizes != 1 {
+		t.Fatalf("tune counters = %d/%d, want 1/1", st.TunePasses, st.TuneReorganizes)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"avstored_store_tune_passes 1", "avstored_store_tune_reorganizes 1", "avstored_store_workload_ops"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// tune of a missing array maps to 404
+	if _, err := c.Tune("nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("tune of unknown array returned %v, want 404", err)
 	}
 }

@@ -141,6 +141,47 @@ func Updates(n, reps int, seed int64) []Op {
 	return ops
 }
 
+// Zipfian is the skewed single-version trace used by the adaptive-tuner
+// experiments and tests: version ranks follow a Zipf distribution with
+// exponent s (> 1), with the OLDEST version (ID 1) the hottest. Against
+// the linear-chain baseline — which materializes the newest version and
+// deltas backwards — this is the worst case: the most popular reads
+// unwind the longest delta chains, which is exactly the skew an adaptive
+// reorganizer should detect and fix.
+func Zipfian(n, reps int, s float64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	ops := make([]Op, reps)
+	for i := range ops {
+		ops[i] = Op{Kind: SelectOne, Versions: []int{1 + int(z.Uint64())}}
+	}
+	return ops
+}
+
+// SlidingWindow is a deterministic range-read trace whose window of
+// `width` consecutive versions slides from the oldest to the newest
+// version across the trace — the "analyst scanning history forward"
+// pattern. Early ops hit old versions, late ops hit recent ones, so a
+// decayed workload histogram tracks the drift.
+func SlidingWindow(n, reps, width int) []Op {
+	if width < 1 {
+		width = 1
+	}
+	if width > n {
+		width = n
+	}
+	maxLo := n - width + 1
+	ops := make([]Op, reps)
+	for i := range ops {
+		lo := 1
+		if reps > 1 {
+			lo = 1 + (i*(maxLo-1))/(reps-1)
+		}
+		ops[i] = Op{Kind: SelectRange, Versions: contiguous(lo, lo+width-1)}
+	}
+	return ops
+}
+
 // OverlappingRanges is the §V-D workload-aware experiment: "sets of range
 // queries retrieving `width` images each and overlapping by `overlap`
 // versions exactly". With width 10 and overlap 4, ranges start every 6

@@ -163,3 +163,77 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	const n, reps = 20, 2000
+	ops := Zipfian(n, reps, 1.6, 3)
+	if len(ops) != reps {
+		t.Fatalf("got %d ops, want %d", len(ops), reps)
+	}
+	counts := make([]int, n+1)
+	for _, op := range ops {
+		if op.Kind != SelectOne || len(op.Versions) != 1 {
+			t.Fatalf("zipfian op %v is not a single select", op)
+		}
+		v := op.Versions[0]
+		if v < 1 || v > n {
+			t.Fatalf("version %d out of range 1..%d", v, n)
+		}
+		counts[v]++
+	}
+	// the oldest version must dominate: it is the adversarial case for
+	// the linear-chain baseline
+	if counts[1] < reps/3 {
+		t.Fatalf("version 1 hit %d/%d times; trace not skewed to the oldest", counts[1], reps)
+	}
+	if counts[1] <= counts[n] {
+		t.Fatalf("skew inverted: v1=%d, v%d=%d", counts[1], n, counts[n])
+	}
+	// deterministic for a fixed seed
+	again := Zipfian(n, reps, 1.6, 3)
+	for i := range ops {
+		if ops[i].Versions[0] != again[i].Versions[0] {
+			t.Fatal("nondeterministic zipfian trace")
+		}
+	}
+}
+
+func TestSlidingWindowCoversAxis(t *testing.T) {
+	const n, reps, width = 16, 60, 4
+	ops := SlidingWindow(n, reps, width)
+	if len(ops) != reps {
+		t.Fatalf("got %d ops, want %d", len(ops), reps)
+	}
+	prevLo := 0
+	for i, op := range ops {
+		if op.Kind != SelectRange || len(op.Versions) != width {
+			t.Fatalf("op %d = %v, want %d-wide range", i, op, width)
+		}
+		lo := op.Versions[0]
+		for j, v := range op.Versions {
+			if v != lo+j {
+				t.Fatalf("op %d versions %v not contiguous", i, op.Versions)
+			}
+		}
+		if lo < prevLo {
+			t.Fatalf("window slid backwards at op %d: %d < %d", i, lo, prevLo)
+		}
+		if op.Versions[width-1] > n {
+			t.Fatalf("op %d exceeds version axis: %v", i, op.Versions)
+		}
+		prevLo = lo
+	}
+	if ops[0].Versions[0] != 1 {
+		t.Fatalf("first window starts at %d, want 1", ops[0].Versions[0])
+	}
+	if ops[reps-1].Versions[width-1] != n {
+		t.Fatalf("last window ends at %d, want %d", ops[reps-1].Versions[width-1], n)
+	}
+	// width clamps to the axis
+	wide := SlidingWindow(4, 3, 9)
+	for _, op := range wide {
+		if len(op.Versions) != 4 {
+			t.Fatalf("clamped window has %d versions, want 4", len(op.Versions))
+		}
+	}
+}
