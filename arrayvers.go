@@ -54,8 +54,13 @@ import (
 // decode chunks without serializing on the store lock, fan per-chunk
 // work out on a bounded worker pool (Options.Parallelism), and share a
 // store-wide LRU of reconstructed chunks (Options.CacheBytes) so
-// repeated and overlapping version reads skip the delta-chain walk. See
-// DESIGN.md's "Concurrency & caching" section.
+// repeated and overlapping version reads skip the delta-chain walk.
+// Writes are concurrent too: inserts to different arrays encode and
+// fsync in parallel under per-array write latches, concurrent durable
+// inserts to one array coalesce into shared group commits, and
+// InsertBatch lands many versions atomically in one commit. See
+// DESIGN.md's "Concurrency & caching" and "Write path & group commit"
+// sections.
 type Store = core.Store
 
 // Options configures a Store (chunk size, compression codec, delta

@@ -265,6 +265,30 @@ func (c *Client) Insert(name string, p arrayvers.Payload) (int, error) {
 	return out.ID, nil
 }
 
+// InsertBatch adds a batch of versions in one request and one shared
+// server-side commit (all-or-nothing), returning their IDs in payload
+// order. The payloads travel as consecutive wire frames in a single
+// request body, so a bulk load pays one HTTP round-trip and one
+// durable commit instead of one per version.
+func (c *Client) InsertBatch(name string, ps []arrayvers.Payload) ([]int, error) {
+	var buf bytes.Buffer
+	if err := wire.WritePayloadBatch(&buf, ps); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions/batch", frameContentType, &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode insert-batch response: %w", err)
+	}
+	return out.IDs, nil
+}
+
 func (c *Client) selectPlane(name string, query string) (arrayvers.Plane, error) {
 	resp, err := c.do(http.MethodGet, "/v1/arrays/"+url.PathEscape(name)+"/select?"+query, "", nil)
 	if err != nil {
@@ -474,6 +498,7 @@ func (c *Client) Close() error {
 type storeShape interface {
 	CreateArray(arrayvers.Schema) error
 	Insert(string, arrayvers.Payload) (int, error)
+	InsertBatch(string, []arrayvers.Payload) ([]int, error)
 	Select(string, int) (arrayvers.Plane, error)
 	SelectAttr(string, int, string) (arrayvers.Plane, error)
 	SelectRegion(string, int, arrayvers.Box) (arrayvers.Plane, error)

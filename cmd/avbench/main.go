@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, or adaptive")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, adaptive, or ingest")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -91,6 +91,16 @@ func main() {
 		}
 	}
 
+	ingest := func() {
+		t, results, err := bench.Ingest(dir, sc, *parallelism)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_ingest.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "hotpath":
@@ -99,6 +109,8 @@ func main() {
 			serverExp()
 		case "adaptive":
 			adaptive()
+		case "ingest":
+			ingest()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -159,6 +171,7 @@ func main() {
 		hotpath()
 		serverExp()
 		adaptive()
+		ingest()
 		return
 	}
 	run(*experiment)

@@ -30,6 +30,7 @@ type versionedStore interface {
 	CreateArray(arrayvers.Schema) error
 	DeleteArray(string) error
 	Insert(string, arrayvers.Payload) (int, error)
+	InsertBatch(string, []arrayvers.Payload) ([]int, error)
 	Select(string, int) (arrayvers.Plane, error)
 	SelectRegion(string, int, arrayvers.Box) (arrayvers.Plane, error)
 	SelectMulti(string, []int) (*arrayvers.Dense, error)
@@ -92,6 +93,30 @@ func main() {
 		ids = append(ids, id)
 		fmt.Printf("committed %s@%d\n", name, id)
 	}
+
+	// batched insert: three more versions in one request and one shared
+	// commit (all-or-nothing server-side)
+	var batch []arrayvers.Payload
+	for v := 3; v < 6; v++ {
+		grid, err := arrayvers.NewDense(arrayvers.Int32, []int64{32, 32})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := int64(0); i < grid.NumCells(); i++ {
+			grid.SetBits(i, int64(v)*1000+i)
+		}
+		want = append(want, grid.Clone())
+		batch = append(batch, arrayvers.DensePayload(grid))
+	}
+	batchIDs, err := store.InsertBatch(name, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(batchIDs) != len(batch) {
+		log.Fatalf("batch insert returned %d ids for %d payloads", len(batchIDs), len(batch))
+	}
+	ids = append(ids, batchIDs...)
+	fmt.Printf("batch-committed %s@%v in one shared commit\n", name, batchIDs)
 
 	// read each version back and compare against the local copy
 	for i, id := range ids {

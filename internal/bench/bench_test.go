@@ -291,3 +291,23 @@ func TestAblationsShape(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 }
+
+func TestIngestConfigShape(t *testing.T) {
+	res, err := runIngestConfig(t.TempDir(), "grouped", 2, 6, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserts != 6 || res.InsertsPerSec <= 0 || res.GroupCommits == 0 {
+		t.Fatalf("ingest result shape: %+v", res)
+	}
+	if res.CoalesceFactor < 1 {
+		t.Fatalf("coalesce factor %v < 1", res.CoalesceFactor)
+	}
+	res, err = runIngestConfig(t.TempDir(), "per-insert", 2, 6, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupCommits != 6 {
+		t.Fatalf("per-insert mode coalesced: %d commits for 6 inserts", res.GroupCommits)
+	}
+}

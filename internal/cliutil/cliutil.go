@@ -147,6 +147,10 @@ func StatsCounters(st core.IOStats) []Counter {
 		{"recovery_truncated_bytes", st.RecoveryTruncatedBytes},
 		{"recovery_removed_files", st.RecoveryRemovedFiles},
 		{"recovery_dropped_versions", st.RecoveryDroppedVersions},
+		{"group_commits", st.GroupCommits},
+		{"group_commit_versions", st.GroupCommitVersions},
+		{"insert_orphan_files", st.InsertOrphanFiles},
+		{"insert_orphan_bytes", st.InsertOrphanBytes},
 		{"workload_ops", st.WorkloadOps},
 		{"workload_patterns", st.WorkloadPatterns},
 		{"tune_passes", st.TunePasses},

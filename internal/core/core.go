@@ -98,6 +98,12 @@ type Options struct {
 	// default so I/O accounting matches the paper's tables; avstored and
 	// the avstore CLI turn it on.
 	Durability bool
+	// DisableGroupCommit turns off the insert group-commit coalescer:
+	// every insert then pays its own chunks-dir fsync and versions.json
+	// commit instead of sharing one with concurrent inserts to the same
+	// array. Exists for the ingest benchmark's per-insert-commit baseline
+	// and for bisecting; production callers leave it off.
+	DisableGroupCommit bool
 	// FS overrides the filesystem used by every write path; nil means the
 	// real OS. Tests inject fsio.Fault here to crash the store at an
 	// arbitrary write/sync/rename step.
@@ -292,6 +298,19 @@ type IOStats struct {
 	TunePasses      int64
 	TuneReorganizes int64
 
+	// GroupCommits counts shared durable commit points on the insert
+	// path; GroupCommitVersions counts the versions they installed, so
+	// GroupCommitVersions/GroupCommits is the realized coalescing factor
+	// (1.0 means no concurrent inserts ever shared a commit).
+	GroupCommits        int64
+	GroupCommitVersions int64
+	// InsertOrphanFiles/InsertOrphanBytes count chunk blobs written by a
+	// failed insert and reclaimed at the failure site (removed files and
+	// truncated chain-file tails), instead of dangling until a durable
+	// reopen's recovery sweep or a Compact.
+	InsertOrphanFiles int64
+	InsertOrphanBytes int64
+
 	// Recovery* mirror RecoveryStats: what Open-time crash recovery
 	// repaired. Fixed at Open; ResetStats leaves them alone.
 	RecoveryTruncatedFiles  int64
@@ -403,6 +422,15 @@ func (s *Store) Close() error {
 		tuner.Stop()
 	}
 	for _, st := range arrays {
+		// drain writers first: an in-flight stager finishes encoding,
+		// then its commit leader fails fast on the closed flag and wakes
+		// every waiter with ErrClosed
+		st.writeMu.Lock()
+		st.writeMu.Unlock()
+		st.syncMu.Lock()
+		st.syncMu.Unlock()
+		st.commitMu.Lock()
+		st.commitMu.Unlock()
 		st.ioMu.Lock()
 		st.ioMu.Unlock()
 	}
@@ -460,6 +488,23 @@ func (s *Store) addWrite(bytes int64) {
 	s.statsMu.Unlock()
 }
 
+func (s *Store) addGroupCommit(versions int) {
+	s.statsMu.Lock()
+	s.stats.GroupCommits++
+	s.stats.GroupCommitVersions += int64(versions)
+	s.statsMu.Unlock()
+}
+
+func (s *Store) addInsertOrphans(files, bytes int64) {
+	if files == 0 && bytes == 0 {
+		return
+	}
+	s.statsMu.Lock()
+	s.stats.InsertOrphanFiles += files
+	s.stats.InsertOrphanBytes += bytes
+	s.statsMu.Unlock()
+}
+
 // --- per-array state and metadata ---
 
 // chunkEntry records where one chunk of one version lives on disk and how
@@ -491,8 +536,13 @@ type BranchRef struct {
 	Version int    `json:"version"`
 }
 
-// arrayState is the durable state of one named array.
-type arrayState struct {
+// arrayMeta is the durable metadata of one named array — exactly the
+// fields serialized into versions.json. Mutators never edit the live
+// copy in place: they build a staged arrayMeta (metaClone), commit it
+// with saveMetaDoc, and install it only after the rename succeeds, so a
+// failed commit can never leave in-memory metadata referencing an
+// uncommitted version (see insert.go "The insert commit path").
+type arrayMeta struct {
 	Schema       array.Schema   `json:"schema"`
 	SparseRep    bool           `json:"sparseRep"`
 	Fill         int64          `json:"fill"`
@@ -511,9 +561,15 @@ type arrayState struct {
 	Gen int `json:"gen,omitempty"`
 	// FileSeq names per-version chunk files uniquely so re-encodes write
 	// fresh files instead of truncating ones a committed version (or an
-	// in-flight reader) still references. Accessed atomically from
-	// parallel insert workers.
+	// in-flight reader) still references. Accessed atomically: insert
+	// staging bumps it with no store lock held.
 	FileSeq int64 `json:"fileSeq,omitempty"`
+}
+
+// arrayState is one named array: its durable metadata plus the runtime
+// latches and staging state.
+type arrayState struct {
+	arrayMeta
 
 	dir string `json:"-"`
 
@@ -529,6 +585,39 @@ type arrayState struct {
 	// this array without blocking readers or inserts; it is always
 	// acquired before Store.mu, never while holding it.
 	reorgMu sync.Mutex
+
+	// writeMu is the per-array write latch: it serializes insert staging
+	// (payload resolution, plane encoding, blob appends) on this array
+	// without holding Store.mu, so inserts to different arrays encode
+	// and fsync concurrently. Acquired before Store.mu, never while
+	// holding it.
+	writeMu sync.Mutex
+	// syncMu and commitMu pipeline the group commit in two stages:
+	// syncMu admits one leader to the data-sync stage (drain pending,
+	// fsync every staged file and the chunks dir), commitMu admits one
+	// to the metadata stage (validate, install, versions.json rename).
+	// A leader acquires commitMu BEFORE releasing syncMu, so batches
+	// install in drain order, while the next leader's fsyncs overlap
+	// this leader's metadata commit.
+	//
+	// commitMu doubles as the array's versions.json WRITER latch: insert
+	// leaders run the metadata rename with Store.mu released (so selects
+	// and staging never stall behind the commit's fsyncs), which is only
+	// safe because every other metadata writer on the array —
+	// DeleteVersion, Reorganize, Compact — also holds commitMu across
+	// its saveMeta. Lock order: syncMu < commitMu < writeMu < Store.mu
+	// < pendMu.
+	syncMu   sync.Mutex
+	commitMu sync.Mutex
+	// pendMu guards pending and stageNext.
+	pendMu sync.Mutex
+	// pending holds staged, uncommitted inserts in stage order.
+	pending []*stagedInsert
+	// stageNext is the id the next staged insert will reserve; always
+	// >= NextID. A stage-time failure rolls its own reservation back
+	// (under writeMu, so no later reservation exists); ids lost to
+	// commit-time failures become permanent gaps — ids are never reused.
+	stageNext int
 
 	// seq counts metadata mutations (insert, delete-version, rewrite
 	// commits). An off-lock rewrite snapshots it and only commits if it
@@ -600,19 +689,73 @@ func (st *arrayState) chunksDir() string {
 	return filepath.Join(st.dir, chunksDirName(st.Gen))
 }
 
-// saveMeta commits an array's metadata: marshal to a tmp file, rename
-// over versions.json, and — with Durability on — fsync the tmp file
-// before the rename and the array directory after it. The rename is the
-// commit point of every mutation: chunk payloads are synced before
-// saveMeta is called, so once the new metadata is durable everything it
+// metaClone snapshots the array's durable metadata for a staged
+// mutation: the version slice header is cloned (pointees are shared —
+// a mutator that edits a version clones that versionMeta and swaps the
+// pointer in its staged slice), and FileSeq is loaded atomically since
+// insert staging bumps the live counter with no store lock held.
+// Callers hold Store.mu.
+func (st *arrayState) metaClone() arrayMeta {
+	return arrayMeta{
+		Schema:       st.Schema,
+		SparseRep:    st.SparseRep,
+		Fill:         st.Fill,
+		ChunkSide:    st.ChunkSide,
+		NextID:       st.NextID,
+		Versions:     append([]*versionMeta(nil), st.Versions...),
+		BranchedFrom: st.BranchedFrom,
+		Format:       st.Format,
+		Gen:          st.Gen,
+		FileSeq:      atomic.LoadInt64(&st.FileSeq),
+	}
+}
+
+// installMeta publishes a committed staged arrayMeta into the live
+// state. Only the fields mutators change are written: Schema, ChunkSide,
+// and BranchedFrom are immutable after creation and read lock-free
+// through reader views, so rewriting them (even with equal values) would
+// race those reads. SparseRep/Fill are written only when they actually
+// change — the first version fixing the representation — which no
+// lock-free reader can observe: a reader only reaches its SparseRep read
+// after its snapshot resolved the queried version, and a pre-install
+// snapshot holds no versions. FileSeq is deliberately not installed:
+// concurrent stagers bump the live counter atomically while a commit is
+// in flight, and the staged snapshot may be behind it. Callers hold
+// Store.mu exclusively.
+func (st *arrayState) installMeta(m arrayMeta) {
+	if st.SparseRep != m.SparseRep {
+		st.SparseRep = m.SparseRep
+	}
+	if st.Fill != m.Fill {
+		st.Fill = m.Fill
+	}
+	st.NextID = m.NextID
+	st.Versions = m.Versions
+	st.Format = m.Format
+	st.Gen = m.Gen
+}
+
+// saveMeta commits an array's current in-memory metadata; mutators that
+// stage changes first commit the staged copy with saveMetaDoc and
+// install it only on success.
+func (s *Store) saveMeta(st *arrayState) error {
+	m := st.metaClone()
+	return s.saveMetaDoc(st.dir, &m)
+}
+
+// saveMetaDoc commits an array metadata document: marshal to a tmp
+// file, rename over versions.json, and — with Durability on — fsync the
+// tmp file before the rename and the array directory after it. The
+// rename is the commit point of every mutation: chunk payloads are
+// synced before it, so once the new metadata is durable everything it
 // references is too, and anything it does not reference is garbage for
 // recovery and Compact to reclaim.
-func (s *Store) saveMeta(st *arrayState) error {
-	raw, err := json.MarshalIndent(st, "", " ")
+func (s *Store) saveMetaDoc(dir string, m *arrayMeta) error {
+	raw, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(st.dir, metaFile+".tmp")
+	tmp := filepath.Join(dir, metaFile+".tmp")
 	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return err
@@ -627,11 +770,11 @@ func (s *Store) saveMeta(st *arrayState) error {
 	if werr != nil {
 		return werr
 	}
-	if err := s.fs.Rename(tmp, filepath.Join(st.dir, metaFile)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
 		return err
 	}
 	if s.opts.Durability {
-		return s.fs.SyncDir(st.dir)
+		return s.fs.SyncDir(dir)
 	}
 	return nil
 }
@@ -666,12 +809,14 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		return err
 	}
 	st := &arrayState{
-		Schema:       schema,
-		ChunkSide:    ck.Side(),
-		NextID:       1,
-		BranchedFrom: branchedFrom,
-		Format:       formatFramed,
-		dir:          dir,
+		arrayMeta: arrayMeta{
+			Schema:       schema,
+			ChunkSide:    ck.Side(),
+			NextID:       1,
+			BranchedFrom: branchedFrom,
+			Format:       formatFramed,
+		},
+		dir: dir,
 	}
 	if err := s.saveMeta(st); err != nil {
 		return err
@@ -697,19 +842,31 @@ const tombstoneSuffix = ".deleting"
 // store-root sync); the tree removal happens after it, so a crash can
 // only ever leave a tombstone for Open-time recovery to sweep — never a
 // half-deleted array that resurrects with versions missing.
+//
+// The array's commitMu is held across the tombstone rename: an insert
+// leader runs its versions.json rename with Store.mu released, and
+// without this latch a delete + same-name recreate could slip into
+// that window, landing the old array's staged metadata inside the
+// recreated array's directory.
 func (s *Store) DeleteArray(name string) error {
+	st, err := s.lockArray(name, func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.commitMu}
+	})
+	if err != nil {
+		return err
+	}
+	defer st.commitMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	st, ok := s.arrays[name]
-	if !ok {
+	if s.arrays[name] != st {
 		return fmt.Errorf("core: no array %q", name)
 	}
 	tomb := st.dir + tombstoneSuffix
 	st.ioMu.Lock()
-	err := s.fs.Rename(st.dir, tomb)
+	err = s.fs.Rename(st.dir, tomb)
 	if err == nil && s.opts.Durability {
 		err = s.fs.SyncDir(s.dir)
 	}

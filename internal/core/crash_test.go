@@ -31,6 +31,11 @@ type crashModel struct {
 	// pendingDeleted is the id of a version whose DeleteVersion was
 	// interrupted (it may be gone or still fully readable).
 	pendingDeleted int
+	// pendingBatchIDs/pendingBatchContent describe an interrupted
+	// InsertBatch: the batch shares one commit, so after recovery either
+	// every member is present (byte-identical) or none is.
+	pendingBatchIDs     []int
+	pendingBatchContent []*array.Dense
 	// aux tracks the second array ("Aux"), which exercises the
 	// CreateArray and DeleteArray (tombstone) crash points.
 	auxInsertOK  bool // Aux's single insert committed
@@ -148,6 +153,37 @@ func runCrashWorkload(s *Store, side int64) (*crashModel, error) {
 	if err := s.Compact("M"); err != nil {
 		return m, err
 	}
+	// batched insert through the group-commit path: three versions — a
+	// dense payload, a delta-list off version 1, another dense — staged
+	// together and published by ONE shared commit, so every fault point
+	// of the coalesced fsync schedule and the single metadata rename is
+	// in the matrix. Atomicity is all-or-nothing for the whole batch.
+	{
+		startID := nextLiveID(m)
+		deltaWant := m.content[1].Clone()
+		updates := []CellUpdate{
+			{Coords: []int64{1, 1}, Bits: 31337},
+			{Coords: []int64{side - 2, 0}, Bits: -5},
+		}
+		for _, u := range updates {
+			deltaWant.SetBitsAt(u.Coords, u.Bits)
+		}
+		want := []*array.Dense{crashContent(8, side), deltaWant, crashContent(9, side)}
+		m.pendingBatchIDs = []int{startID, startID + 1, startID + 2}
+		m.pendingBatchContent = want
+		ids, err := s.InsertBatch("M", []Payload{
+			DensePayload(want[0]),
+			DeltaListPayload(1, updates),
+			DensePayload(want[2]),
+		})
+		if err != nil {
+			return m, err
+		}
+		for i, id := range ids {
+			m.content[id] = want[i]
+		}
+		m.pendingBatchIDs, m.pendingBatchContent = nil, nil
+	}
 	if err := insert(5); err != nil {
 		return m, err
 	}
@@ -180,6 +216,11 @@ func runCrashWorkload(s *Store, side int64) (*crashModel, error) {
 		return m, err
 	}
 	return m, nil
+}
+
+func batchContains(pos map[int]int, id int) bool {
+	_, ok := pos[id]
+	return ok
 }
 
 // nextLiveID predicts the id the next insert will be assigned (version
@@ -471,9 +512,33 @@ func checkRecovered(t *testing.T, dir string, step int64, m *crashModel, side in
 		}
 		delete(present, id)
 	}
+	// an interrupted InsertBatch shares one commit: all in or all out,
+	// and whatever is in must be byte-identical
+	batchPos := map[int]int{}
+	for i, id := range m.pendingBatchIDs {
+		batchPos[id] = i
+	}
+	batchPresent := 0
+	for _, id := range m.pendingBatchIDs {
+		if present[id] {
+			batchPresent++
+		}
+	}
+	if batchPresent != 0 && batchPresent != len(m.pendingBatchIDs) {
+		t.Fatalf("step %d: interrupted InsertBatch committed partially (%d of %d members)",
+			step, batchPresent, len(m.pendingBatchIDs))
+	}
 	// the interrupted op must be atomically in or out
 	for id := range present {
 		switch {
+		case m.pendingBatchContent != nil && present[id] && batchContains(batchPos, id):
+			got, err := s.Select("M", id)
+			if err != nil {
+				t.Fatalf("step %d: maybe-committed batch member %d unreadable: %v", step, id, err)
+			}
+			if !got.Dense.Equal(m.pendingBatchContent[batchPos[id]]) {
+				t.Fatalf("step %d: maybe-committed batch member %d has wrong content", step, id)
+			}
 		case id == m.pendingID && m.pendingContent != nil:
 			got, err := s.Select("M", id)
 			if err != nil {

@@ -1,13 +1,42 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/delta"
 	"arrayvers/internal/layout"
 )
+
+// The insert commit path.
+//
+// An insert runs in two phases. *Staging* resolves the payload, picks a
+// delta base, and encodes every chunk — appending blobs to the chunk
+// files — against a cloned metadata snapshot, holding only the array's
+// writeMu (which serializes appenders on one array) and its shared I/O
+// latch (which pins the chunk generation); Store.mu is held just long
+// enough to take the snapshot, so inserts to different arrays encode
+// and fsync concurrently, and never stall readers. *Commit* installs
+// the staged versions: a group-commit leader drains every staged insert
+// pending on the array, makes their payloads durable with one fsync per
+// touched file plus one chunks-dir fsync shared by the whole batch,
+// validates each against the live state (generation unchanged, delta
+// bases still live), and publishes them all with a single versions.json
+// rename — the commit point of the PR 3 durability protocol, unchanged.
+//
+// Nothing is installed into the live arrayState until that rename
+// succeeds: mutators build a staged arrayMeta and install it only after
+// saveMetaDoc returns, so a failed commit leaves in-memory metadata
+// exactly equal to on-disk metadata (no phantom versions a select could
+// read but a reopen would lose), and the blobs a failed stage appended
+// are reclaimed at the failure site (writeSet.sweep).
 
 // Plane is the content of one attribute of one version: either a dense
 // or a sparse array over the schema's dimensions.
@@ -83,45 +112,416 @@ func DeltaListPayload(base int, updates []CellUpdate) Payload {
 	return Payload{DeltaBase: base, Updates: updates}
 }
 
+// insertCtx carries the filesystem coordinates one staged mutation
+// encodes against: the metadata view it resolves bases through, the
+// chunk directory and format of the generation it pinned, the
+// representation it encodes with, the write-set recording its appends,
+// and a per-stage chunk memo so repeated base reads walk each delta
+// chain once. Cache puts through ctx.v are always suppressed (noCache):
+// staged version ids are not committed and must never become visible
+// through the store-wide LRU.
+type insertCtx struct {
+	st     *arrayState
+	v      *readView
+	ws     *writeSet
+	qc     *chunkCache
+	dir    string
+	format int
+	sparse bool
+}
+
+// writeSet tracks the chunk-file byte ranges appended by one staged
+// mutation, for the two jobs that follow staging: fsyncing each touched
+// file exactly once at the shared commit point, and reclaiming the
+// bytes if the mutation fails before committing.
+type writeSet struct {
+	mu    sync.Mutex
+	files map[string]*fileSpan
+}
+
+type fileSpan struct {
+	start int64 // offset of this mutation's first byte in the file
+	end   int64 // offset one past this mutation's last byte
+}
+
+func newWriteSet() *writeSet { return &writeSet{files: map[string]*fileSpan{}} }
+
+// record merges one append into the set. Within one staged mutation the
+// array's writeMu excludes other appenders, so a file's recorded spans
+// are contiguous and min/max merging is exact.
+func (w *writeSet) record(path string, start, end int64) {
+	w.mu.Lock()
+	if sp, ok := w.files[path]; ok {
+		if start < sp.start {
+			sp.start = start
+		}
+		if end > sp.end {
+			sp.end = end
+		}
+	} else {
+		w.files[path] = &fileSpan{start: start, end: end}
+	}
+	w.mu.Unlock()
+}
+
+// sortedPaths returns the touched files in a deterministic order, so
+// the fault-injection matrix sees the same fsync/sweep step sequence on
+// every run.
+func (w *writeSet) sortedPaths() []string {
+	paths := make([]string, 0, len(w.files))
+	for p := range w.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func (w *writeSet) empty() bool { return len(w.files) == 0 }
+
+// createdFiles reports whether the mutation created any chunk file (a
+// span starting at offset zero; a pre-existing file is never appended
+// at zero). Only creations need the chunks directory fsynced before
+// the metadata commit — an append to an existing file changes no
+// directory entry, and fsyncing the file persists its inode size — so
+// steady-state appends skip the directory flush entirely.
+func (w *writeSet) createdFiles() bool {
+	for _, sp := range w.files {
+		if sp.start == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// syncFile fsyncs one chunk file through the FS seam. The close error
+// is merged — a failed close after kernel-buffered writes is silent
+// data loss.
+func (s *Store) syncFile(path string) error {
+	f, err := s.fs.Append(path)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// sync fsyncs every file in the set — the data-durability step of the
+// shared commit. Callers sync the chunks directory afterwards.
+func (w *writeSet) sync(s *Store) error {
+	for _, path := range w.sortedPaths() {
+		if err := s.syncFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweep reclaims the staged bytes after a failure. A file whose current
+// size equals the recorded span's end has seen no later appends, so the
+// span is the file's tail: the file is removed when the span started at
+// offset zero (the failed mutation created it) and truncated back
+// otherwise. A file someone appended to after us is left alone — the
+// bytes become dangling (Verify counts them, Compact reclaims them) —
+// so the sweep can never cut another stager's staged frames. Callers
+// must hold the array's writeMu so no append can land between the size
+// check and the truncate. Best-effort: errors are ignored (the store
+// may be mid-crash, or the whole generation already swept by a
+// rewrite); what was reclaimed feeds Stats.
+func (w *writeSet) sweep(s *Store) {
+	var files, bytes int64
+	for _, path := range w.sortedPaths() {
+		sp := w.files[path]
+		// the size check is a read, which (like readBlob and recovery's
+		// directory scans) stays on the plain os package per the fsio
+		// contract; only the Remove/Truncate mutations go through the seam
+		info, err := os.Stat(path)
+		if err != nil || info.Size() != sp.end {
+			continue
+		}
+		if sp.start == 0 {
+			if s.fs.Remove(path) == nil {
+				files++
+				bytes += sp.end
+			}
+		} else if s.fs.Truncate(path, sp.start) == nil {
+			files++
+			bytes += sp.end - sp.start
+		}
+	}
+	s.addInsertOrphans(files, bytes)
+}
+
+// stagedInsert is one insert (a whole InsertBatch call) staged on an
+// array, awaiting its shared commit.
+type stagedInsert struct {
+	vms    []*versionMeta // staged versions with reserved ids, in order
+	sparse bool           // representation the payloads were encoded with
+	fill   int64
+	gen    int // chunk generation the blobs were appended into
+	format int
+	ws     *writeSet
+
+	// outcome, final once done is closed
+	done  chan struct{}
+	ids   []int
+	err   error
+	retry bool // staging was invalidated (generation moved / base died)
+}
+
+func (ins *stagedInsert) fail(err error) {
+	if ins.err == nil && !ins.retry {
+		ins.err = err
+	}
+}
+
+// insertRetries bounds the optimistic stage attempts before an insert
+// falls back to committing under the store lock (guaranteed progress
+// when the array is rewritten faster than staging can revalidate).
+const insertRetries = 3
+
 // Insert adds a new version to the named array and returns its ID
 // (temporal versions are numbered 1, 2, ... as in AQL's Example@1).
 func (s *Store) Insert(name string, p Payload) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.insertLocked(name, p, "insert", nil)
-}
-
-func (s *Store) insertLocked(name string, p Payload, kind string, extraParents []int) (int, error) {
-	if s.closed {
-		return 0, ErrClosed
-	}
-	st, ok := s.arrays[name]
-	if !ok {
-		return 0, fmt.Errorf("core: no array %q", name)
-	}
-	st.mutateLocked()
-	planes, parents, err := s.resolvePayload(st, p)
+	ids, err := s.InsertBatch(name, []Payload{p})
 	if err != nil {
 		return 0, err
 	}
-	parents = append(parents, extraParents...)
-	// representation is fixed by the first inserted version
-	if len(st.Versions) == 0 {
-		st.SparseRep = planes[0].IsSparse()
-		if st.SparseRep {
-			st.Fill = planes[0].Sparse.Fill()
+	return ids[0], nil
+}
+
+// InsertBatch adds a batch of versions to the named array in one shared
+// commit and returns their IDs in payload order. The batch is atomic:
+// either every payload becomes a committed version or none does (one
+// versions.json rename covers them all). Payloads are resolved in
+// order, so later batch members delta-encode against earlier ones when
+// that is smaller, and each member's lineage parent is its predecessor
+// in the batch. Delta-list payloads must reference already-committed
+// versions.
+//
+// Concurrent durable inserts to the same array coalesce: whichever
+// insert reaches the commit point first becomes the group-commit leader
+// and publishes every insert staged behind it with one fsync schedule
+// and one metadata rename, so ingest throughput scales past the
+// single-commit fsync latency (see DESIGN.md "Write path & group
+// commit").
+func (s *Store) InsertBatch(name string, ps []Payload) ([]int, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("core: empty insert batch")
+	}
+	for attempt := 0; attempt < insertRetries; attempt++ {
+		ids, retry, err := s.tryInsertBatch(name, ps)
+		if !retry {
+			return ids, err
 		}
+	}
+	return s.insertBatchFallback(name, ps)
+}
+
+// lockArray resolves an array and acquires the latches pick selects —
+// which MUST be returned in the documented latch order (syncMu <
+// commitMu < writeMu) — then re-verifies the array was not dropped or
+// replaced while waiting, retrying if it was. The caller releases the
+// latches in reverse order. Latches are always acquired without
+// holding Store.mu.
+func (s *Store) lockArray(name string, pick func(st *arrayState) []*sync.Mutex) (*arrayState, error) {
+	for {
+		s.mu.RLock()
+		st, ok := s.arrays[name]
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no array %q", name)
+		}
+		latches := pick(st)
+		for _, l := range latches {
+			l.Lock()
+		}
+		s.mu.RLock()
+		cur := s.arrays[name]
+		s.mu.RUnlock()
+		if cur == st {
+			return st, nil
+		}
+		// dropped or replaced while we waited; retry
+		for i := len(latches) - 1; i >= 0; i-- {
+			latches[i].Unlock()
+		}
+	}
+}
+
+// lockWrite takes the array's write latch (insert staging). The caller
+// releases st.writeMu.
+func (s *Store) lockWrite(name string) (*arrayState, error) {
+	return s.lockArray(name, func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.writeMu}
+	})
+}
+
+// lockMetaWrite is lockWrite plus the versions.json writer latch
+// (commitMu), for mutators outside the insert pipeline that both
+// append to chunk files and rewrite the metadata (DeleteVersion). The
+// caller releases st.writeMu then st.commitMu.
+func (s *Store) lockMetaWrite(name string) (*arrayState, error) {
+	return s.lockArray(name, func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.commitMu, &st.writeMu}
+	})
+}
+
+// tryInsertBatch performs one optimistic stage + commit attempt.
+// retry=true means the staged encoding was invalidated by a concurrent
+// rewrite or delete and the caller should re-stage.
+func (s *Store) tryInsertBatch(name string, ps []Payload) (ids []int, retry bool, err error) {
+	st, err := s.lockWrite(name)
+	if err != nil {
+		return nil, false, err
+	}
+	ins, err := s.stageBatch(st, ps, "insert")
+	if err != nil {
+		st.writeMu.Unlock()
+		return nil, false, err
+	}
+	st.pendMu.Lock()
+	st.pending = append(st.pending, ins)
+	st.pendMu.Unlock()
+	st.writeMu.Unlock()
+	s.awaitCommit(st, ins)
+	if ins.retry || ins.err != nil {
+		// reclaim the staged blobs; under the write latch so the size
+		// checks cannot race another stager's appends
+		st.writeMu.Lock()
+		ins.ws.sweep(s)
+		// reclaim the reserved ids too when they are still the top of
+		// the reservation space (no later stage reserved past us), so a
+		// retried or failed insert does not leave a version-id gap
+		st.pendMu.Lock()
+		if st.stageNext == ins.vms[len(ins.vms)-1].ID+1 {
+			st.stageNext = ins.vms[0].ID
+		}
+		st.pendMu.Unlock()
+		st.writeMu.Unlock()
+		return nil, ins.retry, ins.err
+	}
+	return ins.ids, false, nil
+}
+
+// stageBatch resolves and encodes a batch of payloads against a private
+// metadata snapshot, appending chunk blobs (unsynced) to the pinned
+// generation. On success the returned stagedInsert is ready to enqueue;
+// on error every appended blob has been reclaimed and the reserved ids
+// returned to the pool. Callers hold st.writeMu.
+func (s *Store) stageBatch(st *arrayState, ps []Payload, kind string) (*stagedInsert, error) {
+	// snapshot under the store lock: metadata view, generation pin (the
+	// I/O read latch is acquired before the lock drops, so a rewrite
+	// cannot remove the generation out from under the appends), id
+	// reservation, and the staged-but-uncommitted representation.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	name := st.Schema.Name
+	if s.arrays[name] != st {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	v := s.viewLocked(st, true)
+	v.noCache = true
+	repFixed := len(st.Versions) > 0
+	sparse, fill := st.SparseRep, st.Fill
+	st.pendMu.Lock()
+	// stageNext only moves forward past the committed NextID: an empty
+	// pending queue does NOT mean no outstanding reservations — a leader
+	// drains the queue before its commit installs, so resetting here
+	// could hand two inserts the same id. Ids lost to commit-time
+	// failures stay gaps (never reused); stage-time failures roll their
+	// reservation back below.
+	if st.stageNext < st.NextID {
+		st.stageNext = st.NextID
+	}
+	baseID := st.stageNext
+	st.stageNext += len(ps)
+	if !repFixed && len(st.pending) > 0 {
+		// an uncommitted first insert already fixed the representation;
+		// encode consistently with it (the commit re-validates)
+		last := st.pending[len(st.pending)-1]
+		repFixed, sparse, fill = true, last.sparse, last.fill
+	}
+	st.pendMu.Unlock()
+	st.ioMu.RLock()
+	gen, format := st.Gen, st.Format
+	s.mu.RUnlock()
+	defer st.ioMu.RUnlock()
+
+	unreserve := func() {
+		st.pendMu.Lock()
+		if st.stageNext == baseID+len(ps) {
+			st.stageNext = baseID
+		}
+		st.pendMu.Unlock()
+	}
+	ins := &stagedInsert{
+		gen:    gen,
+		format: format,
+		ws:     newWriteSet(),
+		done:   make(chan struct{}),
+	}
+	ctx := &insertCtx{st: st, v: v, ws: ins.ws, qc: newChunkCache(), dir: v.dir, format: format, sparse: sparse}
+	fail := func(err error) (*stagedInsert, error) {
+		ins.ws.sweep(s)
+		unreserve()
+		return nil, err
+	}
+	for j, p := range ps {
+		vm, err := s.stagePayload(ctx, p, baseID+j, kind, &repFixed, &sparse, &fill)
+		if err != nil {
+			return fail(err)
+		}
+		ins.vms = append(ins.vms, vm)
+	}
+	ins.sparse, ins.fill = sparse, fill
+	return ins, nil
+}
+
+// stagePayload resolves, validates, and encodes one payload as version
+// id. The representation state (repFixed/sparse/fill) carries across a
+// staging session: the first version of an empty array fixes it, later
+// payloads must match. The staged version is published through the
+// context's view, so later payloads of the same session chain their
+// lineage to it and may delta-encode against it — versions staged by
+// OTHER sessions stay invisible (their commit may still fail), which
+// is why concurrent single inserts that coalesce into one group commit
+// become siblings of the last committed version rather than a chain.
+func (s *Store) stagePayload(ctx *insertCtx, p Payload, id int, kind string, repFixed *bool, sparse *bool, fill *int64) (*versionMeta, error) {
+	st := ctx.st
+	planes, parents, err := s.resolvePayload(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	// the representation is fixed by the first inserted version
+	if !*repFixed {
+		*sparse = planes[0].IsSparse()
+		if *sparse {
+			*fill = planes[0].Sparse.Fill()
+		}
+		ctx.sparse = *sparse
+		*repFixed = true
 	}
 	for i, pl := range planes {
-		if pl.IsSparse() != st.SparseRep {
-			return 0, fmt.Errorf("core: array %q uses the %s representation; payload attribute %d does not",
-				name, repName(st.SparseRep), i)
+		if pl.IsSparse() != *sparse {
+			return nil, fmt.Errorf("core: array %q uses the %s representation; payload attribute %d does not",
+				st.Schema.Name, repName(*sparse), i)
 		}
-		if st.SparseRep && pl.Sparse.Fill() != st.Fill {
-			return 0, fmt.Errorf("core: array %q has default value %d, payload has %d", name, st.Fill, pl.Sparse.Fill())
+		if *sparse && pl.Sparse.Fill() != *fill {
+			return nil, fmt.Errorf("core: array %q has default value %d, payload has %d",
+				st.Schema.Name, *fill, pl.Sparse.Fill())
 		}
 	}
-	id := st.NextID
 	vm := &versionMeta{
 		ID:      id,
 		Parents: dedupInts(parents),
@@ -129,70 +529,461 @@ func (s *Store) insertLocked(name string, p Payload, kind string, extraParents [
 		Kind:    kind,
 		Chunks:  make(map[string]map[string]chunkEntry),
 	}
-	base := s.chooseDeltaBase(st, planes)
+	base := s.chooseDeltaBase(ctx, planes)
 	for ai, attr := range st.Schema.Attrs {
-		entries, err := s.encodePlane(st, id, attr, planes[ai], base)
+		entries, err := s.encodePlane(ctx, id, attr, planes[ai], base)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		vm.Chunks[attr.Name] = entries
 	}
-	st.Versions = append(st.Versions, vm)
-	st.NextID++
-	if err := s.maybeBatchReencode(st); err != nil {
-		return 0, err
-	}
-	if err := s.syncChunks(st); err != nil {
-		return 0, err
-	}
-	if err := s.saveMeta(st); err != nil {
-		return 0, err
-	}
-	return id, nil
+	ctx.v.byID[id] = vm
+	ctx.v.ids = append(ctx.v.ids, id)
+	return vm, nil
 }
 
-// syncChunks makes the chunks directory's entries durable before a
-// metadata commit: the payload bytes were already fsynced by writeBlob,
-// but files created by this mutation also need their directory entry on
-// disk before metadata can reference them. No-op without Durability.
-func (s *Store) syncChunks(st *arrayState) error {
+// awaitCommit blocks until mine's outcome is final. Whichever staged
+// insert acquires the sync-stage latch first becomes a leader: it
+// drains every insert pending on the array, makes their payloads
+// durable, and publishes them all with one metadata commit. The two
+// commit stages are pipelined — a leader acquires the metadata latch
+// before releasing the sync latch (preserving drain order), so the
+// next leader's fsync schedule overlaps this leader's versions.json
+// commit. Inserts staged while a commit is in flight ride the next
+// leader (or a re-drain round of the current one) — the commit window
+// is the duration of the commit in front, no timers involved.
+func (s *Store) awaitCommit(st *arrayState, mine *stagedInsert) {
+	for {
+		select {
+		case <-mine.done:
+			return
+		default:
+		}
+		st.syncMu.Lock()
+		select {
+		case <-mine.done:
+			st.syncMu.Unlock()
+			return
+		default:
+		}
+		// mine is not done, therefore still pending: the drain below
+		// includes it, and every drained insert is finalized before the
+		// latches are released
+		batch := st.drainPending()
+		if s.opts.DisableGroupCommit && len(batch) > 1 {
+			// per-insert-commit baseline: commit the head alone, requeue
+			// the rest in order
+			st.pendMu.Lock()
+			st.pending = append(append([]*stagedInsert(nil), batch[1:]...), st.pending...)
+			st.pendMu.Unlock()
+			batch = batch[:1]
+		}
+		// Sync stage: fsync the batch, then keep draining inserts that
+		// staged while those fsyncs ran (bounded rounds, so a steady
+		// stager stream cannot starve the commit) — coalescing deepens
+		// to the natural arrival rate without any timer.
+		s.syncStagedBatch(st, batch)
+		if !s.opts.DisableGroupCommit {
+			for round := 0; round < 5; round++ {
+				more := st.drainPending()
+				if len(more) == 0 {
+					break
+				}
+				s.syncStagedBatch(st, more)
+				batch = append(batch, more...)
+			}
+		}
+		// stage handoff: commitMu before syncMu releases, so batches
+		// install in drain order while the next leader starts syncing
+		st.commitMu.Lock()
+		st.syncMu.Unlock()
+		s.finalizeBatch(st, batch, false)
+		st.commitMu.Unlock()
+	}
+}
+
+func (st *arrayState) drainPending() []*stagedInsert {
+	st.pendMu.Lock()
+	batch := st.pending
+	st.pending = nil
+	st.pendMu.Unlock()
+	return batch
+}
+
+// finalizeBatch is the metadata stage of the group commit: validate
+// every synced staged insert against the live state, commit the staged
+// document with a single versions.json rename, and install it. The
+// rename runs with Store.mu RELEASED — commitMu (held by the caller)
+// is the versions.json writer latch, serializing it against every
+// other metadata writer on the array — so concurrent selects and the
+// next leader's staging never stall behind the commit's fsyncs. Every
+// insert in the batch has its outcome finalized (done closed) before
+// it returns. latched reports that the caller already holds st.writeMu
+// (the under-lock fallback) — otherwise it is taken only when the
+// AutoBatchK re-encode could append.
+func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched bool) {
+	if len(batch) == 0 {
+		return
+	}
+	if s.opts.AutoBatchK > 1 && !latched {
+		// the batched-update re-encode appends to chunk files; appends
+		// require the write latch (see writeSet.sweep and appendBlob)
+		st.writeMu.Lock()
+		defer st.writeMu.Unlock()
+	}
+	s.mu.Lock()
+	if s.closed || s.arrays[st.Schema.Name] != st {
+		err := error(ErrClosed)
+		if !s.closed {
+			err = fmt.Errorf("core: no array %q", st.Schema.Name)
+		}
+		s.mu.Unlock()
+		for _, ins := range batch {
+			ins.retry = false
+			ins.fail(err)
+		}
+		for _, ins := range batch {
+			close(ins.done)
+		}
+		return
+	}
+	ok, staged, ws, installed := s.validateBatchLocked(st, batch)
+	s.mu.Unlock()
+	if len(ok) > 0 {
+		var commitErr error
+		if s.opts.Durability && !ws.empty() {
+			// the AutoBatchK re-encode appended fresh blobs; they must be
+			// durable before the metadata that references them
+			commitErr = ws.sync(s)
+			if commitErr == nil && ws.createdFiles() {
+				commitErr = s.fs.SyncDir(filepath.Join(st.dir, chunksDirName(staged.Gen)))
+			}
+		}
+		if commitErr == nil {
+			commitErr = s.saveMetaDoc(st.dir, staged)
+		}
+		s.mu.Lock()
+		if commitErr == nil && s.arrays[st.Schema.Name] != st {
+			// DeleteArray won the race after our rename landed (or swept
+			// the directory first, failing the rename): either way the
+			// array is gone and the inserts with it
+			commitErr = fmt.Errorf("core: no array %q", st.Schema.Name)
+		}
+		if commitErr == nil {
+			st.mutateLocked()
+			st.installMeta(*staged)
+			s.addGroupCommit(installed)
+			for _, ins := range ok {
+				ids := make([]int, len(ins.vms))
+				for i, vm := range ins.vms {
+					ids[i] = vm.ID
+				}
+				ins.ids = ids
+			}
+		}
+		s.mu.Unlock()
+		if commitErr != nil {
+			// the commit did not land: in-memory state is untouched, so
+			// the staged versions never existed — the stagers sweep their
+			// blobs, the re-encode's are swept here (writeMu is held
+			// whenever ws is non-empty)
+			ws.sweep(s)
+			for _, ins := range ok {
+				ins.fail(commitErr)
+			}
+		}
+	}
+	for _, ins := range batch {
+		close(ins.done)
+	}
+}
+
+// syncStagedBatch makes one round of staged inserts durable. The
+// batch's write-sets are merged first, so a chunk file every member
+// appended to (the common co-located case: one chain file per chunk)
+// is fsynced ONCE for the whole batch — this sharing is where group
+// commit's throughput comes from — then each touched chunks directory
+// is fsynced once. A missing file means a rewrite swept the generation
+// mid-stage: every insert that touched it is marked for re-stage
+// rather than failed. No-op without Durability.
+func (s *Store) syncStagedBatch(st *arrayState, batch []*stagedInsert) {
 	if !s.opts.Durability {
-		return nil
+		return
 	}
-	return s.fs.SyncDir(st.chunksDir())
+	byPath := map[string][]*stagedInsert{}
+	dirs := map[string]bool{}
+	for _, ins := range batch {
+		if ins.err != nil || ins.retry {
+			continue
+		}
+		for path := range ins.ws.files {
+			byPath[path] = append(byPath[path], ins)
+		}
+		if ins.ws.createdFiles() {
+			dirs[filepath.Join(st.dir, chunksDirName(ins.gen))] = true
+		}
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // deterministic step order for the crash matrix
+	for _, path := range paths {
+		touchers := byPath[path]
+		alive := false
+		for _, ins := range touchers {
+			if ins.err == nil && !ins.retry {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		if err := s.syncFile(path); err != nil {
+			for _, ins := range touchers {
+				if errors.Is(err, fs.ErrNotExist) {
+					ins.retry = true
+				} else {
+					ins.fail(err)
+				}
+			}
+		}
+	}
+	dirNames := make([]string, 0, len(dirs))
+	for d := range dirs {
+		dirNames = append(dirNames, d)
+	}
+	sort.Strings(dirNames)
+	for _, d := range dirNames {
+		if err := s.fs.SyncDir(d); err != nil {
+			for _, ins := range batch {
+				ins.fail(err)
+			}
+		}
+	}
 }
 
-// maybeBatchReencode implements §IV-E's batched update heuristic: once
-// AutoBatchK versions have accumulated since the last batch boundary,
-// the newest K versions are re-encoded together under the optimal layout
-// computed over the batch alone. Earlier batches are left untouched.
-func (s *Store) maybeBatchReencode(st *arrayState) error {
+// validateBatchLocked validates each staged insert against the live
+// state and builds the staged metadata document installing every
+// survivor (marked in ok); the caller commits the document off-lock
+// and installs it. ws collects AutoBatchK re-encode appends that still
+// need fsyncing before the commit. Callers hold Store.mu (and writeMu
+// when AutoBatchK can append).
+func (s *Store) validateBatchLocked(st *arrayState, batch []*stagedInsert) (ok []*stagedInsert, staged *arrayMeta, ws *writeSet, installed int) {
+	liveIDs := make(map[int]bool)
+	for _, vm := range st.live() {
+		liveIDs[vm.ID] = true
+	}
+	for _, ins := range batch {
+		if ins.err != nil || ins.retry {
+			continue
+		}
+		if ins.gen != st.Gen || ins.format != st.Format {
+			// a rewrite committed a new generation: the staged blobs live
+			// in the superseded directory and die with it
+			ins.retry = true
+			continue
+		}
+		repSparse, repFill := st.SparseRep, st.Fill
+		repOpen := len(st.Versions) == 0
+		if repOpen && len(ok) > 0 {
+			repSparse, repFill, repOpen = ok[0].sparse, ok[0].fill, false
+		}
+		if !repOpen && (ins.sparse != repSparse || (ins.sparse && ins.fill != repFill)) {
+			ins.fail(fmt.Errorf("core: array %q uses the %s representation; staged payload does not",
+				st.Schema.Name, repName(repSparse)))
+			continue
+		}
+		if stale := staleBase(ins, liveIDs); stale != 0 {
+			// a delta base was deleted between stage and commit
+			ins.retry = true
+			continue
+		}
+		for _, vm := range ins.vms {
+			liveIDs[vm.ID] = true
+		}
+		ok = append(ok, ins)
+	}
+	if len(ok) == 0 {
+		return nil, nil, nil, 0
+	}
+	doc := st.metaClone()
+	staged = &doc
+	if len(staged.Versions) == 0 {
+		staged.SparseRep, staged.Fill = ok[0].sparse, ok[0].fill
+	}
+	ws = newWriteSet()
+	qc := newChunkCache()
+	for _, ins := range ok {
+		for _, vm := range ins.vms {
+			staged.Versions = append(staged.Versions, vm)
+			if vm.ID >= staged.NextID {
+				staged.NextID = vm.ID + 1
+			}
+			installed++
+			if err := s.batchReencodeStaged(st, staged, ws, qc); err != nil {
+				// a re-encode failure fails the whole batch: the document
+				// already interleaves its members
+				for _, ins := range ok {
+					ins.fail(err)
+				}
+				ws.sweep(s)
+				return nil, nil, nil, 0
+			}
+		}
+	}
+	return ok, staged, ws, installed
+}
+
+// staleBase returns a delta base referenced by the staged insert that
+// is no longer live (0 if none). liveIDs includes versions installed
+// earlier in the same batch.
+func staleBase(ins *stagedInsert, liveIDs map[int]bool) int {
+	for _, vm := range ins.vms {
+		for _, chunks := range vm.Chunks {
+			for _, e := range chunks {
+				if e.Base >= 0 && !liveIDs[e.Base] {
+					return e.Base
+				}
+			}
+		}
+		// within the batch, later members may base on earlier ones
+		liveIDs[vm.ID] = true
+	}
+	return 0
+}
+
+// insertBatchFallback is the contended path: after insertRetries
+// invalidated stagings, commit under the store lock, where generations
+// cannot move. It acquires both commit-stage latches (so no leader is
+// mid-pipeline and every drained batch has installed) plus the write
+// latch (so no new staging can reserve ids), then drains and commits
+// any straggler pending inserts before committing its own batch under
+// Store.mu.
+func (s *Store) insertBatchFallback(name string, ps []Payload) ([]int, error) {
+	st, err := s.lockArray(name, func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.syncMu, &st.commitMu, &st.writeMu}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.syncMu.Unlock()
+	defer st.commitMu.Unlock()
+	defer st.writeMu.Unlock()
+	if batch := st.drainPending(); len(batch) > 0 {
+		s.syncStagedBatch(st, batch)
+		s.finalizeBatch(st, batch, true)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.arrays[name] != st {
+		return nil, fmt.Errorf("core: no array %q", name)
+	}
+	return s.insertBatchLocked(st, ps, "insert")
+}
+
+// insertBatchLocked stages and commits a batch while holding Store.mu
+// exclusively — the fallback for contended inserts (which additionally
+// holds the write and commit latches) and the path Branch and Merge
+// use on their freshly created arrays (which no concurrent stager can
+// reach: the array becomes visible only when the caller releases
+// Store.mu). Like the optimistic path, nothing is installed into the
+// live state until the metadata commit succeeds.
+func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]int, error) {
+	staged := st.metaClone()
+	v := s.viewOfMeta(st, &staged)
+	ws := newWriteSet()
+	qc := newChunkCache()
+	sparse, fill := staged.SparseRep, staged.Fill
+	repFixed := len(staged.Versions) > 0
+	ctx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: sparse}
+	fail := func(err error) ([]int, error) {
+		// safe without further locking: callers either hold writeMu or
+		// own the array exclusively (see above)
+		ws.sweep(s)
+		return nil, err
+	}
+	var ids []int
+	for _, p := range ps {
+		id := staged.NextID
+		vm, err := s.stagePayload(ctx, p, id, kind, &repFixed, &sparse, &fill)
+		if err != nil {
+			return fail(err)
+		}
+		staged.Versions = append(staged.Versions, vm)
+		staged.NextID = id + 1
+		staged.SparseRep, staged.Fill = sparse, fill
+		ids = append(ids, id)
+		if err := s.batchReencodeStaged(st, &staged, ws, qc); err != nil {
+			return fail(err)
+		}
+	}
+	if s.opts.Durability {
+		if err := ws.sync(s); err != nil {
+			return fail(err)
+		}
+		if ws.createdFiles() {
+			if err := s.fs.SyncDir(ctx.dir); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := s.saveMetaDoc(st.dir, &staged); err != nil {
+		return fail(err)
+	}
+	st.mutateLocked()
+	st.installMeta(staged)
+	s.addGroupCommit(len(ids))
+	return ids, nil
+}
+
+// batchReencodeStaged implements §IV-E's batched update heuristic on a
+// staged metadata document: once AutoBatchK versions have accumulated
+// since the last batch boundary, the newest K versions are re-encoded
+// together under the optimal layout computed over the batch alone.
+// Earlier batches are left untouched. Committed versionMeta records are
+// cloned before their chunk maps are replaced — published versions are
+// shared with reader snapshots and must never be edited in place — and
+// the clones are swapped into the staged slice, so nothing is visible
+// until the caller's commit installs the document.
+func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *writeSet, qc *chunkCache) error {
 	k := s.opts.AutoBatchK
 	if k <= 1 {
 		return nil
 	}
-	live := st.live()
+	var live []*versionMeta
+	for _, vm := range staged.Versions {
+		if !vm.Deleted {
+			live = append(live, vm)
+		}
+	}
 	if len(live) == 0 || len(live)%k != 0 {
 		return nil
 	}
 	batch := live[len(live)-k:]
-	// re-encodes only ever append: chain files grow at the tail and
-	// per-version files get fresh FileSeq names, so in-flight lock-free
-	// readers keep decoding the byte ranges their snapshots reference
-	// and no I/O latch is needed here.
-	// load batch contents
+	v := s.viewOfMeta(st, staged)
+	ctx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: staged.SparseRep}
+	// load batch contents; re-encodes only ever append (chain files grow
+	// at the tail, per-version files get fresh FileSeq names), so
+	// in-flight lock-free readers keep decoding the byte ranges their
+	// snapshots reference
+	full := array.BoxOf(st.Schema.Shape())
 	planes := make([][]Plane, k)
 	for i, vm := range batch {
 		planes[i] = make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readPlaneLocked(st, vm.ID, attr.Name)
+			pl, err := s.readRegionView(v, vm.ID, attr.Name, full, qc)
 			if err != nil {
 				return err
 			}
 			planes[i][ai] = pl
 		}
 	}
-	mm, err := s.buildMatrix(st, planes, s.opts.EstimateSample)
+	mm, err := s.buildMatrix(staged.SparseRep, len(st.Schema.Attrs), planes, s.opts.EstimateSample)
 	if err != nil {
 		return err
 	}
@@ -204,13 +995,25 @@ func (s *Store) maybeBatchReencode(st *arrayState) error {
 		if p := l.Parent[i]; p != i {
 			base = batch[p].ID
 		}
+		cp := *vm
+		cp.Chunks = make(map[string]map[string]chunkEntry, len(vm.Chunks))
+		for attr, m := range vm.Chunks {
+			cp.Chunks[attr] = m
+		}
 		for ai, attr := range st.Schema.Attrs {
-			entries, err := s.encodePlane(st, vm.ID, attr, planes[i][ai], base)
+			entries, err := s.encodePlane(ctx, vm.ID, attr, planes[i][ai], base)
 			if err != nil {
 				return err
 			}
-			vm.Chunks[attr.Name] = entries
+			cp.Chunks[attr.Name] = entries
 		}
+		for si, svm := range staged.Versions {
+			if svm == vm {
+				staged.Versions[si] = &cp
+				break
+			}
+		}
+		v.byID[vm.ID] = &cp
 	}
 	return nil
 }
@@ -223,22 +1026,31 @@ func repName(sparse bool) string {
 }
 
 // resolvePayload expands the three payload forms into full per-attribute
-// planes and the implied lineage parents.
-func (s *Store) resolvePayload(st *arrayState, p Payload) ([]Plane, []int, error) {
+// planes and the implied lineage parents, resolving content through the
+// staging context's metadata view (which includes earlier members of
+// the same batch).
+func (s *Store) resolvePayload(ctx *insertCtx, p Payload) ([]Plane, []int, error) {
+	st, v := ctx.st, ctx.v
 	var parents []int
-	if last := lastLiveID(st); last > 0 {
+	if last := lastLiveIDView(v); last > 0 {
 		parents = append(parents, last)
 	}
 	if p.DeltaBase > 0 {
 		// delta-list form: inherit the base version and apply updates
-		if _, err := st.version(p.DeltaBase); err != nil {
+		if _, err := v.version(p.DeltaBase); err != nil {
 			return nil, nil, err
 		}
+		full := array.BoxOf(st.Schema.Shape())
 		planes := make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readPlaneLocked(st, p.DeltaBase, attr.Name)
+			pl, err := s.readRegionView(v, p.DeltaBase, attr.Name, full, ctx.qc)
 			if err != nil {
 				return nil, nil, err
+			}
+			if pl.Sparse != nil {
+				// the stage-wide chunk memo shares decoded sparse planes
+				// across reads; the updates below must not corrupt it
+				pl.Sparse = pl.Sparse.Clone()
 			}
 			planes[ai] = pl
 		}
@@ -281,11 +1093,13 @@ func flatIndex(shape, coords []int64) int64 {
 	return idx
 }
 
-func lastLiveID(st *arrayState) int {
+// lastLiveIDView returns the highest live version id visible through
+// the view (including staged batch members), or 0.
+func lastLiveIDView(v *readView) int {
 	best := 0
-	for _, v := range st.live() {
-		if v.ID > best {
-			best = v.ID
+	for _, id := range v.ids {
+		if id > best {
+			best = id
 		}
 	}
 	return best
@@ -307,18 +1121,16 @@ func dedupInts(in []int) []int {
 // against, comparing the estimated delta size against the newest
 // DeltaCandidates versions with the materialized size ("the payload is
 // analyzed so it can be encoded as a delta off of an existing version",
-// §II-A). Returns 0 to materialize.
-func (s *Store) chooseDeltaBase(st *arrayState, planes []Plane) int {
-	if !s.opts.AutoDelta || len(st.Versions) == 0 {
-		return 0
-	}
-	live := st.live()
-	if len(live) == 0 {
+// §II-A). Candidates come from the staging view, so later members of a
+// batch can delta against earlier ones. Returns 0 to materialize.
+func (s *Store) chooseDeltaBase(ctx *insertCtx, planes []Plane) int {
+	v := ctx.v
+	if !s.opts.AutoDelta || len(v.ids) == 0 {
 		return 0
 	}
 	k := s.opts.DeltaCandidates
-	if k > len(live) {
-		k = len(live)
+	if k > len(v.ids) {
+		k = len(v.ids)
 	}
 	pl := planes[0]
 	var matSize int64
@@ -327,10 +1139,12 @@ func (s *Store) chooseDeltaBase(st *arrayState, planes []Plane) int {
 	} else {
 		matSize = delta.MaterializedSize(pl.Dense)
 	}
+	attr0 := ctx.st.Schema.Attrs[0].Name
+	full := array.BoxOf(ctx.st.Schema.Shape())
 	bestBase, bestSize := 0, matSize
-	for i := len(live) - k; i < len(live); i++ {
-		cand := live[i].ID
-		basePl, err := s.readPlaneLocked(st, cand, st.Schema.Attrs[0].Name)
+	for i := len(v.ids) - k; i < len(v.ids); i++ {
+		cand := v.ids[i]
+		basePl, err := s.readRegionView(v, cand, attr0, full, ctx.qc)
 		if err != nil {
 			continue
 		}
@@ -355,14 +1169,15 @@ func (s *Store) chooseDeltaBase(st *arrayState, planes []Plane) int {
 // delta-encoding against the corresponding chunk of the base version when
 // that is smaller ("disk space usage is calculated by trying both methods
 // and choosing the more economical one", §III-B.3).
-func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Plane, base int) (map[string]chunkEntry, error) {
+func (s *Store) encodePlane(ctx *insertCtx, id int, attr array.Attribute, pl Plane, base int) (map[string]chunkEntry, error) {
+	st := ctx.st
 	entries := make(map[string]chunkEntry)
-	if st.SparseRep {
+	if ctx.sparse {
 		// sparse versions are stored as a single container (their entire
 		// coordinate list); chunk-level subdivision buys nothing when the
 		// data is this sparse.
 		key := "chunk-full"
-		payload, entryBase, err := s.encodeSparseChunk(st, attr.Name, pl.Sparse, base)
+		payload, entryBase, err := s.encodeSparseChunk(ctx, attr.Name, pl.Sparse, base)
 		if err != nil {
 			return nil, err
 		}
@@ -371,7 +1186,7 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 		if err != nil {
 			return nil, err
 		}
-		file, off, err := s.writeBlob(st, id, attr.Name, key, sealed)
+		file, off, err := s.writeBlob(ctx, id, attr.Name, key, sealed)
 		if err != nil {
 			return nil, err
 		}
@@ -385,19 +1200,21 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 	// Fan the per-chunk encode+compress+write out on the worker pool.
 	// Chunks are independent: each worker appends to its own chunk's
 	// chain file (or writes its own per-version file), so the only shared
-	// state is the store cache and the I/O counters, both internally
-	// locked. Workers read metadata through an uncloned view — the caller
-	// holds Store.mu exclusively and mutates nothing until encodePlane
-	// returns.
-	v := s.viewLocked(st, false)
+	// state is the stage-wide chunk memo and the I/O counters, both
+	// internally locked. The metadata view is private to the staging
+	// mutation and frozen for the duration of the fan-out.
+	v := ctx.v
 	origins := ck.All()
 	results := make([]chunkEntry, len(origins))
 	keys := make([]string, len(origins))
+	for i, origin := range origins {
+		keys[i] = ck.Key(origin)
+	}
+	ctx.qc.ensure(keys)
 	err = forEachLimit(len(origins), s.opts.Parallelism, func(i int) error {
 		origin := origins[i]
 		box := ck.Box(origin)
-		key := ck.Key(origin)
-		keys[i] = key
+		key := keys[i]
 		target, err := pl.Dense.Slice(box)
 		if err != nil {
 			return err
@@ -406,7 +1223,7 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 		entryBase := -1
 		rawDense := true
 		if base > 0 {
-			baseChunk, err := s.resolveDenseChunk(v, base, attr.Name, ck, origin, nil)
+			baseChunk, err := s.resolveDenseChunk(v, base, attr.Name, ck, origin, ctx.qc.chunk(key))
 			if err != nil {
 				return err
 			}
@@ -425,7 +1242,7 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 		if err != nil {
 			return err
 		}
-		file, off, err := s.writeBlob(st, id, attr.Name, key, sealed)
+		file, off, err := s.writeBlob(ctx, id, attr.Name, key, sealed)
 		if err != nil {
 			return err
 		}
@@ -443,12 +1260,13 @@ func (s *Store) encodePlane(st *arrayState, id int, attr array.Attribute, pl Pla
 
 // encodeSparseChunk encodes a sparse version either natively or as
 // sparse-ops against the base, whichever is smaller.
-func (s *Store) encodeSparseChunk(st *arrayState, attr string, sp *array.Sparse, base int) ([]byte, int, error) {
+func (s *Store) encodeSparseChunk(ctx *insertCtx, attr string, sp *array.Sparse, base int) ([]byte, int, error) {
 	native := array.MarshalSparse(sp)
 	if base <= 0 {
 		return native, -1, nil
 	}
-	basePl, err := s.readPlaneLocked(st, base, attr)
+	full := array.BoxOf(ctx.st.Schema.Shape())
+	basePl, err := s.readRegionView(ctx.v, base, attr, full, ctx.qc)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -493,7 +1311,7 @@ func (s *Store) Branch(srcName string, srcVersion int, newName string) error {
 	if err := s.createArrayLocked(schema, &BranchRef{Array: srcName, Version: srcVersion}); err != nil {
 		return err
 	}
-	if _, err := s.insertLocked(newName, Payload{Planes: planes}, "branch", nil); err != nil {
+	if _, err := s.insertBatchLocked(s.arrays[newName], []Payload{{Planes: planes}}, "branch"); err != nil {
 		s.rollbackArrayLocked(newName)
 		return err
 	}
@@ -572,7 +1390,7 @@ func (s *Store) Merge(newName string, parents []VersionRef) error {
 			}
 			planes[ai] = pl
 		}
-		if _, err := s.insertLocked(newName, Payload{Planes: planes}, "merge", nil); err != nil {
+		if _, err := s.insertBatchLocked(s.arrays[newName], []Payload{{Planes: planes}}, "merge"); err != nil {
 			s.rollbackArrayLocked(newName)
 			return err
 		}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/fsio"
+)
+
+// Regression tests for the insert commit path: transactional staging
+// (no phantom versions on a failed commit), failure-site orphan
+// reclamation, InsertBatch atomicity, and the group-commit coalescer
+// under concurrent writers.
+
+var errInjected = errors.New("injected io failure")
+
+// failFS wraps a filesystem and fails exactly one matching mutation,
+// then behaves normally — unlike fsio.Fault, which ends the world — so
+// tests can assert the store keeps working after an I/O error.
+type failFS struct {
+	fsio.FS
+	mu    sync.Mutex
+	match func(op, path string) bool
+}
+
+func (f *failFS) arm(match func(op, path string) bool) {
+	f.mu.Lock()
+	f.match = match
+	f.mu.Unlock()
+}
+
+func (f *failFS) hit(op, path string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.match != nil && f.match(op, path) {
+		f.match = nil
+		return true
+	}
+	return false
+}
+
+func (f *failFS) Create(path string) (fsio.File, error) {
+	if f.hit("create", path) {
+		return nil, errInjected
+	}
+	return f.FS.Create(path)
+}
+
+func (f *failFS) Append(path string) (fsio.File, error) {
+	if f.hit("append", path) {
+		return nil, errInjected
+	}
+	return f.FS.Append(path)
+}
+
+func (f *failFS) Rename(oldPath, newPath string) error {
+	if f.hit("rename", newPath) {
+		return errInjected
+	}
+	return f.FS.Rename(oldPath, newPath)
+}
+
+func (f *failFS) SyncDir(path string) error {
+	if f.hit("syncdir", path) {
+		return errInjected
+	}
+	return f.FS.SyncDir(path)
+}
+
+// assertStoreAgrees reopens the store directory with recovery and
+// checks that the on-disk state matches the live store's versions and
+// contents exactly — the phantom-version bug made them diverge.
+func assertStoreAgrees(t *testing.T, s *Store, name string, want map[int]*array.Dense) {
+	t.Helper()
+	check := func(label string, st *Store) {
+		infos, err := st.Versions(name)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(infos) != len(want) {
+			t.Fatalf("%s: %d live versions, want %d", label, len(infos), len(want))
+		}
+		for _, vi := range infos {
+			content, ok := want[vi.ID]
+			if !ok {
+				t.Fatalf("%s: unexpected version %d", label, vi.ID)
+			}
+			got, err := st.Select(name, vi.ID)
+			if err != nil {
+				t.Fatalf("%s: version %d unreadable: %v", label, vi.ID, err)
+			}
+			if !got.Dense.Equal(content) {
+				t.Fatalf("%s: version %d corrupted", label, vi.ID)
+			}
+		}
+	}
+	check("live store", s)
+	r, err := Open(s.Dir(), Options{ChunkBytes: s.opts.ChunkBytes, CoLocate: s.opts.CoLocate, Durability: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := r.Recovery().DroppedVersions; got != 0 {
+		t.Fatalf("reopen dropped %d committed versions", got)
+	}
+	check("reopened store", r)
+}
+
+// TestInsertMetaCommitFailureRollsBack is the phantom-version
+// regression: a saveMeta fault injected under the insert's metadata
+// commit must leave the failed id unselectable, the in-memory state
+// identical to a durable reopen, the orphaned blobs reclaimed, and the
+// id reusable by the next insert.
+func TestInsertMetaCommitFailureRollsBack(t *testing.T) {
+	for _, fault := range []string{"create-tmp", "rename-meta"} {
+		t.Run(fault, func(t *testing.T) {
+			ffs := &failFS{FS: fsio.OS}
+			opts := smallOpts()
+			opts.ChunkBytes = 1 << 10
+			opts.Durability = true
+			opts.FS = ffs
+			s := testStore(t, opts)
+			const side = 16
+			if err := s.CreateArray(schema2D("A", side)); err != nil {
+				t.Fatal(err)
+			}
+			v1 := crashContent(1, side)
+			if _, err := s.Insert("A", DensePayload(v1)); err != nil {
+				t.Fatal(err)
+			}
+			switch fault {
+			case "create-tmp":
+				ffs.arm(func(op, path string) bool {
+					return op == "create" && strings.HasSuffix(path, metaFile+".tmp")
+				})
+			case "rename-meta":
+				ffs.arm(func(op, path string) bool {
+					return op == "rename" && strings.HasSuffix(path, metaFile)
+				})
+			}
+			if _, err := s.Insert("A", DensePayload(crashContent(2, side))); !errors.Is(err, errInjected) {
+				t.Fatalf("insert under a meta-commit fault returned %v, want the injected failure", err)
+			}
+			// the failed version must be invisible to selects and absent
+			// from metadata, in memory and after a reopen alike
+			if _, err := s.Select("A", 2); err == nil {
+				t.Fatal("phantom version 2 is selectable after a failed commit")
+			}
+			assertStoreAgrees(t, s, "A", map[int]*array.Dense{1: v1})
+			// the blobs the failed insert appended must have been swept
+			if st := s.Stats(); st.InsertOrphanFiles == 0 {
+				t.Fatal("failed insert reclaimed no orphaned blobs")
+			}
+			rep, err := s.Verify("A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("store fails verify after failed insert: %v", rep.Problems)
+			}
+			if rep.DanglingBytes != 0 {
+				t.Fatalf("%d orphaned bytes left dangling after the failure-site sweep", rep.DanglingBytes)
+			}
+			// the reserved id is reclaimed: the next insert gets id 2 and
+			// the store is fully writable
+			v2 := crashContent(3, side)
+			id, err := s.Insert("A", DensePayload(v2))
+			if err != nil {
+				t.Fatalf("insert after failed commit: %v", err)
+			}
+			if id != 2 {
+				t.Fatalf("insert after failed commit got id %d, want the reclaimed id 2", id)
+			}
+			assertStoreAgrees(t, s, "A", map[int]*array.Dense{1: v1, 2: v2})
+		})
+	}
+}
+
+// TestInsertEncodeFailureSweepsOrphans covers the stage-time failure
+// site: chunk blobs appended before a mid-encode fault must be
+// reclaimed immediately — on non-durable stores too, which never run a
+// recovery sweep — and counted in Stats.
+func TestInsertEncodeFailureSweepsOrphans(t *testing.T) {
+	for _, durable := range []bool{true, false} {
+		for _, coLocate := range []bool{true, false} {
+			t.Run(fmt.Sprintf("durable=%v/coLocate=%v", durable, coLocate), func(t *testing.T) {
+				ffs := &failFS{FS: fsio.OS}
+				opts := smallOpts()
+				opts.ChunkBytes = 1 << 10 // several chunks per version
+				opts.CoLocate = coLocate
+				opts.Durability = durable
+				opts.Parallelism = 1 // deterministic append order
+				opts.FS = ffs
+				s := testStore(t, opts)
+				const side = 32
+				if err := s.CreateArray(schema2D("A", side)); err != nil {
+					t.Fatal(err)
+				}
+				v1 := crashContent(1, side)
+				if _, err := s.Insert("A", DensePayload(v1)); err != nil {
+					t.Fatal(err)
+				}
+				// fail the third chunk append of the next insert: two blobs
+				// are already on disk and must be swept
+				appends := 0
+				ffs.arm(func(op, path string) bool {
+					if op != "append" || filepath.Base(filepath.Dir(path)) != "chunks" {
+						return false
+					}
+					appends++
+					return appends == 3
+				})
+				if _, err := s.Insert("A", DensePayload(crashContent(2, side))); !errors.Is(err, errInjected) {
+					t.Fatalf("insert under an append fault returned %v, want the injected failure", err)
+				}
+				if st := s.Stats(); st.InsertOrphanFiles == 0 || st.InsertOrphanBytes == 0 {
+					t.Fatalf("stage failure reclaimed nothing (files=%d bytes=%d)",
+						st.InsertOrphanFiles, st.InsertOrphanBytes)
+				}
+				rep, err := s.Verify("A")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Ok() {
+					t.Fatalf("store fails verify after failed stage: %v", rep.Problems)
+				}
+				if rep.DanglingBytes != 0 {
+					t.Fatalf("%d orphaned bytes left dangling on a %s store",
+						rep.DanglingBytes, map[bool]string{true: "durable", false: "non-durable"}[durable])
+				}
+				// still fully writable, id unaffected
+				if id, err := s.Insert("A", DensePayload(crashContent(3, side))); err != nil || id != 2 {
+					t.Fatalf("insert after failed stage: id=%d err=%v, want id 2", id, err)
+				}
+			})
+		}
+	}
+}
+
+// TestInsertBatchAtomicAndChained pins InsertBatch semantics: one
+// shared commit for the whole batch (atomic on failure), contiguous
+// ids, lineage chaining member-to-member, and intra-batch delta
+// encoding (later members delta against earlier ones staged in the
+// same call).
+func TestInsertBatchAtomicAndChained(t *testing.T) {
+	ffs := &failFS{FS: fsio.OS}
+	opts := smallOpts()
+	opts.ChunkBytes = 1 << 10
+	opts.FS = ffs
+	s := testStore(t, opts)
+	const side = 32
+	if err := s.CreateArray(schema2D("B", side)); err != nil {
+		t.Fatal(err)
+	}
+	series := evolvingVersions(3, side, 7)
+	var ps []Payload
+	for _, v := range series {
+		ps = append(ps, DensePayload(v))
+	}
+	ids, err := s.InsertBatch("B", ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("batch ids = %v, want [1 2 3]", ids)
+	}
+	infos, err := s.Versions("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vi := range infos {
+		if i > 0 && (len(vi.Parents) != 1 || vi.Parents[0] != ids[i-1]) {
+			t.Fatalf("batch member %d has parents %v, want [%d]", vi.ID, vi.Parents, ids[i-1])
+		}
+		got, err := s.Select("B", vi.ID)
+		if err != nil || !got.Dense.Equal(series[i]) {
+			t.Fatalf("batch member %d wrong after commit (%v)", vi.ID, err)
+		}
+	}
+	// the evolving series deltas well: at least one later member should
+	// have delta-encoded against an earlier one staged in the same call
+	chained := false
+	for _, vi := range infos[1:] {
+		if len(vi.DeltaBases) > 0 {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Fatal("no batch member delta-encoded against an earlier member of the same batch")
+	}
+
+	// a fault under the shared commit must abort the WHOLE batch
+	ffs.arm(func(op, path string) bool {
+		return op == "create" && strings.HasSuffix(path, metaFile+".tmp")
+	})
+	if _, err := s.InsertBatch("B", []Payload{
+		DensePayload(crashContent(10, side)),
+		DensePayload(crashContent(11, side)),
+	}); !errors.Is(err, errInjected) {
+		t.Fatalf("batch under a commit fault returned %v, want the injected failure", err)
+	}
+	infos, err = s.Versions("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("failed batch committed partially: %d versions, want 3", len(infos))
+	}
+	if _, err := s.Select("B", 4); err == nil {
+		t.Fatal("phantom batch member selectable after failed shared commit")
+	}
+	rep, err := s.Verify("B")
+	if err != nil || !rep.Ok() {
+		t.Fatalf("verify after failed batch: %v %v", err, rep.Problems)
+	}
+	if rep.DanglingBytes != 0 {
+		t.Fatalf("failed batch left %d bytes dangling", rep.DanglingBytes)
+	}
+}
+
+// TestGroupCommitStress runs 8 durable writers across 4 arrays — the
+// -race safety net for the off-lock staging path and the group-commit
+// coalescer. Every acknowledged insert must read back byte-identical,
+// the commit counters must account for every version, and a recovery
+// reopen must agree with the live store.
+func TestGroupCommitStress(t *testing.T) {
+	const (
+		writers    = 8
+		arrays     = 4
+		perWriter  = 8
+		side       = 16
+		arrayNameF = "S%d"
+	)
+	for _, disable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("disableGroupCommit=%v", disable), func(t *testing.T) {
+			opts := smallOpts()
+			opts.ChunkBytes = 1 << 10
+			opts.Durability = true
+			opts.DisableGroupCommit = disable
+			s := testStore(t, opts)
+			for a := 0; a < arrays; a++ {
+				if err := s.CreateArray(schema2D(fmt.Sprintf(arrayNameF, a), side)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var (
+				mu        sync.Mutex
+				committed = make([]map[int]*array.Dense, arrays)
+				wg        sync.WaitGroup
+				failc     = make(chan error, writers)
+			)
+			for a := range committed {
+				committed[a] = map[int]*array.Dense{}
+			}
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					a := w % arrays
+					name := fmt.Sprintf(arrayNameF, a)
+					for i := 0; i < perWriter; i++ {
+						content := crashContent(int64(w*1000+i), side)
+						id, err := s.Insert(name, DensePayload(content))
+						if err != nil {
+							failc <- err
+							return
+						}
+						mu.Lock()
+						committed[a][id] = content
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(failc)
+			for err := range failc {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			total := int64(writers * perWriter)
+			if st.GroupCommitVersions != total {
+				t.Fatalf("GroupCommitVersions = %d, want %d", st.GroupCommitVersions, total)
+			}
+			if st.GroupCommits == 0 || st.GroupCommits > total {
+				t.Fatalf("GroupCommits = %d out of range (1..%d)", st.GroupCommits, total)
+			}
+			if disable && st.GroupCommits != total {
+				t.Fatalf("DisableGroupCommit coalesced anyway: %d commits for %d inserts", st.GroupCommits, total)
+			}
+			for a := 0; a < arrays; a++ {
+				assertStoreAgrees(t, s, fmt.Sprintf(arrayNameF, a), committed[a])
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

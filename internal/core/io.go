@@ -49,15 +49,26 @@ func versionFileName(id int, attr, chunkKey string, seq int64) string {
 }
 
 // writeBlob stores an encoded chunk payload and returns its location.
-func (s *Store) writeBlob(st *arrayState, id int, attr, chunkKey string, blob []byte) (file string, off int64, err error) {
+// The destination directory and format come from the insertCtx, which
+// pins the chunk generation the mutation staged against (Gen/Format on
+// the live arrayState may move underneath an off-lock stage; the commit
+// validates them before installing). With a write-set attached the
+// append is left unsynced and recorded — the shared commit point syncs
+// every touched file once — otherwise it is fsynced in place under
+// Durability, as before.
+func (s *Store) writeBlob(ctx *insertCtx, id int, attr, chunkKey string, blob []byte) (file string, off int64, err error) {
 	if s.opts.CoLocate {
 		file = chainFileName(attr, chunkKey)
 	} else {
-		file = versionFileName(id, attr, chunkKey, atomic.AddInt64(&st.FileSeq, 1))
+		file = versionFileName(id, attr, chunkKey, atomic.AddInt64(&ctx.st.FileSeq, 1))
 	}
-	off, err = s.appendBlob(filepath.Join(st.chunksDir(), file), st.Format, blob, true)
+	path := filepath.Join(ctx.dir, file)
+	off, err = s.appendBlob(path, ctx.format, blob, ctx.ws == nil)
 	if err != nil {
 		return "", 0, err
+	}
+	if ctx.ws != nil {
+		ctx.ws.record(path, off, off+frameLen(ctx.format, int64(len(blob))))
 	}
 	s.addWrite(int64(len(blob)))
 	return file, off, nil

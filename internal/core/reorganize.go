@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/compress"
@@ -114,7 +115,7 @@ func (s *Store) ComputeLayout(name string, opts ReorganizeOptions) (layout.Layou
 	if len(ids) == 0 {
 		return layout.NewLayout(0), matmat.New(0), ids, nil
 	}
-	mm, err := s.buildMatrix(v.st, planes, opts.MatrixSample)
+	mm, err := s.buildMatrix(v.st.SparseRep, len(v.st.Schema.Attrs), planes, opts.MatrixSample)
 	if err != nil {
 		return layout.Layout{}, nil, nil, err
 	}
@@ -156,7 +157,11 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 		}
 	}
 	// the array is mutating faster than the off-lock builds can keep up;
-	// rebuild under the exclusive lock so the call terminates
+	// rebuild under the exclusive lock so the call terminates. commitMu
+	// serializes the versions.json write with insert leaders, whose
+	// commits run outside Store.mu.
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -173,26 +178,9 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 // caller must release st.reorgMu. The latch is always acquired without
 // holding Store.mu.
 func (s *Store) lockRewrite(name string) (*arrayState, error) {
-	for {
-		s.mu.RLock()
-		st, ok := s.arrays[name]
-		closed := s.closed
-		s.mu.RUnlock()
-		if closed {
-			return nil, ErrClosed
-		}
-		if !ok {
-			return nil, fmt.Errorf("core: no array %q", name)
-		}
-		st.reorgMu.Lock()
-		s.mu.RLock()
-		cur := s.arrays[name]
-		s.mu.RUnlock()
-		if cur == st {
-			return st, nil
-		}
-		st.reorgMu.Unlock() // dropped or replaced while we waited; retry
-	}
+	return s.lockArray(name, func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.reorgMu}
+	})
 }
 
 // tryReorganize performs one optimistic off-lock rebuild attempt.
@@ -245,9 +233,13 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 		_ = s.fs.RemoveAll(buildDir)
 		return false, err
 	}
+	// commitMu serializes this rewrite's versions.json write with insert
+	// leaders, whose commits run outside Store.mu
+	st.commitMu.Lock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		st.commitMu.Unlock()
 		_ = s.fs.RemoveAll(buildDir)
 		return false, ErrClosed
 	}
@@ -255,6 +247,7 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 		// a concurrent mutation invalidated the build: its planes (and
 		// therefore its encodings) may describe superseded contents
 		s.mu.Unlock()
+		st.commitMu.Unlock()
 		_ = s.fs.RemoveAll(buildDir)
 		return false, nil
 	}
@@ -262,6 +255,7 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 	oldDir, err := s.commitRewriteLocked(st, buildDir, ids, entries)
 	if err != nil {
 		s.mu.Unlock()
+		st.commitMu.Unlock()
 		// a failure before the generation rename leaves the build dir
 		// behind, and non-durable stores never sweep chunks* debris
 		_ = s.fs.RemoveAll(buildDir)
@@ -272,6 +266,7 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 	// current generation (the epoch in every cache key enforces this)
 	s.invalidateArrayLocked(name)
 	s.mu.Unlock()
+	st.commitMu.Unlock()
 	// post-commit garbage collection: waiting out in-flight readers that
 	// pinned the old generation happens with no store lock held, so new
 	// selects (on this and every other array) proceed meanwhile
@@ -350,7 +345,7 @@ func (s *Store) planLayout(st *arrayState, ids []int, planes [][]Plane, opts Reo
 		}
 		return l, nil
 	}
-	mm, err := s.buildMatrix(st, planes, opts.MatrixSample)
+	mm, err := s.buildMatrix(st.SparseRep, len(st.Schema.Attrs), planes, opts.MatrixSample)
 	if err != nil {
 		return layout.Layout{}, err
 	}
@@ -362,7 +357,7 @@ func (s *Store) planLayout(st *arrayState, ids []int, planes [][]Plane, opts Reo
 
 func (s *Store) layoutForRange(st *arrayState, planes [][]Plane, ids []int, lo, hi int, opts ReorganizeOptions) (layout.Layout, error) {
 	sub := planes[lo:hi]
-	mm, err := s.buildMatrix(st, sub, opts.MatrixSample)
+	mm, err := s.buildMatrix(st.SparseRep, len(st.Schema.Attrs), sub, opts.MatrixSample)
 	if err != nil {
 		return layout.Layout{}, err
 	}
@@ -399,15 +394,17 @@ func (s *Store) loadPlanesView(v *readView) ([]int, [][]Plane, error) {
 }
 
 // buildMatrix computes the materialization matrix over versions, summing
-// costs across attributes. It reads only immutable arrayState fields
-// (schema, representation), so it is safe off-lock.
-func (s *Store) buildMatrix(st *arrayState, planes [][]Plane, sample int) (*matmat.Matrix, error) {
+// costs across attributes. The representation is an explicit argument
+// (rather than read from the arrayState) because a staged first commit
+// may fix it before it is installed; it touches no mutable state, so it
+// is safe off-lock.
+func (s *Store) buildMatrix(sparse bool, nattrs int, planes [][]Plane, sample int) (*matmat.Matrix, error) {
 	n := len(planes)
 	total := matmat.New(n)
-	for ai := range st.Schema.Attrs {
+	for ai := 0; ai < nattrs; ai++ {
 		var mm *matmat.Matrix
 		var err error
-		if st.SparseRep {
+		if sparse {
 			vs := make([]*array.Sparse, n)
 			for i := range planes {
 				vs[i] = planes[i][ai].Sparse
@@ -759,70 +756,124 @@ func (s *Store) syncDirFiles(dir string) error {
 // first re-encoded (against the deleted version's own base, or
 // materialized), preserving the no-overwrite property for everything
 // still live. Space is reclaimed by Compact.
+//
+// Like the insert path, the deletion is staged: the re-encoded chunk
+// maps and the deletion flag are built on cloned versionMeta records in
+// a staged arrayMeta, committed with one metadata rename, and installed
+// into the live state only on success — a failed commit leaves memory
+// and disk agreeing that the version is still live, and sweeps the
+// re-encode's appended blobs. The write latch is held because the
+// re-encodes append to chunk files concurrent insert staging also
+// appends to.
 func (s *Store) DeleteVersion(name string, id int) error {
+	st, err := s.lockMetaWrite(name)
+	if err != nil {
+		return err
+	}
+	defer st.commitMu.Unlock()
+	defer st.writeMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	st, ok := s.arrays[name]
-	if !ok {
+	if s.arrays[name] != st {
 		return fmt.Errorf("core: no array %q", name)
 	}
 	vm, err := st.version(id)
 	if err != nil {
 		return err
 	}
-	st.mutateLocked()
-	// the child re-encodes below only ever append (fresh FileSeq files in
-	// per-version mode, chain tails in co-located mode), so in-flight
-	// readers keep decoding their snapshots without a latch
-	// re-encode every live chunk that bases on the deleted version
-	for _, child := range st.live() {
-		if child.ID == id {
-			continue
-		}
-		for _, attr := range st.Schema.Attrs {
-			dirty := false
-			for _, e := range child.Chunks[attr.Name] {
-				if e.Base == id {
-					dirty = true
-					break
-				}
-			}
-			if !dirty {
+	staged := st.metaClone()
+	v := s.viewOfMeta(st, &staged)
+	ws := newWriteSet()
+	qc := newChunkCache()
+	ctx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: staged.SparseRep}
+	full := array.BoxOf(st.Schema.Shape())
+	commit := func() error {
+		// the child re-encodes below only ever append (fresh FileSeq
+		// files in per-version mode, chain tails in co-located mode), so
+		// in-flight readers keep decoding their snapshots without a latch.
+		// re-encode every live chunk that bases on the deleted version
+		for si, child := range staged.Versions {
+			if child.ID == id || child.Deleted {
 				continue
 			}
-			pl, err := s.readPlaneLocked(st, child.ID, attr.Name)
-			if err != nil {
-				return err
-			}
-			// choose the deleted version's base as the new base when it
-			// is still live, otherwise materialize; scan every chunk and
-			// take the newest live base so the pick is deterministic
-			// (map iteration order is not)
-			newBase := 0
-			for _, e := range vm.Chunks[attr.Name] {
-				if e.Base >= 0 && e.Base > newBase {
-					if _, err := st.version(e.Base); err == nil {
-						newBase = e.Base
+			var cp *versionMeta
+			for _, attr := range st.Schema.Attrs {
+				dirty := false
+				for _, e := range child.Chunks[attr.Name] {
+					if e.Base == id {
+						dirty = true
+						break
 					}
 				}
+				if !dirty {
+					continue
+				}
+				pl, err := s.readRegionView(v, child.ID, attr.Name, full, qc)
+				if err != nil {
+					return err
+				}
+				// choose the deleted version's base as the new base when it
+				// is still live, otherwise materialize; scan every chunk and
+				// take the newest live base so the pick is deterministic
+				// (map iteration order is not)
+				newBase := 0
+				for _, e := range vm.Chunks[attr.Name] {
+					if e.Base >= 0 && e.Base > newBase && e.Base != id {
+						if _, err := v.version(e.Base); err == nil {
+							newBase = e.Base
+						}
+					}
+				}
+				entries, err := s.encodePlane(ctx, child.ID, attr, pl, newBase)
+				if err != nil {
+					return err
+				}
+				// published versions are shared with reader snapshots:
+				// clone before replacing the chunk map, swap the clone in
+				if cp == nil {
+					c := *child
+					c.Chunks = make(map[string]map[string]chunkEntry, len(child.Chunks))
+					for a, m := range child.Chunks {
+						c.Chunks[a] = m
+					}
+					cp = &c
+				}
+				cp.Chunks[attr.Name] = entries
 			}
-			entries, err := s.encodePlane(st, child.ID, attr, pl, newBase)
-			if err != nil {
+			if cp != nil {
+				staged.Versions[si] = cp
+				v.byID[child.ID] = cp
+			}
+		}
+		for si, svm := range staged.Versions {
+			if svm.ID == id {
+				del := *svm
+				del.Deleted = true
+				staged.Versions[si] = &del
+				break
+			}
+		}
+		if s.opts.Durability {
+			if err := ws.sync(s); err != nil {
 				return err
 			}
-			child.Chunks[attr.Name] = entries
+			if ws.createdFiles() {
+				if err := s.fs.SyncDir(ctx.dir); err != nil {
+					return err
+				}
+			}
 		}
+		return s.saveMetaDoc(st.dir, &staged)
 	}
-	vm.Deleted = true
-	if err := s.syncChunks(st); err != nil {
+	if err := commit(); err != nil {
+		ws.sweep(s)
 		return err
 	}
-	if err := s.saveMeta(st); err != nil {
-		return err
-	}
+	st.mutateLocked()
+	st.installMeta(staged)
 	// drain in-flight readers before sweeping the cache: a reader that
 	// snapshotted before the delete may otherwise re-insert entries after
 	// the sweep, leaving them resident until eviction pressure finds
@@ -850,6 +901,10 @@ func (s *Store) Compact(name string) error {
 		return err
 	}
 	defer st.reorgMu.Unlock()
+	// commitMu: the generation flip rewrites versions.json, which must
+	// serialize with insert leaders committing outside Store.mu
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

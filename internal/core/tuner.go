@@ -114,7 +114,7 @@ func (s *Store) Tune(name string) (rep TuneReport, err error) {
 			return rep, err
 		}
 		var mm *matmat.Matrix
-		mm, err = s.buildMatrix(v.st, planes, at.MatrixSample)
+		mm, err = s.buildMatrix(v.st.SparseRep, len(v.st.Schema.Attrs), planes, at.MatrixSample)
 		if err != nil {
 			release()
 			return rep, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -125,6 +126,30 @@ func (s *Store) snapshotUncached(name string) (*readView, func(), error) {
 	st.ioMu.RLock()
 	s.mu.RUnlock()
 	return v, st.ioMu.RUnlock, nil
+}
+
+// viewOfMeta builds a readView over a staged metadata document: reads
+// resolve against the staged version set and the generation it names.
+// Staged versions' payloads are already on disk (appends precede the
+// commit), so the view can decode them before the install. Cache puts
+// are suppressed: staged version ids are not committed yet and must
+// never become visible through the store-wide LRU.
+func (s *Store) viewOfMeta(st *arrayState, m *arrayMeta) *readView {
+	v := &readView{
+		st:      st,
+		dir:     filepath.Join(st.dir, chunksDirName(m.Gen)),
+		format:  m.Format,
+		noCache: true,
+		byID:    make(map[int]*versionMeta),
+	}
+	for _, vm := range m.Versions {
+		if vm.Deleted {
+			continue
+		}
+		v.ids = append(v.ids, vm.ID)
+		v.byID[vm.ID] = vm
+	}
+	return v
 }
 
 // mutateLocked marks a metadata mutation: it bumps the sequence (which

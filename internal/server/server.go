@@ -111,6 +111,7 @@ func New(cfg Config) (*Server, error) {
 	s.route(mux, "GET /v1/arrays/{name}/branched-from", "branched-from", s.handleBranchedFrom)
 	s.route(mux, "GET /v1/arrays/{name}/verify", "verify", s.handleVerify)
 	s.route(mux, "POST /v1/arrays/{name}/versions", "insert", s.handleInsert)
+	s.route(mux, "POST /v1/arrays/{name}/versions/batch", "insert-batch", s.handleInsertBatch)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select", "select", s.handleSelect)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select-multi", "select-multi", s.handleSelectMulti)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select-sparse-multi", "select-sparse-multi", s.handleSelectSparseMulti)
@@ -405,6 +406,29 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+}
+
+// handleInsertBatch commits a batched insert: the request body is one
+// wire payload frame per version, back to back, and the whole batch
+// lands in one shared metadata commit (all-or-nothing). The response
+// lists the new version ids in payload order. The whole body shares
+// the max-frame byte budget (and wire caps the frame count), so a
+// batch cannot buffer unboundedly where a single insert could not.
+func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	// budget: the payload bytes share maxFrame, plus header room for a
+	// full MaxBatchPayloads batch of frames
+	limit := s.maxFrame + int64(wire.MaxBatchPayloads)*16
+	ps, err := wire.ReadPayloadBatch(http.MaxBytesReader(w, r.Body, limit), s.maxFrame)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ids, err := s.store.InsertBatch(r.PathValue("name"), ps)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]int{"ids": ids})
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {

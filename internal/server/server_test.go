@@ -17,6 +17,7 @@ import (
 	"arrayvers/internal/array"
 	"arrayvers/internal/core"
 	"arrayvers/internal/layout"
+	"arrayvers/internal/wire"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *core.Store, *httptest.Server) {
@@ -625,5 +626,73 @@ func TestTuneEndpoint(t *testing.T) {
 	// tune of a missing array maps to 404
 	if _, err := c.Tune("nope"); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("tune of unknown array returned %v, want 404", err)
+	}
+}
+
+// TestInsertBatchRoute drives the batched-insert route end to end: a
+// multi-payload body (dense + delta-list) commits atomically, the ids
+// come back in payload order, every member reads back byte-identical,
+// and a malformed batch body is a 400 that commits nothing.
+func TestInsertBatchRoute(t *testing.T) {
+	_, store, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	const side = 32
+	if err := c.CreateArray(denseSchema("Batch", side)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	base := randDense(rng, side)
+	id, err := c.Insert("Batch", core.DensePayload(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := randDense(rng, side)
+	deltaWant := base.Clone()
+	deltaWant.SetBitsAt([]int64{3, 4}, 4242)
+	ids, err := c.InsertBatch("Batch", []core.Payload{
+		core.DensePayload(next),
+		core.DeltaListPayload(id, []core.CellUpdate{{Coords: []int64{3, 4}, Bits: 4242}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != id+1 || ids[1] != id+2 {
+		t.Fatalf("batch ids = %v, want [%d %d]", ids, id+1, id+2)
+	}
+	for i, want := range []*array.Dense{next, deltaWant} {
+		pl, err := c.Select("Batch", ids[i])
+		if err != nil {
+			t.Fatalf("batch member %d: %v", ids[i], err)
+		}
+		if !pl.Dense.Equal(want) {
+			t.Fatalf("batch member %d corrupted over the wire", ids[i])
+		}
+	}
+	// remote and embedded agree
+	infos, err := store.Versions("Batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("embedded store has %d versions, want 3", len(infos))
+	}
+
+	// malformed body: first frame valid, second torn mid-frame → 400,
+	// nothing committed
+	var body strings.Builder
+	if err := wire.WritePayload(&body, core.DensePayload(randDense(rng, side))); err != nil {
+		t.Fatal(err)
+	}
+	torn := body.String() + "AVF1\x03garbage"
+	resp, err := http.Post(ts.URL+"/v1/arrays/Batch/versions/batch", FrameContentType, strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("torn batch answered %d, want 400", resp.StatusCode)
+	}
+	if infos, _ := store.Versions("Batch"); len(infos) != 3 {
+		t.Fatalf("torn batch committed something: %d versions", len(infos))
 	}
 }

@@ -311,3 +311,60 @@ func TestPayloadTruncated(t *testing.T) {
 		}
 	}
 }
+
+func TestPayloadBatchRoundTrip(t *testing.T) {
+	ps := []core.Payload{
+		core.DensePayload(testDense(t)),
+		core.DeltaListPayload(1, []core.CellUpdate{{Coords: []int64{2, 3}, Bits: 99}}),
+		core.DensePayload(testDense(t)),
+	}
+	var buf bytes.Buffer
+	if err := WritePayloadBatch(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPayloadBatch(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("decoded %d payloads, want %d", len(got), len(ps))
+	}
+	if !got[0].Planes[0].Dense.Equal(ps[0].Planes[0].Dense) {
+		t.Fatal("batch member 0 corrupted")
+	}
+	if got[1].DeltaBase != 1 || len(got[1].Updates) != 1 || got[1].Updates[0].Bits != 99 {
+		t.Fatalf("batch member 1 corrupted: %+v", got[1])
+	}
+}
+
+func TestPayloadBatchRejectsEmptyAndTruncated(t *testing.T) {
+	if err := WritePayloadBatch(io.Discard, nil); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+	if _, err := ReadPayloadBatch(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty batch body decoded")
+	}
+	// a batch cut mid-frame must error, not silently shorten
+	var buf bytes.Buffer
+	if err := WritePayloadBatch(&buf, []core.Payload{
+		core.DensePayload(testDense(t)),
+		core.DensePayload(testDense(t)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7]
+	if _, err := ReadPayloadBatch(bytes.NewReader(cut), 0); err == nil {
+		t.Fatal("truncated batch decoded cleanly")
+	}
+	// a foreign frame kind inside the batch is rejected
+	var mixed bytes.Buffer
+	if err := WritePayload(&mixed, core.DensePayload(testDense(t))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDense(&mixed, testDense(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPayloadBatch(bytes.NewReader(mixed.Bytes()), 0); err == nil {
+		t.Fatal("batch with a foreign frame kind decoded cleanly")
+	}
+}
