@@ -165,6 +165,23 @@ type (
 // space reclaimable by Compact).
 type VerifyReport = core.VerifyReport
 
+// Fault tolerance: commit-protocol failures whose on-disk effect is
+// uncertain flip the affected array (or, on disk-full, the whole store)
+// into degraded read-only mode rather than crashing or guessing.
+// Reads keep working; writes fail fast with ErrDegraded until
+// Store.Heal — or the background heal prober (Options.HealInterval) —
+// re-establishes the disk state and verifies the array. See DESIGN.md
+// "Resilience & degraded modes".
+type (
+	Health      = core.Health
+	ArrayHealth = core.ArrayHealth
+	HealReport  = core.HealReport
+)
+
+// ErrDegraded is returned (wrapped) by writes rejected while an array
+// or the store is in degraded read-only mode; match with errors.Is.
+var ErrDegraded = core.ErrDegraded
+
 // Reorganization (§IV): layout policies and options.
 type (
 	ReorganizeOptions = core.ReorganizeOptions

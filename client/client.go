@@ -16,9 +16,12 @@ package client
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,19 +38,77 @@ import (
 // importable without the server package).
 const frameContentType = "application/x-arrayvers-frame"
 
+// DefaultTimeout bounds each request end to end. It sits above the
+// server's own per-request timeout (60s) so a slow-but-answering server
+// reports its own 503 rather than the client giving up first; a hung
+// connection still can't stall the caller forever.
+const DefaultTimeout = 75 * time.Second
+
+// RetryPolicy shapes the client's automatic retries. Retries apply only
+// where they cannot duplicate work: reads (GET), requests the server
+// rejected before executing (429), and inserts carrying an idempotency
+// key (the server replays the committed ids instead of re-inserting).
+// Backoff is exponential with full jitter, and a server-provided
+// Retry-After hint overrides the computed delay when it is longer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubled per retry).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff and any Retry-After hint.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries transient failures a few times over a few
+// seconds — enough to ride out a group-commit stall, an in-flight-limit
+// rejection, or a degraded store mid-heal, without masking a real outage.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// delay computes the sleep before the given retry (1-based), taking the
+// larger of the jittered exponential backoff and the server's hint.
+func (p RetryPolicy) delay(retry int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << (retry - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if d > 0 {
+		d = time.Duration(mrand.Int63n(int64(d))) + d/2 // jitter in [d/2, 3d/2)
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
 // Client talks to one avstored daemon. It is safe for concurrent use.
 type Client struct {
 	base     string
 	hc       *http.Client
 	maxFrame int64
+	retry    RetryPolicy
 }
 
 // Option customizes a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles).
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, test doubles). The replacement's own Timeout is kept as
+// given — combine with WithTimeout to change it.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout overrides the per-request timeout (DefaultTimeout).
+// Zero disables the bound entirely.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
+
+// WithRetryPolicy overrides the automatic retry behavior
+// (DefaultRetryPolicy); RetryPolicy{MaxAttempts: 1} disables retries.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
 
 // WithMaxFrameBytes bounds response frames the client will accept.
 func WithMaxFrameBytes(n int64) Option { return func(c *Client) { c.maxFrame = n } }
@@ -58,8 +119,9 @@ func WithMaxFrameBytes(n int64) Option { return func(c *Client) { c.maxFrame = n
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:     strings.TrimRight(baseURL, "/"),
-		hc:       &http.Client{},
+		hc:       &http.Client{Timeout: DefaultTimeout},
 		maxFrame: wire.DefaultMaxFrameBytes,
+		retry:    DefaultRetryPolicy(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -85,8 +147,9 @@ func (c *Client) Ping() error {
 // apiError is a non-2xx response decoded from the server's JSON error
 // body.
 type apiError struct {
-	Status  int
-	Message string
+	Status     int
+	Message    string
+	RetryAfter time.Duration // server's Retry-After hint, 0 if absent
 }
 
 func (e *apiError) Error() string {
@@ -110,26 +173,94 @@ func checkStatus(resp *http.Response) error {
 	if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
 		body.Error = strings.TrimSpace(string(raw))
 	}
-	return &apiError{Status: resp.StatusCode, Message: body.Error}
+	var hint time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		hint = time.Duration(secs) * time.Second
+	}
+	return &apiError{Status: resp.StatusCode, Message: body.Error, RetryAfter: hint}
 }
 
-func (c *Client) do(method, path string, contentType string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+// newIdemKey generates one idempotency key per logical insert; every
+// retry of that insert reuses it, so the server can tell "same insert,
+// lost ack" from "new insert".
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy: opt out of dedupe rather than reuse a key
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
+	return hex.EncodeToString(b[:])
+}
+
+// do issues one request, transparently retrying transient failures
+// when a retry cannot duplicate work. body is a byte slice (not a
+// Reader) so every attempt replays it from the start.
+func (c *Client) do(method, path string, contentType string, body []byte) (*http.Response, error) {
+	return c.doIdem(method, path, contentType, body, "")
+}
+
+func (c *Client) doIdem(method, path string, contentType string, body []byte, idemKey string) (*http.Response, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := c.hc.Do(req)
+		var hint time.Duration
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			// a transport error may have reached the server: only safe
+			// to retry when re-execution is harmless or deduped
+			if method != http.MethodGet && idemKey == "" {
+				return nil, lastErr
+			}
+		} else if serr := checkStatus(resp); serr != nil {
+			drain(resp)
+			lastErr = serr
+			ae, _ := serr.(*apiError)
+			if !retriableStatus(ae.Status) {
+				return nil, serr
+			}
+			// 429 never entered the handler, so it is retriable even
+			// without a key; 502/503/504 may have executed
+			if ae.Status != http.StatusTooManyRequests && method != http.MethodGet && idemKey == "" {
+				return nil, serr
+			}
+			hint = ae.RetryAfter
+		} else {
+			return resp, nil
+		}
+		if attempt >= attempts {
+			return nil, lastErr
+		}
+		time.Sleep(c.retry.delay(attempt, hint))
 	}
-	if err := checkStatus(resp); err != nil {
-		drain(resp)
-		return nil, err
+}
+
+// retriableStatus reports whether a status speaks to a transient
+// condition (overload, degraded mode, a bad hop) rather than to the
+// request itself.
+func retriableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
 	}
-	return resp, nil
+	return false
 }
 
 func (c *Client) getJSON(path string, out any) error {
@@ -145,13 +276,13 @@ func (c *Client) getJSON(path string, out any) error {
 }
 
 func (c *Client) sendJSON(method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: %w", err)
 		}
-		body = bytes.NewReader(raw)
+		body = raw
 	}
 	resp, err := c.do(method, path, "application/json", body)
 	if err != nil {
@@ -241,17 +372,30 @@ func (c *Client) ResetStats() error {
 	return c.sendJSON(http.MethodPost, "/v1/stats/reset", nil, nil)
 }
 
+// Health reports the server store's degraded-mode state: whether any
+// array (or the whole store) is in degraded read-only mode, why, and
+// since when. Writes to a degraded array fail with a 503 until the
+// server's heal prober recovers it.
+func (c *Client) Health() (arrayvers.Health, error) {
+	var h arrayvers.Health
+	err := c.getJSON("/v1/health", &h)
+	return h, err
+}
+
 // --- insert and select ---
 
 // Insert adds a new version to the named array and returns its ID. All
 // three payload forms (dense, sparse, delta-list) are supported; the
-// content crosses the wire as one binary frame.
+// content crosses the wire as one binary frame. Each call carries a
+// fresh idempotency key, so the retry policy can safely re-send after
+// a lost ack: the server replays the committed id instead of
+// inserting a duplicate.
 func (c *Client) Insert(name string, p arrayvers.Payload) (int, error) {
 	var buf bytes.Buffer
 	if err := wire.WritePayload(&buf, p); err != nil {
 		return 0, fmt.Errorf("client: %w", err)
 	}
-	resp, err := c.do(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions", frameContentType, &buf)
+	resp, err := c.doIdem(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions", frameContentType, buf.Bytes(), newIdemKey())
 	if err != nil {
 		return 0, err
 	}
@@ -275,7 +419,7 @@ func (c *Client) InsertBatch(name string, ps []arrayvers.Payload) ([]int, error)
 	if err := wire.WritePayloadBatch(&buf, ps); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	resp, err := c.do(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions/batch", frameContentType, &buf)
+	resp, err := c.doIdem(http.MethodPost, "/v1/arrays/"+url.PathEscape(name)+"/versions/batch", frameContentType, buf.Bytes(), newIdemKey())
 	if err != nil {
 		return nil, err
 	}
@@ -457,7 +601,7 @@ func (c *Client) Compact(name string) error {
 // otherwise.
 func (c *Client) Query(stmt string) (arrayvers.AQLResult, error) {
 	resp, err := c.do(http.MethodPost, "/v1/aql", "application/json",
-		strings.NewReader(fmt.Sprintf(`{"stmt":%s}`, mustJSON(stmt))))
+		[]byte(fmt.Sprintf(`{"stmt":%s}`, mustJSON(stmt))))
 	if err != nil {
 		return arrayvers.AQLResult{}, err
 	}

@@ -155,6 +155,11 @@ func StatsCounters(st core.IOStats) []Counter {
 		{"workload_patterns", st.WorkloadPatterns},
 		{"tune_passes", st.TunePasses},
 		{"tune_reorganizes", st.TuneReorganizes},
+		{"degraded_entered", st.DegradedEntered},
+		{"degraded_healed", st.DegradedHealed},
+		{"degraded_arrays", st.DegradedArrays},
+		{"store_degraded", st.StoreDegraded},
+		{"writes_rejected_degraded", st.WritesRejectedDegraded},
 	}
 }
 

@@ -98,6 +98,14 @@ type Options struct {
 	// default so I/O accounting matches the paper's tables; avstored and
 	// the avstore CLI turn it on.
 	Durability bool
+	// HealInterval is the background heal prober's period once an array
+	// (or the whole store) has entered degraded read-only mode after an
+	// uncertain commit failure (see DESIGN.md "Resilience & degraded
+	// modes"). Zero means a 1s default; negative disables the background
+	// prober entirely (Store.Heal still works when called directly). The
+	// prober is armed lazily by the first degrade and disarms itself
+	// once everything is writable again.
+	HealInterval time.Duration
 	// DisableGroupCommit turns off the insert group-commit coalescer:
 	// every insert then pays its own chunks-dir fsync and versions.json
 	// commit instead of sharing one with concurrent inserts to the same
@@ -241,6 +249,15 @@ type Store struct {
 	// build's files.
 	buildSeq atomic.Int64
 
+	// healthMu guards the degraded-mode state (see health.go). It is a
+	// leaf lock: it may be taken while holding Store.mu, and statsMu may
+	// be taken while holding it, but never the other way around.
+	healthMu      sync.Mutex
+	degraded      map[string]degradedInfo // array name -> why it is read-only
+	storeDegraded *degradedInfo           // non-nil while the whole store is read-only (ENOSPC)
+	healer        *healer                 // background heal prober; armed by the first degrade
+	healerStopped bool                    // Close ran; never re-arm
+
 	statsMu sync.Mutex
 	stats   IOStats
 	// recovery is what Open-time crash recovery repaired; immutable after
@@ -311,6 +328,18 @@ type IOStats struct {
 	InsertOrphanFiles int64
 	InsertOrphanBytes int64
 
+	// DegradedEntered/DegradedHealed count transitions into and out of
+	// degraded read-only mode (array-level and store-wide); the
+	// difference is the number of open incidents. DegradedArrays and
+	// StoreDegraded are current gauges (ResetStats leaves the live state
+	// alone, so they reappear on the next Stats call while degraded).
+	// WritesRejectedDegraded counts mutations refused with ErrDegraded.
+	DegradedEntered        int64
+	DegradedHealed         int64
+	DegradedArrays         int64
+	StoreDegraded          int64
+	WritesRejectedDegraded int64
+
 	// Recovery* mirror RecoveryStats: what Open-time crash recovery
 	// repaired. Fixed at Open; ResetStats leaves them alone.
 	RecoveryTruncatedFiles  int64
@@ -337,6 +366,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		arrays:     make(map[string]*arrayState),
 		epochs:     make(map[string]uint64),
 		chunkCache: cache.New(opts.CacheBytes),
+		degraded:   make(map[string]degradedInfo),
 		workload:   newWorkloadRecorder(),
 		tuneEst:    make(map[string]*tuneEstimate),
 		clock:      time.Now,
@@ -421,6 +451,8 @@ func (s *Store) Close() error {
 	if tuner != nil {
 		tuner.Stop()
 	}
+	// the heal prober fails fast on the closed flag the same way
+	s.stopHealer()
 	for _, st := range arrays {
 		// drain writers first: an in-flight stager finishes encoding,
 		// then its commit leader fails fast on the closed flag and wakes
@@ -459,6 +491,12 @@ func (s *Store) Stats() IOStats {
 	out.WorkloadOps, out.WorkloadPatterns = s.workload.totals()
 	out.TunePasses = s.tunePasses.Load()
 	out.TuneReorganizes = s.tuneReorgs.Load()
+	s.healthMu.Lock()
+	out.DegradedArrays = int64(len(s.degraded))
+	if s.storeDegraded != nil {
+		out.StoreDegraded = 1
+	}
+	s.healthMu.Unlock()
 	return out
 }
 
@@ -770,11 +808,15 @@ func (s *Store) saveMetaDoc(dir string, m *arrayMeta) error {
 	if werr != nil {
 		return werr
 	}
+	// failures above are benign: the commit definitively did not happen
+	// and the tmp file is debris. From the rename on, a failure's on-disk
+	// effect is uncertain (the new document may be in place, durably or
+	// not), so wrap it for the degraded-mode classifier (health.go).
 	if err := s.fs.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
-		return err
+		return uncertain(err)
 	}
 	if s.opts.Durability {
-		return s.fs.SyncDir(dir)
+		return uncertain(s.fs.SyncDir(dir))
 	}
 	return nil
 }
@@ -796,11 +838,15 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.writeGate(schema.Name); err != nil {
+		return err
+	}
 	if _, ok := s.arrays[schema.Name]; ok {
 		return fmt.Errorf("core: array %q already exists", schema.Name)
 	}
 	dir := filepath.Join(s.dir, schema.Name)
 	if err := s.fs.MkdirAll(filepath.Join(dir, "chunks")); err != nil {
+		s.noteDiskPressure(err)
 		return err
 	}
 	elem := schema.Attrs[0].Type.Size()
@@ -818,14 +864,22 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		},
 		dir: dir,
 	}
-	if err := s.saveMeta(st); err != nil {
-		return err
-	}
-	if s.opts.Durability {
+	err = s.saveMeta(st)
+	if err == nil && s.opts.Durability {
 		// the array directory's entry in the store root must survive too
-		if err := s.fs.SyncDir(s.dir); err != nil {
-			return err
+		err = uncertain(s.fs.SyncDir(s.dir))
+	}
+	if err != nil {
+		// the array was never visible; removing its directory resolves
+		// any on-disk uncertainty (a metadata rename that secretly
+		// landed) by deleting it. Only if that also fails can a phantom
+		// array survive to the next Open — degrade the store so writes
+		// stop until the disk recovers.
+		s.noteDiskPressure(err)
+		if rerr := s.fs.RemoveAll(dir); rerr != nil && isUncertain(err) {
+			s.degradeStore(err)
 		}
+		return err
 	}
 	s.arrays[schema.Name] = st
 	return nil
@@ -849,6 +903,9 @@ const tombstoneSuffix = ".deleting"
 // that window, landing the old array's staged metadata inside the
 // recreated array's directory.
 func (s *Store) DeleteArray(name string) error {
+	if err := s.writeGate(name); err != nil {
+		return err
+	}
 	st, err := s.lockArray(name, func(st *arrayState) []*sync.Mutex {
 		return []*sync.Mutex{&st.commitMu}
 	})
@@ -872,6 +929,10 @@ func (s *Store) DeleteArray(name string) error {
 	}
 	st.ioMu.Unlock()
 	if err != nil {
+		// the tombstone rename's effect is uncertain: the directory may
+		// already be renamed while memory keeps serving the array. The
+		// heal restores the live name from the tombstone (see healArray).
+		s.noteCommitFailure(st, uncertain(err))
 		return err
 	}
 	// post-commit garbage collection; a failure just leaves the

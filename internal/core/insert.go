@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -128,6 +129,19 @@ type insertCtx struct {
 	dir    string
 	format int
 	sparse bool
+	goCtx  context.Context // caller's cancellation; nil means Background
+}
+
+// context returns the caller's context, defaulting to Background for
+// internal paths (fallback commit, Branch, Merge) that stage without
+// one. Cancellation is only honored during staging — a payload that
+// reached the shared commit queue always runs to completion, so a
+// group-commit leader never aborts followers' work.
+func (c *insertCtx) context() context.Context {
+	if c.goCtx != nil {
+		return c.goCtx
+	}
+	return context.Background()
 }
 
 // writeSet tracks the chunk-file byte ranges appended by one staged
@@ -285,7 +299,16 @@ const insertRetries = 3
 // Insert adds a new version to the named array and returns its ID
 // (temporal versions are numbered 1, 2, ... as in AQL's Example@1).
 func (s *Store) Insert(name string, p Payload) (int, error) {
-	ids, err := s.InsertBatch(name, []Payload{p})
+	return s.InsertCtx(context.Background(), name, p)
+}
+
+// InsertCtx is Insert honoring ctx during the staging (resolve +
+// encode) phase. Once the payload reaches the shared commit queue the
+// commit always runs to completion: cancellation can never abort a
+// group commit other inserts are riding on, so a ctx error from this
+// method means no version was created.
+func (s *Store) InsertCtx(ctx context.Context, name string, p Payload) (int, error) {
+	ids, err := s.InsertBatchCtx(ctx, name, []Payload{p})
 	if err != nil {
 		return 0, err
 	}
@@ -308,14 +331,26 @@ func (s *Store) Insert(name string, p Payload) (int, error) {
 // single-commit fsync latency (see DESIGN.md "Write path & group
 // commit").
 func (s *Store) InsertBatch(name string, ps []Payload) ([]int, error) {
+	return s.InsertBatchCtx(context.Background(), name, ps)
+}
+
+// InsertBatchCtx is InsertBatch honoring ctx during staging (see
+// InsertCtx for the cancellation contract).
+func (s *Store) InsertBatchCtx(ctx context.Context, name string, ps []Payload) ([]int, error) {
 	if len(ps) == 0 {
 		return nil, fmt.Errorf("core: empty insert batch")
 	}
+	if err := s.writeGate(name); err != nil {
+		return nil, err
+	}
 	for attempt := 0; attempt < insertRetries; attempt++ {
-		ids, retry, err := s.tryInsertBatch(name, ps)
+		ids, retry, err := s.tryInsertBatch(ctx, name, ps)
 		if !retry {
 			return ids, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return s.insertBatchFallback(name, ps)
 }
@@ -376,12 +411,12 @@ func (s *Store) lockMetaWrite(name string) (*arrayState, error) {
 // tryInsertBatch performs one optimistic stage + commit attempt.
 // retry=true means the staged encoding was invalidated by a concurrent
 // rewrite or delete and the caller should re-stage.
-func (s *Store) tryInsertBatch(name string, ps []Payload) (ids []int, retry bool, err error) {
+func (s *Store) tryInsertBatch(ctx context.Context, name string, ps []Payload) (ids []int, retry bool, err error) {
 	st, err := s.lockWrite(name)
 	if err != nil {
 		return nil, false, err
 	}
-	ins, err := s.stageBatch(st, ps, "insert")
+	ins, err := s.stageBatch(ctx, st, ps, "insert")
 	if err != nil {
 		st.writeMu.Unlock()
 		return nil, false, err
@@ -415,7 +450,10 @@ func (s *Store) tryInsertBatch(name string, ps []Payload) (ids []int, retry bool
 // generation. On success the returned stagedInsert is ready to enqueue;
 // on error every appended blob has been reclaimed and the reserved ids
 // returned to the pool. Callers hold st.writeMu.
-func (s *Store) stageBatch(st *arrayState, ps []Payload, kind string) (*stagedInsert, error) {
+func (s *Store) stageBatch(ctx context.Context, st *arrayState, ps []Payload, kind string) (*stagedInsert, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// snapshot under the store lock: metadata view, generation pin (the
 	// I/O read latch is acquired before the lock drops, so a rewrite
 	// cannot remove the generation out from under the appends), id
@@ -471,14 +509,18 @@ func (s *Store) stageBatch(st *arrayState, ps []Payload, kind string) (*stagedIn
 		ws:     newWriteSet(),
 		done:   make(chan struct{}),
 	}
-	ctx := &insertCtx{st: st, v: v, ws: ins.ws, qc: newChunkCache(), dir: v.dir, format: format, sparse: sparse}
+	ictx := &insertCtx{st: st, v: v, ws: ins.ws, qc: newChunkCache(), dir: v.dir, format: format, sparse: sparse, goCtx: ctx}
 	fail := func(err error) (*stagedInsert, error) {
 		ins.ws.sweep(s)
 		unreserve()
+		s.noteDiskPressure(err) // staging failures are benign, ENOSPC is not
 		return nil, err
 	}
 	for j, p := range ps {
-		vm, err := s.stagePayload(ctx, p, baseID+j, kind, &repFixed, &sparse, &fill)
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		vm, err := s.stagePayload(ictx, p, baseID+j, kind, &repFixed, &sparse, &fill)
 		if err != nil {
 			return fail(err)
 		}
@@ -659,8 +701,21 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 				commitErr = s.fs.SyncDir(filepath.Join(st.dir, chunksDirName(staged.Gen)))
 			}
 		}
+		if commitErr != nil {
+			// a failed data or chunks-dir fsync may have dropped
+			// already-written pages: on-disk effect uncertain, contain
+			// it by degrading the array before anyone writes behind it
+			s.noteCommitFailure(st, commitErr)
+		}
 		if commitErr == nil {
 			commitErr = s.saveMetaDoc(st.dir, staged)
+			if isUncertain(commitErr) {
+				// the rename (or its durability fsync) failed: the new
+				// document may be in place while memory rolls back
+				s.noteCommitFailure(st, commitErr)
+			} else {
+				s.noteDiskPressure(commitErr) // benign unless ENOSPC
+			}
 		}
 		s.mu.Lock()
 		if commitErr == nil && s.arrays[st.Schema.Name] != st {
@@ -741,6 +796,11 @@ func (s *Store) syncStagedBatch(st *arrayState, batch []*stagedInsert) {
 			continue
 		}
 		if err := s.syncFile(path); err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				// a failed data fsync may have dropped already-written
+				// pages; the on-disk effect is uncertain
+				s.noteCommitFailure(st, err)
+			}
 			for _, ins := range touchers {
 				if errors.Is(err, fs.ErrNotExist) {
 					ins.retry = true
@@ -757,6 +817,7 @@ func (s *Store) syncStagedBatch(st *arrayState, batch []*stagedInsert) {
 	sort.Strings(dirNames)
 	for _, d := range dirNames {
 		if err := s.fs.SyncDir(d); err != nil {
+			s.noteCommitFailure(st, err)
 			for _, ins := range batch {
 				ins.fail(err)
 			}
@@ -905,6 +966,7 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 		// safe without further locking: callers either hold writeMu or
 		// own the array exclusively (see above)
 		ws.sweep(s)
+		s.noteDiskPressure(err)
 		return nil, err
 	}
 	var ids []int
@@ -924,15 +986,20 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 	}
 	if s.opts.Durability {
 		if err := ws.sync(s); err != nil {
+			s.noteCommitFailure(st, err)
 			return fail(err)
 		}
 		if ws.createdFiles() {
 			if err := s.fs.SyncDir(ctx.dir); err != nil {
+				s.noteCommitFailure(st, err)
 				return fail(err)
 			}
 		}
 	}
 	if err := s.saveMetaDoc(st.dir, &staged); err != nil {
+		if isUncertain(err) {
+			s.noteCommitFailure(st, err)
+		}
 		return fail(err)
 	}
 	st.mutateLocked()
@@ -976,7 +1043,7 @@ func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *write
 	for i, vm := range batch {
 		planes[i] = make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readRegionView(v, vm.ID, attr.Name, full, qc)
+			pl, err := s.readRegionView(context.Background(), v, vm.ID, attr.Name, full, qc)
 			if err != nil {
 				return err
 			}
@@ -1043,7 +1110,7 @@ func (s *Store) resolvePayload(ctx *insertCtx, p Payload) ([]Plane, []int, error
 		full := array.BoxOf(st.Schema.Shape())
 		planes := make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readRegionView(v, p.DeltaBase, attr.Name, full, ctx.qc)
+			pl, err := s.readRegionView(ctx.context(), v, p.DeltaBase, attr.Name, full, ctx.qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -1144,7 +1211,7 @@ func (s *Store) chooseDeltaBase(ctx *insertCtx, planes []Plane) int {
 	bestBase, bestSize := 0, matSize
 	for i := len(v.ids) - k; i < len(v.ids); i++ {
 		cand := v.ids[i]
-		basePl, err := s.readRegionView(v, cand, attr0, full, ctx.qc)
+		basePl, err := s.readRegionView(ctx.context(), v, cand, attr0, full, ctx.qc)
 		if err != nil {
 			continue
 		}
@@ -1211,7 +1278,7 @@ func (s *Store) encodePlane(ctx *insertCtx, id int, attr array.Attribute, pl Pla
 		keys[i] = ck.Key(origin)
 	}
 	ctx.qc.ensure(keys)
-	err = forEachLimit(len(origins), s.opts.Parallelism, func(i int) error {
+	err = forEachLimit(ctx.context(), len(origins), s.opts.Parallelism, func(i int) error {
 		origin := origins[i]
 		box := ck.Box(origin)
 		key := keys[i]
@@ -1266,7 +1333,7 @@ func (s *Store) encodeSparseChunk(ctx *insertCtx, attr string, sp *array.Sparse,
 		return native, -1, nil
 	}
 	full := array.BoxOf(ctx.st.Schema.Shape())
-	basePl, err := s.readRegionView(ctx.v, base, attr, full, ctx.qc)
+	basePl, err := s.readRegionView(ctx.context(), ctx.v, base, attr, full, ctx.qc)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -123,6 +123,7 @@ func TestInsertMetaCommitFailureRollsBack(t *testing.T) {
 			opts.ChunkBytes = 1 << 10
 			opts.Durability = true
 			opts.FS = ffs
+			opts.HealInterval = -1 // heal explicitly, not from the background prober
 			s := testStore(t, opts)
 			const side = 16
 			if err := s.CreateArray(schema2D("A", side)); err != nil {
@@ -144,6 +145,29 @@ func TestInsertMetaCommitFailureRollsBack(t *testing.T) {
 			}
 			if _, err := s.Insert("A", DensePayload(crashContent(2, side))); !errors.Is(err, errInjected) {
 				t.Fatalf("insert under a meta-commit fault returned %v, want the injected failure", err)
+			}
+			if fault == "rename-meta" {
+				// a failed metadata rename leaves the on-disk effect
+				// uncertain: the array must be contained in degraded
+				// read-only mode until a heal verifies the disk
+				if h := s.Health(); !h.Degraded {
+					t.Fatal("array not degraded after an uncertain metadata rename failure")
+				}
+				if _, err := s.Insert("A", DensePayload(crashContent(9, side))); !errors.Is(err, ErrDegraded) {
+					t.Fatalf("insert while degraded returned %v, want ErrDegraded", err)
+				}
+				rep, err := s.Heal()
+				if err != nil {
+					t.Fatalf("heal: %v", err)
+				}
+				if len(rep.Healed) != 1 || rep.Healed[0] != "A" {
+					t.Fatalf("heal flipped %v back to writable, want [A]", rep.Healed)
+				}
+				if h := s.Health(); h.Degraded {
+					t.Fatal("store still degraded after a successful heal")
+				}
+			} else if h := s.Health(); h.Degraded {
+				t.Fatal("benign pre-commit failure must not degrade the array")
 			}
 			// the failed version must be invisible to selects and absent
 			// from metadata, in memory and after a reopen alike

@@ -38,14 +38,14 @@ func (s *Store) recoverLocked() error {
 }
 
 func (s *Store) recoverArray(st *arrayState) error {
-	if err := s.sweepDebris(st); err != nil {
+	if err := s.sweepDebris(st, &s.recovery); err != nil {
 		return err
 	}
-	dropped, err := s.reconcileVersions(st)
+	dropped, err := s.reconcileVersions(st, &s.recovery)
 	if err != nil {
 		return err
 	}
-	if err := s.collectChunkFiles(st); err != nil {
+	if err := s.collectChunkFiles(st, &s.recovery); err != nil {
 		return err
 	}
 	if dropped {
@@ -57,9 +57,11 @@ func (s *Store) recoverArray(st *arrayState) error {
 }
 
 // sweepDebris removes commit leftovers in the array directory: the
-// metadata tmp file, generation build directories, and chunk
-// generations other than the committed one.
-func (s *Store) sweepDebris(st *arrayState) error {
+// metadata tmp file, heal probe scratch, generation build directories,
+// and chunk generations other than the committed one. What it swept is
+// recorded into rs (Open-time recovery passes &s.recovery; the runtime
+// heal pass keeps its own local counts).
+func (s *Store) sweepDebris(st *arrayState, rs *RecoveryStats) error {
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
 		return err
@@ -67,7 +69,7 @@ func (s *Store) sweepDebris(st *arrayState) error {
 	committed := chunksDirName(st.Gen)
 	for _, e := range entries {
 		name := e.Name()
-		stale := name == metaFile+".tmp" ||
+		stale := name == metaFile+".tmp" || name == healProbeFile ||
 			(strings.HasPrefix(name, "chunks") && name != committed)
 		if !stale {
 			continue
@@ -75,7 +77,7 @@ func (s *Store) sweepDebris(st *arrayState) error {
 		if err := s.fs.RemoveAll(filepath.Join(st.dir, name)); err != nil {
 			return err
 		}
-		s.recovery.RemovedFiles++
+		rs.RemovedFiles++
 	}
 	// the committed generation directory must exist even if the array has
 	// no chunk payloads yet (a crash can lose it only when the metadata
@@ -86,7 +88,7 @@ func (s *Store) sweepDebris(st *arrayState) error {
 // reconcileVersions drops live versions whose chunk payloads did not
 // survive: data missing or short in the committed generation, or a
 // delta base that was itself dropped. Reports whether anything changed.
-func (s *Store) reconcileVersions(st *arrayState) (bool, error) {
+func (s *Store) reconcileVersions(st *arrayState, rs *RecoveryStats) (bool, error) {
 	sizes, err := chunkFileSizes(st.chunksDir())
 	if err != nil {
 		return false, err
@@ -102,7 +104,7 @@ func (s *Store) reconcileVersions(st *arrayState) (bool, error) {
 		for _, vm := range live {
 			if versionDamaged(st, vm, sizes, liveIDs) {
 				vm.Deleted = true
-				s.recovery.DroppedVersions++
+				rs.DroppedVersions++
 				dropped = true
 				again = true
 			}
@@ -133,7 +135,7 @@ func versionDamaged(st *arrayState, vm *versionMeta, sizes map[string]int64, liv
 // re-encodes) are removed, and bytes past the last committed frame of
 // each referenced file — torn tails, uncommitted appends — are
 // truncated away.
-func (s *Store) collectChunkFiles(st *arrayState) error {
+func (s *Store) collectChunkFiles(st *arrayState, rs *RecoveryStats) error {
 	dir := st.chunksDir()
 	sizes, err := chunkFileSizes(dir)
 	if err != nil {
@@ -156,13 +158,13 @@ func (s *Store) collectChunkFiles(st *arrayState) error {
 			if err := s.fs.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
-			s.recovery.RemovedFiles++
+			rs.RemovedFiles++
 		case size > end:
 			if err := s.fs.Truncate(filepath.Join(dir, name), end); err != nil {
 				return err
 			}
-			s.recovery.TruncatedFiles++
-			s.recovery.TruncatedBytes += size - end
+			rs.TruncatedFiles++
+			rs.TruncatedBytes += size - end
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -145,6 +146,9 @@ const reorgRetries = 3
 // bulk of the work; only the metadata swap itself serializes with them.
 // Destructive rewrites on one array are serialized by a per-array latch.
 func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
+	if err := s.writeGate(name); err != nil {
+		return err
+	}
 	st, err := s.lockRewrite(name)
 	if err != nil {
 		return err
@@ -231,6 +235,7 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 	release()
 	if err != nil {
 		_ = s.fs.RemoveAll(buildDir)
+		s.noteDiskPressure(err)
 		return false, err
 	}
 	// commitMu serializes this rewrite's versions.json write with insert
@@ -383,7 +388,7 @@ func (s *Store) loadPlanesView(v *readView) ([]int, [][]Plane, error) {
 	for i, id := range ids {
 		planes[i] = make([]Plane, len(v.st.Schema.Attrs))
 		for ai, attr := range v.st.Schema.Attrs {
-			pl, err := s.readRegionView(v, id, attr.Name, full, qc)
+			pl, err := s.readRegionView(context.Background(), v, id, attr.Name, full, qc)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -669,14 +674,20 @@ func (s *Store) commitGenLocked(st *arrayState, newGen int, buildDir string, app
 	finalDir := filepath.Join(st.dir, chunksDirName(newGen))
 	// a leftover directory with this generation name can only be debris
 	// from an interrupted rewrite that never committed
+	// failures here are benign (the metadata still references the old
+	// generation; at worst an uncommitted directory lingers as debris
+	// for recovery or heal to sweep), but ENOSPC still stops the store
 	if err := s.fs.RemoveAll(finalDir); err != nil {
+		s.noteDiskPressure(err)
 		return "", err
 	}
 	if err := s.fs.Rename(buildDir, finalDir); err != nil {
+		s.noteDiskPressure(err)
 		return "", err
 	}
 	if s.opts.Durability {
 		if err := s.fs.SyncDir(st.dir); err != nil {
+			s.noteDiskPressure(err)
 			return "", err
 		}
 	}
@@ -687,7 +698,10 @@ func (s *Store) commitGenLocked(st *arrayState, newGen int, buildDir string, app
 	if err := s.saveMeta(st); err != nil {
 		// the commit did not land on disk; in-memory state keeps the new
 		// generation (its payloads are all present and durable) and a
-		// reopen recovers to the old metadata + old generation
+		// reopen recovers to the old metadata + old generation. Memory
+		// and disk now disagree no matter how the write failed, so the
+		// array degrades until the heal re-commits the in-memory view.
+		s.noteCommitFailure(st, err)
 		return "", err
 	}
 	return oldDir, nil
@@ -766,6 +780,9 @@ func (s *Store) syncDirFiles(dir string) error {
 // re-encodes append to chunk files concurrent insert staging also
 // appends to.
 func (s *Store) DeleteVersion(name string, id int) error {
+	if err := s.writeGate(name); err != nil {
+		return err
+	}
 	st, err := s.lockMetaWrite(name)
 	if err != nil {
 		return err
@@ -811,7 +828,7 @@ func (s *Store) DeleteVersion(name string, id int) error {
 				if !dirty {
 					continue
 				}
-				pl, err := s.readRegionView(v, child.ID, attr.Name, full, qc)
+				pl, err := s.readRegionView(context.Background(), v, child.ID, attr.Name, full, qc)
 				if err != nil {
 					return err
 				}
@@ -858,18 +875,27 @@ func (s *Store) DeleteVersion(name string, id int) error {
 		}
 		if s.opts.Durability {
 			if err := ws.sync(s); err != nil {
+				s.noteCommitFailure(st, err)
 				return err
 			}
 			if ws.createdFiles() {
 				if err := s.fs.SyncDir(ctx.dir); err != nil {
+					s.noteCommitFailure(st, err)
 					return err
 				}
 			}
 		}
-		return s.saveMetaDoc(st.dir, &staged)
+		if err := s.saveMetaDoc(st.dir, &staged); err != nil {
+			if isUncertain(err) {
+				s.noteCommitFailure(st, err)
+			}
+			return err
+		}
+		return nil
 	}
 	if err := commit(); err != nil {
 		ws.sweep(s)
+		s.noteDiskPressure(err)
 		return err
 	}
 	st.mutateLocked()
@@ -896,6 +922,9 @@ func (s *Store) DeleteVersion(name string, id int) error {
 // itself runs under the store lock (it is pure I/O relocation, far
 // cheaper than a re-encode).
 func (s *Store) Compact(name string) error {
+	if err := s.writeGate(name); err != nil {
+		return err
+	}
 	st, err := s.lockRewrite(name)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"arrayvers/internal/array"
@@ -32,12 +33,19 @@ func (s *Store) Select(name string, id int) (Plane, error) {
 // SelectAttr returns the full content of one version's named attribute
 // (empty attr means the first).
 func (s *Store) SelectAttr(name string, id int, attr string) (Plane, error) {
+	return s.SelectAttrCtx(context.Background(), name, id, attr)
+}
+
+// SelectAttrCtx is SelectAttr honoring ctx: once the context is
+// cancelled the chunk fan-out stops scheduling work at the next chunk
+// boundary, so abandoned requests do not keep burning the decode pool.
+func (s *Store) SelectAttrCtx(ctx context.Context, name string, id int, attr string) (Plane, error) {
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return Plane{}, err
 	}
 	defer release()
-	pl, err := s.readRegionView(v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
+	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
 	if err == nil {
 		s.recordAccess(name, []int{id})
 	}
@@ -52,12 +60,18 @@ func (s *Store) SelectRegion(name string, id int, box array.Box) (Plane, error) 
 
 // SelectRegionAttr is SelectRegion for a named attribute.
 func (s *Store) SelectRegionAttr(name string, id int, attr string, box array.Box) (Plane, error) {
+	return s.SelectRegionAttrCtx(context.Background(), name, id, attr, box)
+}
+
+// SelectRegionAttrCtx is SelectRegionAttr honoring ctx (see
+// SelectAttrCtx).
+func (s *Store) SelectRegionAttrCtx(ctx context.Context, name string, id int, attr string, box array.Box) (Plane, error) {
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return Plane{}, err
 	}
 	defer release()
-	pl, err := s.readRegionView(v, id, s.attrName(v.st, attr), box, nil)
+	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), box, nil)
 	if err == nil {
 		s.recordAccess(name, []int{id})
 	}
@@ -76,6 +90,12 @@ func (s *Store) SelectMulti(name string, ids []int) (*array.Dense, error) {
 // version into a single (N+1)-dimensional array (the fourth select form).
 // A zero box selects the whole array.
 func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array.Dense, error) {
+	return s.SelectMultiRegionCtx(context.Background(), name, ids, box)
+}
+
+// SelectMultiRegionCtx is SelectMultiRegion honoring ctx (see
+// SelectAttrCtx).
+func (s *Store) SelectMultiRegionCtx(ctx context.Context, name string, ids []int, box array.Box) (*array.Dense, error) {
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return nil, err
@@ -91,7 +111,7 @@ func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array
 	slabs := make([]*array.Dense, len(ids))
 	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionView(v, id, attr, box, qc)
+		pl, err := s.readRegionView(ctx, v, id, attr, box, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -113,6 +133,12 @@ func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array
 // sparse array, preserving the sparse representation (stacking terabyte-
 // scale sparse coordinate spaces densely would be pathological).
 func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*array.Sparse, error) {
+	return s.SelectSparseMultiCtx(context.Background(), name, ids, box)
+}
+
+// SelectSparseMultiCtx is SelectSparseMulti honoring ctx (see
+// SelectAttrCtx).
+func (s *Store) SelectSparseMultiCtx(ctx context.Context, name string, ids []int, box array.Box) ([]*array.Sparse, error) {
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return nil, err
@@ -128,7 +154,7 @@ func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*arr
 	out := make([]*array.Sparse, len(ids))
 	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionView(v, id, attr, box, qc)
+		pl, err := s.readRegionView(ctx, v, id, attr, box, qc)
 		if err != nil {
 			return nil, err
 		}
@@ -195,13 +221,13 @@ func (c *chunkCache) chunk(key string) map[int]*array.Dense {
 // readPlaneLocked reconstructs one full attribute plane of a version.
 // Callers hold Store.mu.
 func (s *Store) readPlaneLocked(st *arrayState, id int, attr string) (Plane, error) {
-	return s.readRegionView(s.viewLocked(st, false), id, attr, array.BoxOf(st.Schema.Shape()), nil)
+	return s.readRegionView(context.Background(), s.viewLocked(st, false), id, attr, array.BoxOf(st.Schema.Shape()), nil)
 }
 
 // readRegionView reconstructs the part of a version's attribute plane
 // covered by box against a metadata view, reading only the overlapping
 // chunks and fanning the per-chunk work out on the worker pool.
-func (s *Store) readRegionView(v *readView, id int, attr string, box array.Box, qc *chunkCache) (Plane, error) {
+func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr string, box array.Box, qc *chunkCache) (Plane, error) {
 	st := v.st
 	if _, err := v.version(id); err != nil {
 		return Plane{}, err
@@ -259,7 +285,7 @@ func (s *Store) readRegionView(v *readView, id int, attr string, box array.Box, 
 		keys[i] = ck.Key(origin)
 	}
 	qc.ensure(keys)
-	err = forEachLimit(len(origins), s.opts.Parallelism, func(i int) error {
+	err = forEachLimit(ctx, len(origins), s.opts.Parallelism, func(i int) error {
 		origin := origins[i]
 		chunkArr, err := s.resolveDenseChunk(v, id, attr, ck, origin, qc.chunk(keys[i]))
 		if err != nil {

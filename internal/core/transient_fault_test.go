@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/fsio"
+)
+
+// The transient-fault matrix, the surviving-process counterpart of the
+// crash matrix in crash_test.go: a fixed insert → batch → delete-version
+// → reorganize workload is run once against a counting fsio.Flaky, then
+// re-run from scratch once per mutation step with a scripted EIO or
+// ENOSPC injected at exactly that step. Unlike a crash, the process
+// lives on, so the contract under test is containment: the faulted
+// operation reports an error and did not happen (memory-authoritative —
+// Heal reconciles the disk to the in-memory commit log), uncertain
+// commit failures flip the array into degraded read-only mode, Heal
+// makes the store writable again once the disk recovers, and a reopen
+// agrees byte-for-byte with what the live store reported.
+
+// transientModel is what the workload committed: live version id ->
+// expected content. Ops that returned an error are absent by
+// construction.
+type transientModel struct {
+	created bool
+	content map[int]*array.Dense
+}
+
+// runTransientWorkload drives the fixed workload until completion or
+// the first error, updating the model only on success.
+func runTransientWorkload(s *Store, side int64) (*transientModel, error) {
+	m := &transientModel{content: map[int]*array.Dense{}}
+	if err := s.CreateArray(schema2D("T", side)); err != nil {
+		return m, err
+	}
+	m.created = true
+
+	insert := func(seed int64) error {
+		content := crashContent(seed, side)
+		id, err := s.Insert("T", DensePayload(content))
+		if err != nil {
+			return err
+		}
+		m.content[id] = content
+		return nil
+	}
+	if err := insert(1); err != nil {
+		return m, err
+	}
+	if err := insert(2); err != nil {
+		return m, err
+	}
+	batch := []*array.Dense{crashContent(3, side), crashContent(4, side)}
+	ids, err := s.InsertBatch("T", []Payload{DensePayload(batch[0]), DensePayload(batch[1])})
+	if err != nil {
+		return m, err
+	}
+	for i, id := range ids {
+		m.content[id] = batch[i]
+	}
+	if err := s.DeleteVersion("T", 1); err != nil {
+		return m, err
+	}
+	delete(m.content, 1)
+	if err := s.Reorganize("T", ReorganizeOptions{Policy: PolicyLinearChain}); err != nil {
+		return m, err
+	}
+	return m, insert(5)
+}
+
+// checkTransientState asserts the live store agrees with the model:
+// exactly the model's versions are live, each reads back
+// byte-identical, and Verify passes.
+func checkTransientState(t *testing.T, s *Store, m *transientModel, label string) {
+	t.Helper()
+	if !m.created {
+		return
+	}
+	infos, err := s.Versions("T")
+	if err != nil {
+		t.Fatalf("%s: Versions: %v", label, err)
+	}
+	var live []int
+	for _, vi := range infos {
+		live = append(live, vi.ID)
+	}
+	var want []int
+	for id := range m.content {
+		want = append(want, id)
+	}
+	sort.Ints(live)
+	sort.Ints(want)
+	if fmt.Sprint(live) != fmt.Sprint(want) {
+		t.Fatalf("%s: live versions %v, want %v (no phantom or duplicate versions allowed)", label, live, want)
+	}
+	for id, content := range m.content {
+		got, err := s.Select("T", id)
+		if err != nil {
+			t.Fatalf("%s: version %d unreadable: %v", label, id, err)
+		}
+		if !got.Dense.Equal(content) {
+			t.Fatalf("%s: version %d corrupted", label, id)
+		}
+	}
+	rep, err := s.Verify("T")
+	if err != nil {
+		t.Fatalf("%s: Verify: %v", label, err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%s: Verify problems: %v", label, rep.Problems)
+	}
+}
+
+func TestTransientFaultSweep(t *testing.T) {
+	const side = 8
+
+	// pass 1: count the workload's mutation steps fault-free
+	counting := fsio.NewFlaky(fsio.OS)
+	opts := durableOpts(false, counting)
+	opts.HealInterval = -1 // heal explicitly, not from the background prober
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := runTransientWorkload(s, side)
+	if err != nil {
+		t.Fatalf("counting run failed: %v", err)
+	}
+	total := counting.Steps()
+	if total < 40 {
+		t.Fatalf("workload only has %d fault points; expected a rich matrix", total)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("transient matrix: %d fault injection points", total)
+	_ = model
+
+	for _, inj := range []struct {
+		name string
+		err  error
+	}{
+		{"eio", fsio.ErrIO},
+		{"enospc", fsio.ErrDiskFull},
+	} {
+		inj := inj
+		t.Run(inj.name, func(t *testing.T) {
+			for n := int64(1); n <= total; n++ {
+				flaky := fsio.NewFlaky(fsio.OS)
+				flaky.FailAt(n, inj.err)
+				opts := durableOpts(false, flaky)
+				opts.HealInterval = -1
+				s, err := Open(t.TempDir(), opts)
+				if err != nil {
+					// the fault hit store creation itself; nothing to check
+					continue
+				}
+				m, werr := runTransientWorkload(s, side)
+				label := fmt.Sprintf("%s step %d/%d", inj.name, n, total)
+
+				// the disk "recovers" now; the store may or may not have
+				// degraded depending on where the fault landed
+				flaky.Heal()
+				if werr != nil {
+					if s.Health().Degraded {
+						// degraded mode must fail writes fast with the
+						// typed error until healed
+						if m.created {
+							if _, ierr := s.Insert("T", DensePayload(crashContent(90, side))); !errors.Is(ierr, ErrDegraded) {
+								t.Fatalf("%s: degraded insert error = %v, want ErrDegraded", label, ierr)
+							}
+						}
+						if _, herr := s.Heal(); herr != nil {
+							t.Fatalf("%s: Heal after disk recovery: %v", label, herr)
+						}
+						if h := s.Health(); h.Degraded {
+							t.Fatalf("%s: still degraded after Heal: %+v", label, h)
+						}
+					}
+				} else if fl := flaky.Injected(); fl == 0 {
+					t.Fatalf("%s: fault never fired (step drift between runs?)", label)
+				}
+				// an error must mean "did not happen": live state equals
+				// the successful prefix exactly
+				checkTransientState(t, s, m, label+" (live)")
+				// and the store must be writable again
+				if m.created {
+					extra := crashContent(91, side)
+					id, err := s.Insert("T", DensePayload(extra))
+					if err != nil {
+						t.Fatalf("%s: insert after heal: %v", label, err)
+					}
+					m.content[id] = extra
+				}
+				if err := s.Close(); err != nil {
+					t.Fatalf("%s: close: %v", label, err)
+				}
+				// reopen on the plain filesystem: recovery must agree
+				// with everything the live store reported
+				r, err := Open(s.dir, durableOpts(false, fsio.OS))
+				if err != nil {
+					t.Fatalf("%s: reopen: %v", label, err)
+				}
+				checkTransientState(t, r, m, label+" (reopen)")
+				if err := r.Close(); err != nil {
+					t.Fatalf("%s: close reopened: %v", label, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedReadsStayUp pins the degraded-mode contract from the read
+// side: a store-wide ENOSPC degrade must keep every select form
+// working while writes are rejected, and the gauges in Stats must
+// track entry and heal.
+func TestDegradedReadsStayUp(t *testing.T) {
+	const side = 8
+	flaky := fsio.NewFlaky(fsio.OS)
+	opts := durableOpts(false, flaky)
+	opts.HealInterval = -1
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CreateArray(schema2D("R", side)); err != nil {
+		t.Fatal(err)
+	}
+	content := crashContent(1, side)
+	if _, err := s.Insert("R", DensePayload(content)); err != nil {
+		t.Fatal(err)
+	}
+
+	// full disk: the next write attempt degrades the whole store
+	flaky.FailAll(fsio.ErrDiskFull)
+	if _, err := s.Insert("R", DensePayload(crashContent(2, side))); err == nil {
+		t.Fatal("insert on a full disk succeeded")
+	}
+	if h := s.Health(); !h.Degraded || !h.StoreDegraded {
+		t.Fatalf("store not degraded after ENOSPC: %+v", h)
+	}
+	if _, err := s.Insert("R", DensePayload(crashContent(2, side))); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded insert error = %v, want ErrDegraded", err)
+	}
+	// reads keep answering from the committed state
+	got, err := s.Select("R", 1)
+	if err != nil || !got.Dense.Equal(content) {
+		t.Fatalf("degraded read broken: %v", err)
+	}
+	st := s.Stats()
+	if st.DegradedEntered == 0 || st.StoreDegraded != 1 || st.WritesRejectedDegraded == 0 {
+		t.Fatalf("degraded counters not surfaced: %+v", st)
+	}
+
+	// Heal fails while the disk is still sick, succeeds after recovery
+	if _, err := s.Heal(); err == nil {
+		t.Fatal("Heal succeeded on a still-broken disk")
+	}
+	flaky.Heal()
+	if _, err := s.Heal(); err != nil {
+		t.Fatalf("Heal after disk recovery: %v", err)
+	}
+	if h := s.Health(); h.Degraded {
+		t.Fatalf("still degraded after Heal: %+v", h)
+	}
+	st = s.Stats()
+	if st.DegradedHealed == 0 || st.StoreDegraded != 0 || st.DegradedArrays != 0 {
+		t.Fatalf("heal counters not surfaced: %+v", st)
+	}
+	if _, err := s.Insert("R", DensePayload(crashContent(3, side))); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+}
+
+// TestContextCancellation pins the ctx threading contract: a cancelled
+// context fails selects and insert staging with the context's error,
+// and a cancelled insert never creates a version.
+func TestContextCancellation(t *testing.T) {
+	s := testStore(t, smallOpts())
+	const side = 8
+	if err := s.CreateArray(schema2D("C", side)); err != nil {
+		t.Fatal(err)
+	}
+	content := crashContent(1, side)
+	if _, err := s.Insert("C", DensePayload(content)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SelectAttrCtx(ctx, "C", 1, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectAttrCtx error = %v, want context.Canceled", err)
+	}
+	if _, err := s.InsertCtx(ctx, "C", DensePayload(crashContent(2, side))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InsertCtx error = %v, want context.Canceled", err)
+	}
+	infos, err := s.Versions("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("cancelled insert created a version: %v", infos)
+	}
+	// and the live context still works
+	if got, err := s.SelectAttrCtx(context.Background(), "C", 1, ""); err != nil || !got.Dense.Equal(content) {
+		t.Fatalf("select after cancellation: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -172,14 +173,19 @@ func (v *readView) version(id int) (*versionMeta, error) {
 
 // forEachLimit runs fn(0..n-1) on up to `workers` goroutines and returns
 // the first error. Remaining indices are skipped once an error occurs
-// (in-flight calls run to completion). workers <= 1 degenerates to a
-// plain serial loop with zero goroutine overhead.
-func forEachLimit(n, workers int, fn func(i int) error) error {
+// (in-flight calls run to completion) or ctx is cancelled — an
+// abandoned request stops burning the worker pool at the next chunk
+// boundary. workers <= 1 degenerates to a plain serial loop with zero
+// goroutine overhead.
+func forEachLimit(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -202,7 +208,11 @@ func forEachLimit(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				err := ctx.Err()
+				if err == nil {
+					err = fn(i)
+				}
+				if err != nil {
 					errMu.Lock()
 					if firstEr == nil {
 						firstEr = err

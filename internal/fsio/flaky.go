@@ -1,0 +1,248 @@
+package fsio
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// Flaky wraps an FS and injects transient I/O errors — the disk faults a
+// process lives through, as opposed to Fault's power cut. Every mutating
+// operation (mkdir, open, write, sync, rename, truncate, remove) is one
+// numbered step, exactly like Fault's step accounting, so a test can run
+// a workload once against a counting Flaky and then replay it injecting
+// a fault at any step. A faulted operation returns an error *without*
+// executing: the bytes never reached the kernel, which is the honest
+// model for EIO/ENOSPC returned by write or fsync (for fsync the
+// on-disk effect is genuinely uncertain; the store must treat it that
+// way regardless of what the injector did).
+//
+// Faults come in three flavors, and all of them clear on Heal:
+//
+//   - FailAt schedules one scripted error at a numbered upcoming step
+//     (one-shot: it fires once and clears);
+//   - FailAll makes every subsequent mutation fail, simulating a full
+//     disk (ENOSPC) or a dead device (EIO) until the disk "recovers";
+//   - FailProb makes each mutation fail independently with probability
+//     p, from a seeded generator so chaos runs are reproducible.
+//
+// Reads are not intercepted, matching the package's seam: read paths
+// stay on the plain os package.
+type Flaky struct {
+	inner FS
+
+	mu       sync.Mutex
+	step     int64
+	failAt   map[int64]error
+	failAll  error
+	prob     float64
+	probErr  error
+	rng      *rand.Rand
+	injected int64
+}
+
+// NewFlaky wraps inner (usually OS) with no faults armed.
+func NewFlaky(inner FS) *Flaky {
+	return &Flaky{inner: inner, failAt: make(map[int64]error)}
+}
+
+// ErrDiskFull and ErrIO are the two canonical injected errors; both are
+// real syscall errnos so store-side classification via
+// errors.Is(err, syscall.ENOSPC) behaves exactly as with a real disk.
+var (
+	ErrDiskFull = syscall.ENOSPC
+	ErrIO       = syscall.EIO
+)
+
+// Steps returns the number of mutation steps executed or refused so far.
+func (f *Flaky) Steps() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step
+}
+
+// Injected returns how many operations have been failed so far.
+func (f *Flaky) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// FailAt schedules err at the 1-based step number n (counted from the
+// beginning of the Flaky's life). The fault fires once and clears.
+func (f *Flaky) FailAt(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt[n] = err
+}
+
+// FailAll makes every subsequent mutation fail with err until Heal.
+func (f *Flaky) FailAll(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAll = err
+}
+
+// FailProb makes each subsequent mutation fail independently with
+// probability p, drawing from a generator seeded with seed.
+func (f *Flaky) FailProb(p float64, seed int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prob = p
+	f.probErr = err
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// Heal clears every armed fault: the disk has recovered. The step
+// counter keeps running so later FailAt scripting stays meaningful.
+func (f *Flaky) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = make(map[int64]error)
+	f.failAll = nil
+	f.prob = 0
+	f.probErr = nil
+	f.rng = nil
+}
+
+// op accounts one mutation step and decides whether it faults. Callers
+// hold f.mu.
+func (f *Flaky) op(opName, path string) error {
+	f.step++
+	var base error
+	switch {
+	case f.failAll != nil:
+		base = f.failAll
+	case f.failAt[f.step] != nil:
+		base = f.failAt[f.step]
+		delete(f.failAt, f.step)
+	case f.prob > 0 && f.rng.Float64() < f.prob:
+		base = f.probErr
+	default:
+		return nil
+	}
+	f.injected++
+	return fmt.Errorf("fsio: injected fault on %s %s: %w", opName, path, base)
+}
+
+func (f *Flaky) MkdirAll(path string) error {
+	f.mu.Lock()
+	err := f.op("mkdir", path)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *Flaky) Append(path string) (File, error) {
+	f.mu.Lock()
+	err := f.op("open", path)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *Flaky) Create(path string) (File, error) {
+	f.mu.Lock()
+	err := f.op("create", path)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{fs: f, f: file, path: path}, nil
+}
+
+func (f *Flaky) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	err := f.op("rename", newPath)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *Flaky) SyncDir(path string) error {
+	f.mu.Lock()
+	err := f.op("syncdir", path)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+func (f *Flaky) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	err := f.op("truncate", path)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *Flaky) Remove(path string) error {
+	f.mu.Lock()
+	err := f.op("remove", path)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *Flaky) RemoveAll(path string) error {
+	f.mu.Lock()
+	err := f.op("removeall", path)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+// flakyFile intercepts the two per-handle mutations (Write and Sync);
+// Close and Size pass through so an injected fault never leaks a
+// descriptor or hides the file's real length.
+type flakyFile struct {
+	fs   *Flaky
+	f    File
+	path string
+}
+
+func (w *flakyFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	err := w.fs.op("write", w.path)
+	w.fs.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+func (w *flakyFile) Sync() error {
+	w.fs.mu.Lock()
+	err := w.fs.op("sync", w.path)
+	w.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *flakyFile) Close() error { return w.f.Close() }
+
+func (w *flakyFile) Size() (int64, error) { return w.f.Size() }

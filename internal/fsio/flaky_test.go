@@ -1,0 +1,129 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFlakyScriptedStep(t *testing.T) {
+	dir := t.TempDir()
+	fl := NewFlaky(OS)
+
+	// counting run: mkdir(1), create(2), write(3), sync(4), rename(5), syncdir(6)
+	write := func(fl *Flaky, sub string) error {
+		d := filepath.Join(dir, sub)
+		if err := fl.MkdirAll(d); err != nil {
+			return err
+		}
+		f, err := fl.Create(filepath.Join(d, "f.tmp"))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("payload")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := fl.Rename(filepath.Join(d, "f.tmp"), filepath.Join(d, "f")); err != nil {
+			return err
+		}
+		return fl.SyncDir(d)
+	}
+	if err := write(fl, "count"); err != nil {
+		t.Fatalf("counting run failed: %v", err)
+	}
+	steps := fl.Steps()
+	if steps != 6 {
+		t.Fatalf("counting run took %d steps, want 6", steps)
+	}
+
+	// inject EIO at each step of a fresh run; the op must fail without
+	// crashing the injector, and a healed retry must succeed
+	for i := int64(1); i <= steps; i++ {
+		fl := NewFlaky(OS)
+		fl.FailAt(i, ErrIO)
+		sub := "run" + string(rune('a'+i))
+		err := write(fl, sub)
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("step %d: got %v, want EIO", i, err)
+		}
+		if fl.Injected() != 1 {
+			t.Fatalf("step %d: injected %d faults, want 1", i, fl.Injected())
+		}
+		// scripted faults are one-shot: the same flaky retries clean
+		if err := write(fl, sub+"-retry"); err != nil {
+			t.Fatalf("step %d retry: %v", i, err)
+		}
+	}
+}
+
+func TestFlakyFailAllAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	fl := NewFlaky(OS)
+	fl.FailAll(ErrDiskFull)
+
+	if err := fl.MkdirAll(filepath.Join(dir, "x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("mkdir under full disk: %v", err)
+	}
+	if _, err := fl.Create(filepath.Join(dir, "f")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create under full disk: %v", err)
+	}
+	if _, err := os.Lstat(filepath.Join(dir, "f")); !os.IsNotExist(err) {
+		t.Fatal("faulted create still touched the disk")
+	}
+
+	fl.Heal()
+	f, err := fl.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatalf("create after heal: %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestFlakyProbabilisticReproducible(t *testing.T) {
+	dir := t.TempDir()
+	run := func() []bool {
+		fl := NewFlaky(OS)
+		fl.FailProb(0.5, 42, ErrIO)
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			err := fl.MkdirAll(filepath.Join(dir, "p"))
+			outcomes[i] = err != nil
+			if err != nil && !errors.Is(err, syscall.EIO) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 produced %d/%d failures; injector not probabilistic", fails, len(a))
+	}
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// idemTableSize bounds the idempotency dedupe table. Entries are tiny
+// (a key and a handful of version ids), so the bound is about forgetting
+// old keys, not memory: a key evicted here makes a very late retry
+// re-insert instead of replay, which is the documented contract —
+// idempotency keys protect the retry window, not forever.
+const idemTableSize = 1024
+
+// idemEntry is one key's lifecycle: open until the first attempt
+// resolves, then either a cached success (completed) or removed from
+// the table entirely (failures are never cached — the client's retry
+// should re-run the insert, not replay the error).
+type idemEntry struct {
+	done      chan struct{}
+	ids       []int
+	completed bool
+}
+
+// idemTable dedupes retried inserts by client-chosen Idempotency-Key.
+// A retry of a key whose first attempt is still in flight coalesces:
+// it waits for that attempt and replays its result, so a client whose
+// ack was lost to the network gets the originally committed version
+// ids instead of inserting a duplicate. Bounded LRU over completed
+// entries; in-flight entries are never evicted (an evicted in-flight
+// entry would let its coalesced waiters run a duplicate insert).
+type idemTable struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type idemNode struct {
+	key string
+	e   *idemEntry
+}
+
+func newIdemTable(max int) *idemTable {
+	return &idemTable{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// do runs fn exactly once per key across concurrent and retried
+// requests. An empty key opts out of deduplication. replayed reports
+// that the returned ids came from a previous attempt (the caller
+// surfaces that to the client). A failed fn releases the key so the
+// next retry attempts the insert again.
+func (t *idemTable) do(ctx context.Context, key string, fn func() ([]int, error)) (ids []int, err error, replayed bool) {
+	if key == "" {
+		ids, err = fn()
+		return ids, err, false
+	}
+	for {
+		t.mu.Lock()
+		if el, ok := t.entries[key]; ok {
+			e := el.Value.(*idemNode).e
+			if e.completed {
+				t.order.MoveToFront(el)
+				t.mu.Unlock()
+				return e.ids, nil, true
+			}
+			t.mu.Unlock()
+			// first attempt still in flight: coalesce onto it, but give
+			// up when our own request is cancelled
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err(), false
+			}
+			continue // re-check: success was cached, or the key was released
+		}
+		e := &idemEntry{done: make(chan struct{})}
+		t.entries[key] = t.order.PushFront(&idemNode{key: key, e: e})
+		t.evictLocked()
+		t.mu.Unlock()
+
+		ids, err = fn()
+		t.mu.Lock()
+		if el, ok := t.entries[key]; ok && el.Value.(*idemNode).e == e {
+			if err != nil {
+				t.order.Remove(el)
+				delete(t.entries, key)
+			} else {
+				e.ids, e.completed = ids, true
+			}
+		}
+		t.mu.Unlock()
+		close(e.done)
+		return ids, err, false
+	}
+}
+
+// evictLocked drops least-recently-used completed entries down to the
+// bound. In-flight entries are skipped; if the table is somehow full of
+// in-flight inserts it temporarily exceeds the bound rather than break
+// the coalescing guarantee.
+func (t *idemTable) evictLocked() {
+	for el := t.order.Back(); el != nil && t.order.Len() > t.max; {
+		prev := el.Prev()
+		n := el.Value.(*idemNode)
+		if n.e.completed {
+			t.order.Remove(el)
+			delete(t.entries, n.key)
+		}
+		el = prev
+	}
+}

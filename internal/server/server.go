@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -67,6 +68,7 @@ type Server struct {
 	timeout  time.Duration
 	maxFrame int64
 	metrics  *metrics
+	idem     *idemTable
 	handler  http.Handler
 }
 
@@ -95,10 +97,13 @@ func New(cfg Config) (*Server, error) {
 		timeout:  cfg.RequestTimeout,
 		maxFrame: cfg.MaxFrameBytes,
 		metrics:  newMetrics(),
+		idem:     newIdemTable(idemTableSize),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /v1/health", "health", s.handleHealth)
 	s.route(mux, "GET /v1/stats", "stats", s.handleStats)
 	s.route(mux, "POST /v1/stats/reset", "stats-reset", s.handleStatsReset)
 	s.route(mux, "GET /v1/arrays", "list", s.handleList)
@@ -158,7 +163,7 @@ func (s *Server) register(mux *http.ServeMux, pattern, label string, inner http.
 			s.metrics.rejected.Add(1)
 			s.metrics.countOnly(label, http.StatusTooManyRequests)
 			s.logger.Printf("%s %s -> 429 (over in-flight limit)", r.Method, r.URL.Path)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded: in-flight request limit reached"})
 			return
 		}
@@ -172,6 +177,16 @@ func (s *Server) register(mux *http.ServeMux, pattern, label string, inner http.
 		s.metrics.observe(label, sw.code, dur.Seconds())
 		s.logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.code, dur.Round(time.Microsecond))
 	}))
+}
+
+// retryAfter derives the 429 Retry-After hint from the saturated
+// in-flight pool: a bigger pool means more queued work will drain
+// before a slot frees, so the hint scales with its size, and a second
+// of jitter keeps the rejected cohort from re-arriving in lockstep and
+// tripping the limit again all at once.
+func (s *Server) retryAfter() string {
+	secs := 1 + len(s.sem)/32 + rand.Intn(2)
+	return strconv.Itoa(secs)
 }
 
 // statusWriter records the first status code written.
@@ -217,6 +232,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, wire.ErrFrameTooLarge):
 		code = http.StatusRequestEntityTooLarge
+	case errors.Is(err, core.ErrDegraded):
+		// degraded mode is transient by design (the heal prober is
+		// working on it): tell well-behaved clients when to retry
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "2")
 	case errors.Is(err, core.ErrClosed):
 		code = http.StatusServiceUnavailable
 	case strings.HasPrefix(msg, "core: array") && strings.HasSuffix(msg, "already exists"):
@@ -284,8 +304,34 @@ func boxParam(r *http.Request) (array.Box, bool, error) {
 
 // --- handlers ---
 
+// handleHealthz is the liveness probe: it answers 200 as long as the
+// process serves HTTP at all, even in degraded read-only mode — a
+// degraded store is alive and still serves reads, and restarting it
+// (the usual reaction to a failed liveness probe) would not fix a sick
+// disk.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: it fails while any array (or
+// the whole store) is degraded, so a load balancer stops routing
+// writes at a node that would 503 them, and resumes once the heal
+// prober has flipped the store back to writable. Stays outside the
+// in-flight wrapper with /healthz so probes keep answering under load.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.store.Health()
+	if h.Degraded {
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleHealth reports the full degraded-mode state (which arrays,
+// why, since when) for operators; readyz is the boolean form of it.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Health())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -394,18 +440,33 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handleInsert commits one version. When the request carries an
+// Idempotency-Key header, retries of the same key replay the version
+// id committed by the first attempt instead of inserting a duplicate —
+// the answer to "the insert succeeded but the ack was lost". The
+// replayed response is marked with Idempotency-Replayed: true.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	p, err := wire.ReadPayload(r.Body, s.maxFrame)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	id, err := s.store.Insert(r.PathValue("name"), p)
+	name := r.PathValue("name")
+	ids, err, replayed := s.idem.do(r.Context(), r.Header.Get("Idempotency-Key"), func() ([]int, error) {
+		id, err := s.store.InsertCtx(r.Context(), name, p)
+		if err != nil {
+			return nil, err
+		}
+		return []int{id}, nil
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": ids[0]})
 }
 
 // handleInsertBatch commits a batched insert: the request body is one
@@ -423,10 +484,16 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	ids, err := s.store.InsertBatch(r.PathValue("name"), ps)
+	name := r.PathValue("name")
+	ids, err, replayed := s.idem.do(r.Context(), r.Header.Get("Idempotency-Key"), func() ([]int, error) {
+		return s.store.InsertBatchCtx(r.Context(), name, ps)
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 	writeJSON(w, http.StatusCreated, map[string][]int{"ids": ids})
 }
@@ -444,11 +511,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// the request context cancels on client disconnect, so an abandoned
+	// select stops scheduling chunk decodes instead of running to the end
 	var pl core.Plane
 	if hasBox {
-		pl, err = s.store.SelectRegionAttr(name, id, attr, box)
+		pl, err = s.store.SelectRegionAttrCtx(r.Context(), name, id, attr, box)
 	} else {
-		pl, err = s.store.SelectAttr(name, id, attr)
+		pl, err = s.store.SelectAttrCtx(r.Context(), name, id, attr)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -472,9 +541,9 @@ func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
 	}
 	var d *array.Dense
 	if hasBox {
-		d, err = s.store.SelectMultiRegion(name, ids, box)
+		d, err = s.store.SelectMultiRegionCtx(r.Context(), name, ids, box)
 	} else {
-		d, err = s.store.SelectMulti(name, ids)
+		d, err = s.store.SelectMultiRegionCtx(r.Context(), name, ids, array.Box{})
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -496,7 +565,7 @@ func (s *Server) handleSelectSparseMulti(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	set, err := s.store.SelectSparseMulti(name, ids, box)
+	set, err := s.store.SelectSparseMultiCtx(r.Context(), name, ids, box)
 	if err != nil {
 		writeErr(w, err)
 		return
