@@ -37,12 +37,15 @@
 package arrayvers
 
 import (
+	"context"
+
 	"arrayvers/internal/aql"
 	"arrayvers/internal/array"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/core"
 	"arrayvers/internal/delta"
 	"arrayvers/internal/layout"
+	"arrayvers/internal/trace"
 )
 
 // Store is the versioned storage manager (paper §II). It supports the
@@ -254,3 +257,42 @@ func NewEngine(store *Store) *Engine { return aql.NewEngine(store) }
 
 // AQLResult is the outcome of one AQL statement.
 type AQLResult = aql.Result
+
+// --- query tracing and profiling ---
+
+// Trace is a per-request span recorder: carried through a context, it
+// collects stage-level timings and byte counts as a query moves through
+// the select or commit pipeline (see DESIGN.md "Observability").
+type Trace = trace.Trace
+
+// TraceSummary is one completed trace: total duration plus the ordered
+// per-stage breakdown. The server's /debug/traces endpoint serves these.
+type TraceSummary = trace.Summary
+
+// TraceStage is one pipeline stage's aggregate within a TraceSummary.
+type TraceStage = trace.StageSummary
+
+// NewTraceID mints a fresh 128-bit hex trace ID, the same form the
+// server assigns to untraced requests.
+func NewTraceID() string { return trace.NewID() }
+
+// NewTrace starts recording a trace under the given name.
+func NewTrace(name string) *Trace { return trace.New(name) }
+
+// JoinTrace starts recording under an existing trace ID (empty id mints
+// a fresh one), so distributed parties agree on the identifier.
+func JoinTrace(id, name string) *Trace { return trace.Join(id, name) }
+
+// TraceContext attaches a trace to a context; every *Ctx store call
+// made under that context records its pipeline stages into the trace.
+func TraceContext(ctx context.Context, t *Trace) context.Context {
+	return trace.NewContext(ctx, t)
+}
+
+// TraceFromContext returns the context's trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return trace.FromContext(ctx) }
+
+// ProfileSnapshot is the store's cumulative stage-level profile: select
+// and commit pipeline latency/byte histograms, group-commit batch
+// sizes, tuner-pass durations, and per-array cache hit counters.
+type ProfileSnapshot = core.ProfileSnapshot

@@ -92,6 +92,10 @@ type Client struct {
 	hc       *http.Client
 	maxFrame int64
 	retry    RetryPolicy
+	// traceID, when set (see WithTrace), is stamped on every outgoing
+	// request so the server joins the caller's trace instead of minting
+	// its own.
+	traceID string
 }
 
 // Option customizes a Client.
@@ -218,6 +222,9 @@ func (c *Client) doIdem(method, path string, contentType string, body []byte, id
 		}
 		if idemKey != "" {
 			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		if c.traceID != "" {
+			req.Header.Set(traceHeader, c.traceID)
 		}
 		resp, err := c.hc.Do(req)
 		var hint time.Duration

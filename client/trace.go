@@ -1,0 +1,72 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"arrayvers"
+)
+
+// traceHeader carries the trace ID over the wire; it must match
+// internal/server.TraceHeader (duplicated to keep the client importable
+// without the server package).
+const traceHeader = "AV-Trace-Id"
+
+// WithTrace returns a shallow copy of the client whose every request
+// carries the given trace ID, so the server joins that trace and its
+// per-stage breakdown becomes retrievable with Trace(id). The original
+// client is unchanged; the copy shares its connection pool. Typical use
+// traces exactly one call:
+//
+//	id := arrayvers.NewTraceID()
+//	plane, err := c.WithTrace(id).SelectRegion(name, v, box)
+//	sum, _ := c.Trace(id)
+func (c *Client) WithTrace(id string) *Client {
+	cp := *c
+	cp.traceID = id
+	return &cp
+}
+
+// Trace fetches one completed request trace from the server's
+// /debug/traces ring by ID. The server publishes a trace right after
+// the response body is sent, so a fetch racing the traced call's return
+// may momentarily miss it; Trace retries briefly before reporting the
+// trace as unknown or evicted.
+func (c *Client) Trace(id string) (arrayvers.TraceSummary, error) {
+	var sum arrayvers.TraceSummary
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		err := c.getJSON("/debug/traces?id="+url.QueryEscape(id), &sum)
+		if err == nil {
+			return sum, nil
+		}
+		lastErr = err
+		var ae *apiError
+		if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+			return sum, err
+		}
+	}
+	return sum, fmt.Errorf("client: trace %q not found: %w", id, lastErr)
+}
+
+// Traces fetches the server's ring of recently completed traces, newest
+// first, capped at n (n <= 0 returns the whole ring).
+func (c *Client) Traces(n int) ([]arrayvers.TraceSummary, error) {
+	path := "/debug/traces"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out struct {
+		Traces []arrayvers.TraceSummary `json:"traces"`
+	}
+	if err := c.getJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}

@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, adaptive, or ingest")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, adaptive, ingest, or tracing")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -101,6 +101,16 @@ func main() {
 		}
 	}
 
+	tracing := func() {
+		t, results, err := bench.Tracing(dir, sc, *parallelism, *cacheBytes)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_tracing.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "hotpath":
@@ -111,6 +121,8 @@ func main() {
 			adaptive()
 		case "ingest":
 			ingest()
+		case "tracing":
+			tracing()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -172,6 +184,7 @@ func main() {
 		serverExp()
 		adaptive()
 		ingest()
+		tracing()
 		return
 	}
 	run(*experiment)

@@ -9,10 +9,15 @@
 // Supported statements: CREATE UPDATABLE ARRAY, LOAD ... FROM 'file',
 // SELECT * FROM arr@N | arr@'M-D-YYYY' | arr@*, SUBSAMPLE, VERSIONS(arr),
 // BRANCH(arr@N NewName), DROP ARRAY, LIST ARRAYS.
+//
+// -trace runs every statement under a query trace and prints its
+// per-stage breakdown (snapshot, cache, read, decode, delta,
+// materialize — EXPLAIN ANALYZE for AQL) to stderr after the result.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	durable := flag.Bool("durable", false, "fsync commits and run crash recovery at open (do not use on a store a live avstored owns)")
+	traceOn := flag.Bool("trace", false, "print each statement's per-stage trace breakdown to stderr")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "avql: -store is required")
@@ -41,6 +47,19 @@ func main() {
 	stopSig := cliutil.CleanupOnSignal(func() { store.Close() })
 	defer stopSig()
 	engine := arrayvers.NewEngine(store)
+	exec := func(stmt string) (arrayvers.AQLResult, error) {
+		ctx := context.Background()
+		var tr *arrayvers.Trace
+		if *traceOn {
+			tr = arrayvers.NewTrace("avql")
+			ctx = arrayvers.TraceContext(ctx, tr)
+		}
+		res, err := engine.ExecuteCtx(ctx, stmt)
+		if tr != nil {
+			cliutil.WriteTrace(os.Stderr, tr.Finish())
+		}
+		return res, err
+	}
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -66,7 +85,7 @@ func main() {
 				prompt(interactive, false)
 				continue
 			}
-			res, err := engine.Execute(stmt)
+			res, err := exec(stmt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			} else if out := res.String(); out != "" {
@@ -77,7 +96,7 @@ func main() {
 	}
 	// execute any trailing statement without a semicolon
 	if stmt := strings.TrimSpace(pending.String()); stmt != "" {
-		res, err := engine.Execute(stmt)
+		res, err := exec(stmt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			store.Close() // os.Exit skips the deferred cleanup

@@ -6,7 +6,8 @@
 //
 //	avstore -store DIR create  -name A -dims Y:0:255,X:0:255 -attrs V:float32
 //	avstore -store DIR load    -name A -file v1.dat
-//	avstore -store DIR select  -name A -version 3 [-box 0,0:16,16] [-out f.dat]
+//	avstore -store DIR select  -name A -version 3 [-box 0,0:16,16] [-out f.dat] [-trace]
+//	avstore select -addr http://host:7421 -name A -version 3 [-box ...] [-trace]
 //	avstore -store DIR versions -name A
 //	avstore -store DIR info    -name A
 //	avstore -store DIR stats             # or: avstore stats -addr http://host:7421
@@ -27,6 +28,13 @@
 // (snapshot) or lo-hi*weight (range) terms. With -addr the pass runs on
 // a live daemon, which has been recording its clients' selects.
 //
+// select -trace runs the query under a trace and prints its per-stage
+// breakdown (snapshot, cache, read, decode, delta, materialize) to
+// stderr — EXPLAIN ANALYZE for box selects. With -addr the query runs
+// on the daemon carrying an AV-Trace-Id header, and the breakdown is
+// fetched back from the daemon's /debug/traces ring, so the stages
+// reflect the server-side pipeline.
+//
 // The global -cache-bytes and -parallelism flags tune the decoded-chunk
 // cache and the hot-path worker pool for the invocation. The global
 // -durable flag fsyncs every commit and runs crash recovery at open; it
@@ -38,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,16 +91,49 @@ func run(args []string) error {
 	policy := fs.String("policy", "optimal", "layout policy for reorganize")
 	spec := fs.String("spec", "", "tune: seed workload, comma-separated v*weight or lo-hi*weight terms")
 	minSavings := fs.Float64("min-savings", 0, "tune: fractional projected I/O savings required to re-lay out (0 = default 0.10)")
-	addr := fs.String("addr", "", "avstored base URL (stats and tune: talk to a running daemon instead of a store directory)")
+	addr := fs.String("addr", "", "avstored base URL (stats, tune, select: talk to a running daemon instead of a store directory)")
+	traceFlag := fs.Bool("trace", false, "select: trace the query and print its per-stage breakdown to stderr (with -addr, fetched from the daemon's /debug/traces)")
 	if err := fs.Parse(cmdArgs); err != nil {
 		return err
 	}
 
-	// `stats -addr` / `tune -addr` ask a running daemon, no store
-	// directory needed
+	// `stats -addr` / `tune -addr` / `select -addr` ask a running
+	// daemon, no store directory needed
 	if *addr != "" {
 		c := client.New(*addr)
 		switch cmd {
+		case "select":
+			sel := c
+			traceID := ""
+			if *traceFlag {
+				traceID = arrayvers.NewTraceID()
+				sel = c.WithTrace(traceID)
+			}
+			var pl arrayvers.Plane
+			var err error
+			if *boxSpec != "" {
+				box, berr := parseBox(*boxSpec)
+				if berr != nil {
+					return berr
+				}
+				pl, err = sel.SelectRegion(*name, *version, box)
+			} else {
+				pl, err = sel.Select(*name, *version)
+			}
+			if err != nil {
+				return err
+			}
+			if err := emitPlane(pl, *out); err != nil {
+				return err
+			}
+			if traceID != "" {
+				sum, terr := c.Trace(traceID)
+				if terr != nil {
+					return fmt.Errorf("select succeeded but the trace could not be fetched: %w", terr)
+				}
+				cliutil.WriteTrace(os.Stderr, sum)
+			}
+			return nil
 		case "stats":
 			st, err := c.Stats()
 			if err != nil {
@@ -122,7 +164,7 @@ func run(args []string) error {
 			printTuneReport(rep)
 			return nil
 		default:
-			return fmt.Errorf("avstore: -addr is only supported by the stats and tune subcommands")
+			return fmt.Errorf("avstore: -addr is only supported by the stats, tune, and select subcommands")
 		}
 	}
 	if *storeDir == "" {
@@ -178,6 +220,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("loaded %s@%d\n", *name, id)
 	case "select":
+		ctx := context.Background()
+		var tr *arrayvers.Trace
+		if *traceFlag {
+			tr = arrayvers.NewTrace("avstore-select")
+			ctx = arrayvers.TraceContext(ctx, tr)
+		}
 		var pl arrayvers.Plane
 		var err error
 		if *boxSpec != "" {
@@ -185,28 +233,18 @@ func run(args []string) error {
 			if berr != nil {
 				return berr
 			}
-			pl, err = store.SelectRegion(*name, *version, box)
+			pl, err = store.SelectRegionAttrCtx(ctx, *name, *version, "", box)
 		} else {
-			pl, err = store.Select(*name, *version)
+			pl, err = store.SelectAttrCtx(ctx, *name, *version, "")
 		}
 		if err != nil {
 			return err
 		}
-		if *out != "" {
-			var blob []byte
-			if pl.IsSparse() {
-				blob = array.MarshalSparse(pl.Sparse)
-			} else {
-				blob = array.MarshalDense(pl.Dense)
-			}
-			if err := os.WriteFile(*out, blob, 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
-		} else if pl.IsSparse() {
-			fmt.Printf("sparse %v, %d non-default cells\n", pl.Sparse.Shape(), pl.Sparse.NNZ())
-		} else {
-			fmt.Printf("dense %v, %d cells, %d bytes\n", pl.Dense.Shape(), pl.Dense.NumCells(), pl.Dense.SizeBytes())
+		if err := emitPlane(pl, *out); err != nil {
+			return err
+		}
+		if tr != nil {
+			cliutil.WriteTrace(os.Stderr, tr.Finish())
 		}
 	case "versions":
 		infos, err := store.Versions(*name)
@@ -335,6 +373,28 @@ func run(args []string) error {
 		fmt.Printf("dropped array %s\n", *name)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// emitPlane writes a selected plane to a blob file, or prints its
+// one-line summary when no -out was given.
+func emitPlane(pl arrayvers.Plane, out string) error {
+	if out != "" {
+		var blob []byte
+		if pl.IsSparse() {
+			blob = array.MarshalSparse(pl.Sparse)
+		} else {
+			blob = array.MarshalDense(pl.Dense)
+		}
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, len(blob))
+	} else if pl.IsSparse() {
+		fmt.Printf("sparse %v, %d non-default cells\n", pl.Sparse.Shape(), pl.Sparse.NNZ())
+	} else {
+		fmt.Printf("dense %v, %d cells, %d bytes\n", pl.Dense.Shape(), pl.Dense.NumCells(), pl.Dense.SizeBytes())
 	}
 	return nil
 }

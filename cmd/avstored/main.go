@@ -12,6 +12,7 @@
 //	         [-cache-bytes N] [-parallelism N] [-durable=true]
 //	         [-max-inflight N] [-request-timeout 60s] [-max-frame-bytes N]
 //	         [-autotune 0] [-autotune-min-savings 0.1] [-autotune-decay 0.5]
+//	         [-log-format text|json] [-slow-query 0] [-pprof]
 //
 // Durability is on by default: every commit is fsynced and startup runs
 // crash recovery over the store (recovery counters are exposed at
@@ -28,6 +29,19 @@
 // explicit reorganizes; a pass can also be forced per array with
 // POST /v1/arrays/{name}/tune (or `avstore tune -addr URL -name A`).
 //
+// Observability: every request is traced end to end — the response
+// echoes (or assigns) an AV-Trace-Id header, each request is logged as
+// one structured log/slog line (trace_id, route, status, duration,
+// bytes; -log-format picks text or json), and the last completed
+// traces with their per-stage breakdowns are served at
+// GET /debug/traces (?id=<trace-id> looks one up). -slow-query DURATION
+// additionally logs any request slower than that budget at warning
+// level with its stage breakdown inline. Stage-level latency and byte
+// histograms for the select and commit pipelines, per-array cache hit
+// ratios, and Go runtime health are all part of GET /metrics. -pprof
+// exposes net/http/pprof under /debug/pprof/ (off by default; the
+// profiles are mux-scoped to this daemon, nothing registers globally).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting connections, drains in-flight requests (up to the request
 // timeout), then closes the store.
@@ -38,8 +52,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,24 +77,39 @@ func main() {
 	autoTune := flag.Duration("autotune", 0, "adaptive reorganizer pass interval (0 disables the background tuner)")
 	autoTuneMinSavings := flag.Float64("autotune-min-savings", 0, "fractional projected I/O savings required before the tuner re-lays an array out (0 = default 0.10)")
 	autoTuneDecay := flag.Float64("autotune-decay", 0, "per-pass exponential decay of the recorded workload (0 = default 0.5)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this with their per-stage trace breakdown (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiles under /debug/pprof/")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "avstored: -store is required")
 		os.Exit(2)
 	}
-	logger := log.New(os.Stderr, "avstored: ", log.LstdFlags|log.Lmsgprefix)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "avstored: -log-format must be \"text\" or \"json\", got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 	autotune := core.AutoTuneOptions{
 		Interval:   *autoTune,
 		MinSavings: *autoTuneMinSavings,
 		Decay:      *autoTuneDecay,
 	}
-	if err := run(*storeDir, *addr, *cacheBytes, *parallelism, *durability, *maxInFlight, *requestTimeout, *maxFrameBytes, autotune, logger); err != nil {
-		logger.Fatal(err)
+	if err := run(*storeDir, *addr, *cacheBytes, *parallelism, *durability, *maxInFlight, *requestTimeout, *maxFrameBytes, autotune, *slowQuery, *pprofOn, logger); err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
 func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bool, maxInFlight int,
-	requestTimeout time.Duration, maxFrameBytes int64, autotune core.AutoTuneOptions, logger *log.Logger) error {
+	requestTimeout time.Duration, maxFrameBytes int64, autotune core.AutoTuneOptions,
+	slowQuery time.Duration, pprofOn bool, logger *slog.Logger) error {
 	opts := cliutil.StoreOptions(cacheBytes, parallelism, durability)
 	opts.AutoTune = autotune
 	store, err := core.Open(storeDir, opts)
@@ -88,26 +118,45 @@ func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bo
 	}
 	defer store.Close()
 	if rec := store.Recovery(); rec != (core.RecoveryStats{}) {
-		logger.Printf("crash recovery: removed %d stale files, truncated %d torn tails (%d bytes), dropped %d unreadable versions",
-			rec.RemovedFiles, rec.TruncatedFiles, rec.TruncatedBytes, rec.DroppedVersions)
+		logger.Info("crash recovery finished",
+			"removed_files", rec.RemovedFiles,
+			"truncated_files", rec.TruncatedFiles,
+			"truncated_bytes", rec.TruncatedBytes,
+			"dropped_versions", rec.DroppedVersions)
 	}
 	if autotune.Interval > 0 {
-		logger.Printf("adaptive tuner running every %s", autotune.Interval)
+		logger.Info("adaptive tuner running", "interval", autotune.Interval)
 	}
 
 	srv, err := server.New(server.Config{
 		Store:          store,
-		Logger:         logger,
+		Log:            logger,
 		MaxInFlight:    maxInFlight,
 		RequestTimeout: requestTimeout,
 		MaxFrameBytes:  maxFrameBytes,
+		SlowQuery:      slowQuery,
 	})
 	if err != nil {
 		return err
 	}
+	handler := srv.Handler()
+	if pprofOn {
+		// mux-scoped pprof: register the handlers explicitly instead of
+		// relying on the package's DefaultServeMux side effects, so the
+		// profiles exist only behind this flag
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -116,8 +165,11 @@ func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bo
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving store %q on http://%s (cache %d bytes, %d in-flight max)",
-			storeDir, addr, cacheBytes, maxInFlight)
+		logger.Info("serving",
+			"store", storeDir,
+			"addr", "http://"+addr,
+			"cache_bytes", cacheBytes,
+			"max_inflight", maxInFlight)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -127,15 +179,15 @@ func run(storeDir, addr string, cacheBytes int64, parallelism int, durability bo
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("signal received, draining in-flight requests")
+	logger.Info("signal received, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), requestTimeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("closing store")
+	logger.Info("closing store")
 	return store.Close()
 }

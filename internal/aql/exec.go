@@ -1,6 +1,7 @@
 package aql
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -31,15 +32,26 @@ type Result struct {
 
 // Execute parses and runs one statement.
 func (e *Engine) Execute(src string) (Result, error) {
+	return e.ExecuteCtx(context.Background(), src)
+}
+
+// ExecuteCtx parses and runs one statement under a context, so a trace
+// attached to the context records the query's pipeline stages.
+func (e *Engine) ExecuteCtx(ctx context.Context, src string) (Result, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run(st)
+	return e.RunCtx(ctx, st)
 }
 
 // Run executes a parsed statement.
 func (e *Engine) Run(st Stmt) (Result, error) {
+	return e.RunCtx(context.Background(), st)
+}
+
+// RunCtx executes a parsed statement under a context.
+func (e *Engine) RunCtx(ctx context.Context, st Stmt) (Result, error) {
 	switch s := st.(type) {
 	case CreateStmt:
 		if err := e.store.CreateArray(s.Schema); err != nil {
@@ -49,7 +61,7 @@ func (e *Engine) Run(st Stmt) (Result, error) {
 	case LoadStmt:
 		return e.load(s)
 	case SelectStmt:
-		return e.selectStmt(s)
+		return e.selectStmt(ctx, s)
 	case VersionsStmt:
 		infos, err := e.store.Versions(s.Array)
 		if err != nil {
@@ -123,7 +135,7 @@ func (e *Engine) load(s LoadStmt) (Result, error) {
 	return Result{Message: fmt.Sprintf("loaded %s@%d", s.Array, id)}, nil
 }
 
-func (e *Engine) selectStmt(s SelectStmt) (Result, error) {
+func (e *Engine) selectStmt(ctx context.Context, s SelectStmt) (Result, error) {
 	schema, err := e.store.Schema(s.Array)
 	if err != nil {
 		return Result{}, err
@@ -169,7 +181,7 @@ func (e *Engine) selectStmt(s SelectStmt) (Result, error) {
 			}
 			ids = ids[lo : hi+1]
 		}
-		stacked, err := e.store.SelectMultiRegion(s.Array, ids, spatial)
+		stacked, err := e.store.SelectMultiRegionCtx(ctx, s.Array, ids, spatial)
 		if err != nil {
 			return Result{}, err
 		}
@@ -179,14 +191,14 @@ func (e *Engine) selectStmt(s SelectStmt) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return e.selectOne(s.Array, id, spatial)
+		return e.selectOne(ctx, s.Array, id, spatial)
 	default:
-		return e.selectOne(s.Array, s.Version.ID, spatial)
+		return e.selectOne(ctx, s.Array, s.Version.ID, spatial)
 	}
 }
 
-func (e *Engine) selectOne(name string, id int, box array.Box) (Result, error) {
-	pl, err := e.store.SelectRegion(name, id, box)
+func (e *Engine) selectOne(ctx context.Context, name string, id int, box array.Box) (Result, error) {
+	pl, err := e.store.SelectRegionAttrCtx(ctx, name, id, "", box)
 	if err != nil {
 		return Result{}, err
 	}

@@ -10,12 +10,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/core"
+	"arrayvers/internal/trace"
 )
 
 // StoreOptions returns the default store options with the shared
@@ -167,5 +170,40 @@ func StatsCounters(st core.IOStats) []Counter {
 func WriteStats(w io.Writer, st core.IOStats) {
 	for _, c := range StatsCounters(st) {
 		fmt.Fprintf(w, "%-16s %d\n", c.Name, c.Value)
+	}
+}
+
+// WriteTrace renders one completed trace as an EXPLAIN ANALYZE-style
+// per-stage table: stage name, call count, cumulative time, share of
+// the trace's total duration, and bytes handled, followed by the
+// trace's counters (cache hits/misses, chunks decoded, bytes read).
+// Stages appear in first-observation order, which follows the pipeline.
+func WriteTrace(w io.Writer, sum trace.Summary) {
+	total := time.Duration(sum.DurationNs)
+	fmt.Fprintf(w, "trace %s (%s) — total %s\n", sum.ID, sum.Name, total.Round(time.Microsecond))
+	if len(sum.Stages) == 0 {
+		fmt.Fprintf(w, "  (no pipeline stages recorded)\n")
+	} else {
+		fmt.Fprintf(w, "  %-14s %8s %12s %8s %12s\n", "stage", "calls", "time", "share", "bytes")
+		for _, st := range sum.Stages {
+			share := "-"
+			if sum.DurationNs > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(st.Nanos)/float64(sum.DurationNs))
+			}
+			fmt.Fprintf(w, "  %-14s %8d %12s %8s %12d\n",
+				st.Stage, st.Count, time.Duration(st.Nanos).Round(time.Microsecond), share, st.Bytes)
+		}
+	}
+	if len(sum.Attrs) > 0 {
+		keys := make([]string, 0, len(sum.Attrs))
+		for k := range sum.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "  counters:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, sum.Attrs[k])
+		}
+		fmt.Fprintln(w)
 	}
 }

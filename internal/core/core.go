@@ -264,6 +264,13 @@ type Store struct {
 	// Open, merged into Stats() and never cleared by ResetStats.
 	recovery RecoveryStats
 
+	// prof is the always-on stage-level instrumentation (latency/byte
+	// histograms for the select and commit pipelines, per-array cache
+	// counters, decode-pool gauge); snapshot through Profile(). All its
+	// state is atomic or internally locked — the hot paths record into
+	// it without taking any store lock.
+	prof *profile
+
 	// clock returns commit timestamps; replaceable in tests.
 	clock func() time.Time
 }
@@ -369,6 +376,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		degraded:   make(map[string]degradedInfo),
 		workload:   newWorkloadRecorder(),
 		tuneEst:    make(map[string]*tuneEstimate),
+		prof:       newProfile(),
 		clock:      time.Now,
 	}
 	entries, err := os.ReadDir(dir)
@@ -411,9 +419,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.arrays[st.Schema.Name] = st
 	}
 	if opts.Durability {
+		t0 := time.Now()
 		if err := s.recoverLocked(); err != nil {
 			return nil, fmt.Errorf("core: crash recovery: %w", err)
 		}
+		s.prof.recoveryNanos.Store(time.Since(t0).Nanoseconds())
 	}
 	s.startTuner()
 	return s, nil

@@ -9,11 +9,13 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/compress"
 	"arrayvers/internal/delta"
 	"arrayvers/internal/layout"
+	"arrayvers/internal/trace"
 )
 
 // The insert commit path.
@@ -192,6 +194,18 @@ func (w *writeSet) sortedPaths() []string {
 
 func (w *writeSet) empty() bool { return len(w.files) == 0 }
 
+// totalBytes sums the staged spans — the payload volume this mutation
+// appended, reported as the commit stages' byte attribution.
+func (w *writeSet) totalBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var n int64
+	for _, sp := range w.files {
+		n += sp.end - sp.start
+	}
+	return n
+}
+
 // createdFiles reports whether the mutation created any chunk file (a
 // span starting at offset zero; a pre-existing file is never appended
 // at zero). Only creations need the chunks directory fsynced before
@@ -277,6 +291,15 @@ type stagedInsert struct {
 	gen    int // chunk generation the blobs were appended into
 	format int
 	ws     *writeSet
+
+	// tr is the staging request's trace (nil when untraced); the
+	// group-commit leader attributes the shared commit stages to it, so
+	// a traced insert sees the fsync/rename wait it actually rode.
+	tr *trace.Trace
+	// enqueuedAt marks when the insert entered the pending queue; zeroed
+	// once its queue_wait has been observed (re-drain rounds and the
+	// DisableGroupCommit requeue must not double-count).
+	enqueuedAt time.Time
 
 	// outcome, final once done is closed
 	done  chan struct{}
@@ -421,6 +444,7 @@ func (s *Store) tryInsertBatch(ctx context.Context, name string, ps []Payload) (
 		st.writeMu.Unlock()
 		return nil, false, err
 	}
+	ins.enqueuedAt = time.Now()
 	st.pendMu.Lock()
 	st.pending = append(st.pending, ins)
 	st.pendMu.Unlock()
@@ -507,6 +531,7 @@ func (s *Store) stageBatch(ctx context.Context, st *arrayState, ps []Payload, ki
 		gen:    gen,
 		format: format,
 		ws:     newWriteSet(),
+		tr:     trace.FromContext(ctx),
 		done:   make(chan struct{}),
 	}
 	ictx := &insertCtx{st: st, v: v, ws: ins.ws, qc: newChunkCache(), dir: v.dir, format: format, sparse: sparse, goCtx: ctx}
@@ -516,6 +541,7 @@ func (s *Store) stageBatch(ctx context.Context, st *arrayState, ps []Payload, ki
 		s.noteDiskPressure(err) // staging failures are benign, ENOSPC is not
 		return nil, err
 	}
+	encStart := time.Now()
 	for j, p := range ps {
 		if err := ctx.Err(); err != nil {
 			return fail(err)
@@ -526,6 +552,9 @@ func (s *Store) stageBatch(ctx context.Context, st *arrayState, ps []Payload, ki
 		}
 		ins.vms = append(ins.vms, vm)
 	}
+	encDur := time.Since(encStart)
+	s.prof.observeCommit(StageStageEncode, encDur, ins.ws.totalBytes())
+	ins.tr.Observe(StageStageEncode, encDur, ins.ws.totalBytes())
 	ins.sparse, ins.fill = sparse, fill
 	return ins, nil
 }
@@ -708,7 +737,13 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 			s.noteCommitFailure(st, commitErr)
 		}
 		if commitErr == nil {
+			t0 := time.Now()
 			commitErr = s.saveMetaDoc(st.dir, staged)
+			metaDur := time.Since(t0)
+			s.prof.observeCommit(StageMetaCommit, metaDur, 0)
+			for _, ins := range ok {
+				ins.tr.Observe(StageMetaCommit, metaDur, 0)
+			}
 			if isUncertain(commitErr) {
 				// the rename (or its durability fsync) failed: the new
 				// document may be in place while memory rolls back
@@ -717,6 +752,7 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 				s.noteDiskPressure(commitErr) // benign unless ENOSPC
 			}
 		}
+		installStart := time.Now()
 		s.mu.Lock()
 		if commitErr == nil && s.arrays[st.Schema.Name] != st {
 			// DeleteArray won the race after our rename landed (or swept
@@ -737,6 +773,14 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 			}
 		}
 		s.mu.Unlock()
+		if commitErr == nil {
+			installDur := time.Since(installStart)
+			s.prof.observeCommit(StageInstall, installDur, 0)
+			s.prof.batchSize.Observe(float64(installed))
+			for _, ins := range ok {
+				ins.tr.Observe(StageInstall, installDur, 0)
+			}
+		}
 		if commitErr != nil {
 			// the commit did not land: in-memory state is untouched, so
 			// the staged versions never existed — the stagers sweep their
@@ -762,9 +806,34 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 // mid-stage: every insert that touched it is marked for re-stage
 // rather than failed. No-op without Durability.
 func (s *Store) syncStagedBatch(st *arrayState, batch []*stagedInsert) {
+	// the leader has picked the batch up: close out each member's
+	// queue_wait exactly once (re-drain rounds and the per-insert-commit
+	// requeue see a zeroed mark)
+	now := time.Now()
+	for _, ins := range batch {
+		if ins.enqueuedAt.IsZero() {
+			continue
+		}
+		wait := now.Sub(ins.enqueuedAt)
+		ins.enqueuedAt = time.Time{}
+		s.prof.observeCommit(StageQueueWait, wait, 0)
+		ins.tr.Observe(StageQueueWait, wait, 0)
+	}
 	if !s.opts.Durability {
 		return
 	}
+	fsyncStart := time.Now()
+	defer func() {
+		d := time.Since(fsyncStart)
+		var total int64
+		for _, ins := range batch {
+			b := ins.ws.totalBytes()
+			total += b
+			// the whole shared fsync schedule is each member's wait
+			ins.tr.Observe(StageDataFsync, d, b)
+		}
+		s.prof.observeCommit(StageDataFsync, d, total)
+	}()
 	byPath := map[string][]*stagedInsert{}
 	dirs := map[string]bool{}
 	for _, ins := range batch {
@@ -985,6 +1054,7 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 		}
 	}
 	if s.opts.Durability {
+		t0 := time.Now()
 		if err := ws.sync(s); err != nil {
 			s.noteCommitFailure(st, err)
 			return fail(err)
@@ -995,16 +1065,20 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 				return fail(err)
 			}
 		}
+		s.prof.observeCommit(StageDataFsync, time.Since(t0), ws.totalBytes())
 	}
+	t0 := time.Now()
 	if err := s.saveMetaDoc(st.dir, &staged); err != nil {
 		if isUncertain(err) {
 			s.noteCommitFailure(st, err)
 		}
 		return fail(err)
 	}
+	s.prof.observeCommit(StageMetaCommit, time.Since(t0), 0)
 	st.mutateLocked()
 	st.installMeta(staged)
 	s.addGroupCommit(len(ids))
+	s.prof.batchSize.Observe(float64(len(ids)))
 	return ids, nil
 }
 
@@ -1043,7 +1117,7 @@ func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *write
 	for i, vm := range batch {
 		planes[i] = make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readRegionView(context.Background(), v, vm.ID, attr.Name, full, qc)
+			pl, err := s.readRegionView(context.Background(), v, vm.ID, attr.Name, full, qc, nil)
 			if err != nil {
 				return err
 			}
@@ -1110,7 +1184,7 @@ func (s *Store) resolvePayload(ctx *insertCtx, p Payload) ([]Plane, []int, error
 		full := array.BoxOf(st.Schema.Shape())
 		planes := make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readRegionView(ctx.context(), v, p.DeltaBase, attr.Name, full, ctx.qc)
+			pl, err := s.readRegionView(ctx.context(), v, p.DeltaBase, attr.Name, full, ctx.qc, nil)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -1211,7 +1285,7 @@ func (s *Store) chooseDeltaBase(ctx *insertCtx, planes []Plane) int {
 	bestBase, bestSize := 0, matSize
 	for i := len(v.ids) - k; i < len(v.ids); i++ {
 		cand := v.ids[i]
-		basePl, err := s.readRegionView(ctx.context(), v, cand, attr0, full, ctx.qc)
+		basePl, err := s.readRegionView(ctx.context(), v, cand, attr0, full, ctx.qc, nil)
 		if err != nil {
 			continue
 		}
@@ -1290,7 +1364,7 @@ func (s *Store) encodePlane(ctx *insertCtx, id int, attr array.Attribute, pl Pla
 		entryBase := -1
 		rawDense := true
 		if base > 0 {
-			baseChunk, err := s.resolveDenseChunk(v, base, attr.Name, ck, origin, ctx.qc.chunk(key))
+			baseChunk, err := s.resolveDenseChunk(v, base, attr.Name, ck, origin, ctx.qc.chunk(key), nil)
 			if err != nil {
 				return err
 			}
@@ -1333,7 +1407,7 @@ func (s *Store) encodeSparseChunk(ctx *insertCtx, attr string, sp *array.Sparse,
 		return native, -1, nil
 	}
 	full := array.BoxOf(ctx.st.Schema.Shape())
-	basePl, err := s.readRegionView(ctx.context(), ctx.v, base, attr, full, ctx.qc)
+	basePl, err := s.readRegionView(ctx.context(), ctx.v, base, attr, full, ctx.qc, nil)
 	if err != nil {
 		return nil, 0, err
 	}

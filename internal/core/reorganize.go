@@ -388,7 +388,7 @@ func (s *Store) loadPlanesView(v *readView) ([]int, [][]Plane, error) {
 	for i, id := range ids {
 		planes[i] = make([]Plane, len(v.st.Schema.Attrs))
 		for ai, attr := range v.st.Schema.Attrs {
-			pl, err := s.readRegionView(context.Background(), v, id, attr.Name, full, qc)
+			pl, err := s.readRegionView(context.Background(), v, id, attr.Name, full, qc, nil)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -828,7 +828,7 @@ func (s *Store) DeleteVersion(name string, id int) error {
 				if !dirty {
 					continue
 				}
-				pl, err := s.readRegionView(context.Background(), v, child.ID, attr.Name, full, qc)
+				pl, err := s.readRegionView(context.Background(), v, child.ID, attr.Name, full, qc, nil)
 				if err != nil {
 					return err
 				}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/cache"
@@ -40,12 +41,15 @@ func (s *Store) SelectAttr(name string, id int, attr string) (Plane, error) {
 // cancelled the chunk fan-out stops scheduling work at the next chunk
 // boundary, so abandoned requests do not keep burning the decode pool.
 func (s *Store) SelectAttrCtx(ctx context.Context, name string, id int, attr string) (Plane, error) {
+	tk := s.selTracker(ctx)
+	t0 := time.Now()
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return Plane{}, err
 	}
 	defer release()
-	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil)
+	tk.observe(StageSnapshot, time.Since(t0), 0)
+	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), array.BoxOf(v.st.Schema.Shape()), nil, tk)
 	if err == nil {
 		s.recordAccess(name, []int{id})
 	}
@@ -66,12 +70,15 @@ func (s *Store) SelectRegionAttr(name string, id int, attr string, box array.Box
 // SelectRegionAttrCtx is SelectRegionAttr honoring ctx (see
 // SelectAttrCtx).
 func (s *Store) SelectRegionAttrCtx(ctx context.Context, name string, id int, attr string, box array.Box) (Plane, error) {
+	tk := s.selTracker(ctx)
+	t0 := time.Now()
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return Plane{}, err
 	}
 	defer release()
-	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), box, nil)
+	tk.observe(StageSnapshot, time.Since(t0), 0)
+	pl, err := s.readRegionView(ctx, v, id, s.attrName(v.st, attr), box, nil, tk)
 	if err == nil {
 		s.recordAccess(name, []int{id})
 	}
@@ -96,11 +103,14 @@ func (s *Store) SelectMultiRegion(name string, ids []int, box array.Box) (*array
 // SelectMultiRegionCtx is SelectMultiRegion honoring ctx (see
 // SelectAttrCtx).
 func (s *Store) SelectMultiRegionCtx(ctx context.Context, name string, ids []int, box array.Box) (*array.Dense, error) {
+	tk := s.selTracker(ctx)
+	t0 := time.Now()
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	tk.observe(StageSnapshot, time.Since(t0), 0)
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: no versions selected")
 	}
@@ -111,7 +121,7 @@ func (s *Store) SelectMultiRegionCtx(ctx context.Context, name string, ids []int
 	slabs := make([]*array.Dense, len(ids))
 	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionView(ctx, v, id, attr, box, qc)
+		pl, err := s.readRegionView(ctx, v, id, attr, box, qc, tk)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +136,13 @@ func (s *Store) SelectMultiRegionCtx(ctx context.Context, name string, ids []int
 		}
 	}
 	s.recordAccess(name, ids)
-	return array.Stack(slabs)
+	t0 = time.Now()
+	stacked, err := array.Stack(slabs)
+	if err != nil {
+		return nil, err
+	}
+	tk.observe(StageMaterialize, time.Since(t0), stacked.SizeBytes())
+	return stacked, nil
 }
 
 // SelectSparseMulti returns the given region of each listed version of a
@@ -139,11 +155,14 @@ func (s *Store) SelectSparseMulti(name string, ids []int, box array.Box) ([]*arr
 // SelectSparseMultiCtx is SelectSparseMulti honoring ctx (see
 // SelectAttrCtx).
 func (s *Store) SelectSparseMultiCtx(ctx context.Context, name string, ids []int, box array.Box) ([]*array.Sparse, error) {
+	tk := s.selTracker(ctx)
+	t0 := time.Now()
 	v, release, err := s.snapshot(name)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	tk.observe(StageSnapshot, time.Since(t0), 0)
 	if !v.st.SparseRep {
 		return nil, fmt.Errorf("core: array %q is dense; use SelectMulti", name)
 	}
@@ -154,7 +173,7 @@ func (s *Store) SelectSparseMultiCtx(ctx context.Context, name string, ids []int
 	out := make([]*array.Sparse, len(ids))
 	qc := newChunkCache()
 	for i, id := range ids {
-		pl, err := s.readRegionView(ctx, v, id, attr, box, qc)
+		pl, err := s.readRegionView(ctx, v, id, attr, box, qc, tk)
 		if err != nil {
 			return nil, err
 		}
@@ -219,15 +238,17 @@ func (c *chunkCache) chunk(key string) map[int]*array.Dense {
 }
 
 // readPlaneLocked reconstructs one full attribute plane of a version.
-// Callers hold Store.mu.
+// Callers hold Store.mu. The nil tracker keeps these internal reads
+// (verify, tuner history scans) out of the query-path stage histograms.
 func (s *Store) readPlaneLocked(st *arrayState, id int, attr string) (Plane, error) {
-	return s.readRegionView(context.Background(), s.viewLocked(st, false), id, attr, array.BoxOf(st.Schema.Shape()), nil)
+	return s.readRegionView(context.Background(), s.viewLocked(st, false), id, attr, array.BoxOf(st.Schema.Shape()), nil, nil)
 }
 
 // readRegionView reconstructs the part of a version's attribute plane
 // covered by box against a metadata view, reading only the overlapping
-// chunks and fanning the per-chunk work out on the worker pool.
-func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr string, box array.Box, qc *chunkCache) (Plane, error) {
+// chunks and fanning the per-chunk work out on the worker pool. tk (nil
+// for internal readers) receives per-stage timings.
+func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr string, box array.Box, qc *chunkCache, tk *opTracker) (Plane, error) {
 	st := v.st
 	if _, err := v.version(id); err != nil {
 		return Plane{}, err
@@ -253,22 +274,25 @@ func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr st
 		if qc != nil {
 			spCache = qc.sparse
 		}
-		sp, shared, err := s.resolveSparse(v, id, attr, spCache)
+		sp, shared, err := s.resolveSparse(v, id, attr, spCache, tk)
 		if err != nil {
 			return Plane{}, err
 		}
+		t0 := time.Now()
 		if box.Equal(full) {
 			// an object shared with the store-wide cache must not escape
 			// to callers, who may mutate it; hand out a copy instead
 			if shared {
 				sp = sp.Clone()
 			}
+			tk.observe(StageMaterialize, time.Since(t0), sp.SizeBytes())
 			return Plane{Sparse: sp}, nil
 		}
 		sub, err := sp.Slice(box)
 		if err != nil {
 			return Plane{}, err
 		}
+		tk.observe(StageMaterialize, time.Since(t0), sub.SizeBytes())
 		return Plane{Sparse: sub}, nil
 	}
 	ck, err := st.chunker()
@@ -286,19 +310,26 @@ func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr st
 	}
 	qc.ensure(keys)
 	err = forEachLimit(ctx, len(origins), s.opts.Parallelism, func(i int) error {
+		s.prof.decodeActive.Add(1)
+		defer s.prof.decodeActive.Add(-1)
 		origin := origins[i]
-		chunkArr, err := s.resolveDenseChunk(v, id, attr, ck, origin, qc.chunk(keys[i]))
+		chunkArr, err := s.resolveDenseChunk(v, id, attr, ck, origin, qc.chunk(keys[i]), tk)
 		if err != nil {
 			return err
 		}
 		cbox := ck.Box(origin)
 		overlap := cbox.Intersect(box)
+		t0 := time.Now()
 		piece, err := chunkArr.Slice(overlap.Translate(cbox.Lo))
 		if err != nil {
 			return err
 		}
 		// workers write disjoint regions of out, so no locking is needed
-		return out.WriteRegion(overlap.Translate(box.Lo).Lo, piece)
+		err = out.WriteRegion(overlap.Translate(box.Lo).Lo, piece)
+		if err == nil {
+			tk.observe(StageMaterialize, time.Since(t0), piece.SizeBytes())
+		}
+		return err
 	})
 	if err != nil {
 		return Plane{}, err
@@ -313,7 +344,7 @@ func (s *Store) readRegionView(ctx context.Context, v *readView, id int, attr st
 // consulted at every link, and every version materialized while the
 // chain unwinds is inserted into it. Cached arrays are shared across
 // queries and must never be mutated.
-func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Chunker, origin []int64, local map[int]*array.Dense) (*array.Dense, error) {
+func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Chunker, origin []int64, local map[int]*array.Dense, tk *opTracker) (*array.Dense, error) {
 	if local == nil {
 		local = make(map[int]*array.Dense)
 	}
@@ -324,11 +355,17 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	key := ck.Key(origin)
 	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: key}
 	if !v.noCache {
-		if got, ok := s.chunkCache.Get(ckey); ok {
+		t0 := time.Now()
+		got, ok := s.chunkCache.Get(ckey)
+		tk.observe(StageCache, time.Since(t0), 0)
+		s.prof.cacheAccess(st.Schema.Name, ok)
+		if ok {
+			tk.attr("cache_hits", 1)
 			d := got.(*array.Dense)
 			local[id] = d
 			return d, nil
 		}
+		tk.attr("cache_misses", 1)
 	}
 	vm, err := v.version(id)
 	if err != nil {
@@ -338,13 +375,17 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	if !ok {
 		return nil, fmt.Errorf("core: version %d missing chunk %s/%s", id, attr, key)
 	}
+	t0 := time.Now()
 	blob, err := s.readBlob(v.dir, v.format, e)
 	if err != nil {
 		return nil, err
 	}
+	tk.observe(StageRead, time.Since(t0), e.Length)
+	tk.attr("bytes_read", e.Length)
 	box := ck.Box(origin)
 	ai := st.Schema.AttrIndex(attr)
 	dt := st.Schema.Attrs[ai].Type
+	t0 = time.Now()
 	raw, err := unseal(compress.Codec(e.Codec), blob, sealParams(e.Base < 0, box, dt))
 	if err != nil {
 		return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
@@ -355,16 +396,21 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 		if err != nil {
 			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
 		}
+		tk.observe(StageDecode, time.Since(t0), int64(len(raw)))
 	} else {
-		baseArr, err := s.resolveDenseChunk(v, e.Base, attr, ck, origin, local)
+		tk.observe(StageDecode, time.Since(t0), int64(len(raw)))
+		baseArr, err := s.resolveDenseChunk(v, e.Base, attr, ck, origin, local, tk)
 		if err != nil {
 			return nil, err
 		}
+		t0 = time.Now()
 		out, err = delta.Apply(raw, baseArr)
 		if err != nil {
 			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
 		}
+		tk.observe(StageDelta, time.Since(t0), out.SizeBytes())
 	}
+	tk.attr("chunks_decoded", 1)
 	local[id] = out
 	if !v.noCache {
 		s.chunkCache.Put(ckey, out)
@@ -379,7 +425,7 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 // cache, in which case it must not be mutated — callers serving it out
 // clone first. Tracking sharedness per object keeps uncached sparse
 // reads clone-free.
-func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sparseRes) (*array.Sparse, bool, error) {
+func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sparseRes, tk *opTracker) (*array.Sparse, bool, error) {
 	if local == nil {
 		local = make(map[int]sparseRes)
 	}
@@ -389,11 +435,17 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 	st := v.st
 	ckey := cache.Key{Array: st.Schema.Name, Epoch: v.epoch, Version: id, Attr: attr, Chunk: "chunk-full"}
 	if !v.noCache {
-		if got, ok := s.chunkCache.Get(ckey); ok {
+		t0 := time.Now()
+		got, ok := s.chunkCache.Get(ckey)
+		tk.observe(StageCache, time.Since(t0), 0)
+		s.prof.cacheAccess(st.Schema.Name, ok)
+		if ok {
+			tk.attr("cache_hits", 1)
 			sp := got.(*array.Sparse)
 			local[id] = sparseRes{sp: sp, shared: true}
 			return sp, true, nil
 		}
+		tk.attr("cache_misses", 1)
 	}
 	vm, err := v.version(id)
 	if err != nil {
@@ -403,10 +455,14 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 	if !ok {
 		return nil, false, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
 	}
+	t0 := time.Now()
 	blob, err := s.readBlob(v.dir, v.format, e)
 	if err != nil {
 		return nil, false, err
 	}
+	tk.observe(StageRead, time.Since(t0), e.Length)
+	tk.attr("bytes_read", e.Length)
+	t0 = time.Now()
 	raw, err := unseal(compress.Codec(e.Codec), blob, compress.Params{Elem: 1})
 	if err != nil {
 		return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
@@ -417,16 +473,21 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 		if err != nil {
 			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 		}
+		tk.observe(StageDecode, time.Since(t0), int64(len(raw)))
 	} else {
-		baseArr, _, err := s.resolveSparse(v, e.Base, attr, local)
+		tk.observe(StageDecode, time.Since(t0), int64(len(raw)))
+		baseArr, _, err := s.resolveSparse(v, e.Base, attr, local, tk)
 		if err != nil {
 			return nil, false, err
 		}
+		t0 = time.Now()
 		out, err = delta.ApplySparseOps(raw, baseArr)
 		if err != nil {
 			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
 		}
+		tk.observe(StageDelta, time.Since(t0), out.SizeBytes())
 	}
+	tk.attr("chunks_decoded", 1)
 	shared := false
 	if !v.noCache {
 		shared = s.chunkCache.Put(ckey, out)

@@ -48,6 +48,9 @@ type TuneReport struct {
 // AutoTune.MinSavings. The pass decays the array's workload histogram,
 // so repeated passes track recent traffic.
 func (s *Store) Tune(name string) (rep TuneReport, err error) {
+	defer func(t0 time.Time) {
+		s.prof.tunePass.Observe(time.Since(t0).Seconds())
+	}(time.Now())
 	at := s.opts.AutoTune.withDefaults()
 	rep = TuneReport{Array: name, MinSavings: at.MinSavings}
 

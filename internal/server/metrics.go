@@ -3,12 +3,14 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"arrayvers/internal/cliutil"
 	"arrayvers/internal/core"
+	"arrayvers/internal/trace"
 )
 
 // metrics tracks per-route request counters and a request latency
@@ -66,8 +68,9 @@ func (m *metrics) observe(route string, code int, seconds float64) {
 }
 
 // write renders the Prometheus text format: request counters, the
-// latency histogram, gauges, and the store's I/O and cache counters.
-func (m *metrics) write(w io.Writer, stats core.IOStats) {
+// latency histogram, gauges, the engine's stage-level profile, Go
+// runtime stats, and the store's I/O and cache counters.
+func (m *metrics) write(w io.Writer, stats core.IOStats, prof core.ProfileSnapshot) {
 	m.mu.Lock()
 	keys := make([]routeCode, 0, len(m.requests))
 	for k := range m.requests {
@@ -104,8 +107,115 @@ func (m *metrics) write(w io.Writer, stats core.IOStats) {
 	fmt.Fprintf(w, "# TYPE avstored_requests_rejected_total counter\n")
 	fmt.Fprintf(w, "avstored_requests_rejected_total %d\n", m.rejected.Load())
 
-	fmt.Fprintf(w, "# HELP avstored_store Store I/O and decoded-chunk cache counters (Store.Stats()).\n")
+	writeProfile(w, prof)
+	writeRuntime(w)
+
 	for _, c := range cliutil.StatsCounters(stats) {
+		fmt.Fprintf(w, "# HELP avstored_store_%s Store counter %s (Store.Stats()).\n", c.Name, c.Name)
+		fmt.Fprintf(w, "# TYPE avstored_store_%s gauge\n", c.Name)
 		fmt.Fprintf(w, "avstored_store_%s %d\n", c.Name, c.Value)
 	}
+}
+
+// writeHist renders one trace.HistSnapshot as a Prometheus histogram,
+// with an optional fixed label pair on every series.
+func writeHist(w io.Writer, name, labels string, h trace.HistSnapshot) {
+	sep := func() string {
+		if labels == "" {
+			return ""
+		}
+		return ","
+	}()
+	cum := int64(0)
+	for i, le := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, le, cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+	}
+}
+
+// writeProfile renders the store's stage-level instrumentation: select
+// and commit pipeline stage latency histograms and byte totals, the
+// group-commit batch-size and tuner-pass histograms, the decode-pool
+// gauge, recovery duration, and per-array cache hit/miss counters.
+func writeProfile(w io.Writer, prof core.ProfileSnapshot) {
+	fmt.Fprintf(w, "# HELP av_select_stage_seconds Select pipeline latency by stage (snapshot, cache, read, decode, delta, materialize).\n")
+	fmt.Fprintf(w, "# TYPE av_select_stage_seconds histogram\n")
+	for _, st := range prof.SelectStages {
+		writeHist(w, "av_select_stage_seconds", fmt.Sprintf("stage=%q", st.Stage), st.Hist)
+	}
+	fmt.Fprintf(w, "# HELP av_select_stage_bytes_total Bytes handled by each select pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE av_select_stage_bytes_total counter\n")
+	for _, st := range prof.SelectStages {
+		fmt.Fprintf(w, "av_select_stage_bytes_total{stage=%q} %d\n", st.Stage, st.Bytes)
+	}
+	fmt.Fprintf(w, "# HELP av_commit_stage_seconds Insert/group-commit pipeline latency by stage (stage_encode, queue_wait, data_fsync, meta_commit, install).\n")
+	fmt.Fprintf(w, "# TYPE av_commit_stage_seconds histogram\n")
+	for _, st := range prof.CommitStages {
+		writeHist(w, "av_commit_stage_seconds", fmt.Sprintf("stage=%q", st.Stage), st.Hist)
+	}
+	fmt.Fprintf(w, "# HELP av_commit_stage_bytes_total Bytes handled by each commit pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE av_commit_stage_bytes_total counter\n")
+	for _, st := range prof.CommitStages {
+		fmt.Fprintf(w, "av_commit_stage_bytes_total{stage=%q} %d\n", st.Stage, st.Bytes)
+	}
+	fmt.Fprintf(w, "# HELP av_group_commit_batch_size Versions installed per group-commit batch.\n")
+	fmt.Fprintf(w, "# TYPE av_group_commit_batch_size histogram\n")
+	writeHist(w, "av_group_commit_batch_size", "", prof.GroupBatch)
+	fmt.Fprintf(w, "# HELP av_tune_pass_seconds Adaptive-tuner pass duration.\n")
+	fmt.Fprintf(w, "# TYPE av_tune_pass_seconds histogram\n")
+	writeHist(w, "av_tune_pass_seconds", "", prof.TunePass)
+	fmt.Fprintf(w, "# HELP av_decode_pool_active Decode-pool workers currently resolving chunks.\n")
+	fmt.Fprintf(w, "# TYPE av_decode_pool_active gauge\n")
+	fmt.Fprintf(w, "av_decode_pool_active %d\n", prof.DecodeActive)
+	fmt.Fprintf(w, "# HELP av_recovery_seconds Duration of crash recovery at the last open (0 when not durable).\n")
+	fmt.Fprintf(w, "# TYPE av_recovery_seconds gauge\n")
+	fmt.Fprintf(w, "av_recovery_seconds %g\n", prof.RecoverySeconds)
+	fmt.Fprintf(w, "# HELP av_cache_hits_total Decoded-chunk cache hits on the query path, by array.\n")
+	fmt.Fprintf(w, "# TYPE av_cache_hits_total counter\n")
+	for _, c := range prof.ArrayCaches {
+		fmt.Fprintf(w, "av_cache_hits_total{array=%q} %d\n", c.Array, c.Hits)
+	}
+	fmt.Fprintf(w, "# HELP av_cache_misses_total Decoded-chunk cache misses on the query path, by array.\n")
+	fmt.Fprintf(w, "# TYPE av_cache_misses_total counter\n")
+	for _, c := range prof.ArrayCaches {
+		fmt.Fprintf(w, "av_cache_misses_total{array=%q} %d\n", c.Array, c.Misses)
+	}
+	fmt.Fprintf(w, "# HELP av_cache_hit_ratio Query-path cache hit ratio since start, by array.\n")
+	fmt.Fprintf(w, "# TYPE av_cache_hit_ratio gauge\n")
+	for _, c := range prof.ArrayCaches {
+		total := c.Hits + c.Misses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(c.Hits) / float64(total)
+		}
+		fmt.Fprintf(w, "av_cache_hit_ratio{array=%q} %g\n", c.Array, ratio)
+	}
+}
+
+// writeRuntime renders Go runtime health gauges so a scrape catches
+// goroutine leaks, heap growth, and GC pressure without pprof.
+func writeRuntime(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP av_go_goroutines Number of live goroutines.\n")
+	fmt.Fprintf(w, "# TYPE av_go_goroutines gauge\n")
+	fmt.Fprintf(w, "av_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP av_go_heap_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(w, "# TYPE av_go_heap_bytes gauge\n")
+	fmt.Fprintf(w, "av_go_heap_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP av_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE av_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "av_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP av_go_gomaxprocs The GOMAXPROCS setting.\n")
+	fmt.Fprintf(w, "# TYPE av_go_gomaxprocs gauge\n")
+	fmt.Fprintf(w, "av_go_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -29,23 +30,38 @@ import (
 	"arrayvers/internal/cliutil"
 	"arrayvers/internal/core"
 	"arrayvers/internal/layout"
+	"arrayvers/internal/trace"
 	"arrayvers/internal/wire"
 )
 
 // FrameContentType labels binary frame responses and requests.
 const FrameContentType = "application/x-arrayvers-frame"
 
+// TraceHeader carries the trace ID over the wire: a client sends it to
+// have the server join its trace, and every response echoes the ID the
+// request was served under (joined or freshly assigned).
+const TraceHeader = "AV-Trace-Id"
+
 // Defaults for the zero Config fields.
 const (
 	DefaultMaxInFlight    = 64
 	DefaultRequestTimeout = 60 * time.Second
+	// DefaultTraceRing is how many completed request traces
+	// GET /debug/traces retains.
+	DefaultTraceRing = 256
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// Store is the one store the server owns and serves. Required.
 	Store *core.Store
-	// Logger receives one line per request; nil uses log.Default().
+	// Log receives one structured line per request (trace_id, route,
+	// status, duration, bytes). Nil falls back to a text handler over
+	// Logger's writer (the pre-slog shim), or slog.Default() when that
+	// is nil too.
+	Log *slog.Logger
+	// Logger is the legacy request logger. Only its output destination
+	// is used, and only when Log is nil.
 	Logger *log.Logger
 	// MaxInFlight bounds concurrently served requests; excess requests
 	// are rejected with 429 (backpressure, not queueing). 0 means
@@ -57,19 +73,24 @@ type Config struct {
 	// MaxFrameBytes bounds incoming wire frames; 0 means
 	// wire.DefaultMaxFrameBytes.
 	MaxFrameBytes int64
+	// SlowQuery, when positive, logs any completed request trace slower
+	// than this at warning level with its per-stage breakdown.
+	SlowQuery time.Duration
 }
 
 // Server is the HTTP service over one store.
 type Server struct {
-	store    *core.Store
-	engine   *aql.Engine
-	logger   *log.Logger
-	sem      chan struct{}
-	timeout  time.Duration
-	maxFrame int64
-	metrics  *metrics
-	idem     *idemTable
-	handler  http.Handler
+	store     *core.Store
+	engine    *aql.Engine
+	log       *slog.Logger
+	sem       chan struct{}
+	timeout   time.Duration
+	maxFrame  int64
+	metrics   *metrics
+	idem      *idemTable
+	traces    *trace.Ring
+	slowQuery time.Duration
+	handler   http.Handler
 }
 
 // New builds a server from the config.
@@ -77,8 +98,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("server: Config.Store is required")
 	}
-	if cfg.Logger == nil {
-		cfg.Logger = log.Default()
+	if cfg.Log == nil {
+		if cfg.Logger != nil {
+			cfg.Log = slog.New(slog.NewTextHandler(cfg.Logger.Writer(), nil))
+		} else {
+			cfg.Log = slog.Default()
+		}
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
@@ -90,19 +115,22 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
 	}
 	s := &Server{
-		store:    cfg.Store,
-		engine:   aql.NewEngine(cfg.Store),
-		logger:   cfg.Logger,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		timeout:  cfg.RequestTimeout,
-		maxFrame: cfg.MaxFrameBytes,
-		metrics:  newMetrics(),
-		idem:     newIdemTable(idemTableSize),
+		store:     cfg.Store,
+		engine:    aql.NewEngine(cfg.Store),
+		log:       cfg.Log,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		timeout:   cfg.RequestTimeout,
+		maxFrame:  cfg.MaxFrameBytes,
+		metrics:   newMetrics(),
+		idem:      newIdemTable(idemTableSize),
+		traces:    trace.NewRing(DefaultTraceRing),
+		slowQuery: cfg.SlowQuery,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.route(mux, "GET /v1/health", "health", s.handleHealth)
 	s.route(mux, "GET /v1/stats", "stats", s.handleStats)
 	s.route(mux, "POST /v1/stats/reset", "stats-reset", s.handleStatsReset)
@@ -162,7 +190,12 @@ func (s *Server) register(mux *http.ServeMux, pattern, label string, inner http.
 		default:
 			s.metrics.rejected.Add(1)
 			s.metrics.countOnly(label, http.StatusTooManyRequests)
-			s.logger.Printf("%s %s -> 429 (over in-flight limit)", r.Method, r.URL.Path)
+			s.log.Warn("request rejected",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", label,
+				"status", http.StatusTooManyRequests,
+				"reason", "over in-flight limit")
 			w.Header().Set("Retry-After", s.retryAfter())
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server overloaded: in-flight request limit reached"})
 			return
@@ -170,13 +203,61 @@ func (s *Server) register(mux *http.ServeMux, pattern, label string, inner http.
 		defer func() { <-s.sem }()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+
+		// Join the caller's trace when the request carries an ID, else
+		// start a fresh one; either way the response echoes the ID so
+		// the client can fetch the breakdown from /debug/traces. The
+		// trace rides the request context through the store pipelines.
+		tr := trace.Join(r.Header.Get(TraceHeader), label)
+		w.Header().Set(TraceHeader, tr.ID())
+		r = r.WithContext(trace.NewContext(r.Context(), tr))
+
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		inner.ServeHTTP(sw, r)
 		dur := time.Since(start)
 		s.metrics.observe(label, sw.code, dur.Seconds())
-		s.logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.code, dur.Round(time.Microsecond))
+		sum := tr.Finish()
+		s.traces.Add(sum)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", label,
+			"status", sw.code,
+			"duration", dur.Round(time.Microsecond),
+			"bytes", sw.bytes,
+			"trace_id", sum.ID)
+		if s.slowQuery > 0 && dur > s.slowQuery {
+			s.log.Warn("slow query",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", label,
+				"status", sw.code,
+				"duration", dur.Round(time.Microsecond),
+				"budget", s.slowQuery,
+				"trace_id", sum.ID,
+				"stages", formatStages(sum))
+		}
 	}))
+}
+
+// formatStages renders a trace's per-stage breakdown as one compact
+// string for the slow-query log line.
+func formatStages(sum trace.Summary) string {
+	if len(sum.Stages) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for i, st := range sum.Stages {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%s", st.Stage, time.Duration(st.Nanos).Round(time.Microsecond))
+		if st.Bytes > 0 {
+			fmt.Fprintf(&b, "/%dB", st.Bytes)
+		}
+	}
+	return b.String()
 }
 
 // retryAfter derives the 429 Retry-After hint from the saturated
@@ -189,10 +270,12 @@ func (s *Server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-// statusWriter records the first status code written.
+// statusWriter records the first status code written and the response
+// body size.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
+	bytes int64
 	wrote bool
 }
 
@@ -206,7 +289,9 @@ func (sw *statusWriter) WriteHeader(code int) {
 
 func (sw *statusWriter) Write(b []byte) (int, error) {
 	sw.wrote = true
-	return sw.ResponseWriter.Write(b)
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
 }
 
 // --- response plumbing ---
@@ -336,7 +421,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.store.Stats())
+	s.metrics.write(w, s.store.Stats(), s.store.Profile())
+}
+
+// handleTraces serves the ring of recently completed request traces.
+// With ?id=<trace-id> it returns that one trace (404 when it has been
+// evicted or never existed); otherwise the whole ring, newest first,
+// optionally capped by ?n=. Registered outside the in-flight wrapper
+// so the profiling surface stays reachable under load, and so reading
+// traces does not itself generate traces.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		sum, ok := s.traces.Find(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("server: no trace %q (evicted or unknown)", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+		return
+	}
+	traces := s.traces.Snapshot()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "server: n must be a non-negative integer"})
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
