@@ -139,6 +139,11 @@ type (
 	CellUpdate = core.CellUpdate
 )
 
+// MultiInsert names one array's payload batch within a Store.InsertMulti
+// call — a cross-array batch committed atomically under the store-wide
+// manifest log's single commit point.
+type MultiInsert = core.MultiInsert
+
 // DensePayload wraps a single-attribute dense version content.
 func DensePayload(d *Dense) Payload { return core.DensePayload(d) }
 
@@ -167,6 +172,13 @@ type (
 // of one array (readability of every version, delta-chain sanity, and
 // space reclaimable by Compact).
 type VerifyReport = core.VerifyReport
+
+// ManifestReport is the result of Store.VerifyManifest, a deep
+// integrity check of the store-wide manifest commit log: CURRENT, the
+// snapshot, every log record's checksum and sequence continuity, and
+// the orphaned-record sweep. avstore fsck runs it before the per-array
+// checks.
+type ManifestReport = core.ManifestReport
 
 // Fault tolerance: commit-protocol failures whose on-disk effect is
 // uncertain flip the affected array (or, on disk-full, the whole store)

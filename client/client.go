@@ -440,6 +440,31 @@ func (c *Client) InsertBatch(name string, ps []arrayvers.Payload) ([]int, error)
 	return out.IDs, nil
 }
 
+// InsertMulti adds payload batches to several arrays in one request
+// and ONE server-side commit point: the store's manifest log makes
+// every member durable in a single append+fsync, so either every array
+// shows its new versions or none does — a guarantee per-array requests
+// cannot compose. The result maps each array to its new version ids in
+// payload order.
+func (c *Client) InsertMulti(batches []arrayvers.MultiInsert) (map[string][]int, error) {
+	var buf bytes.Buffer
+	if err := wire.WriteMultiBatch(&buf, batches); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.doIdem(http.MethodPost, "/v1/batch", frameContentType, buf.Bytes(), newIdemKey())
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	var out struct {
+		IDs map[string][]int `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode insert-multi response: %w", err)
+	}
+	return out.IDs, nil
+}
+
 func (c *Client) selectPlane(name string, query string) (arrayvers.Plane, error) {
 	resp, err := c.do(http.MethodGet, "/v1/arrays/"+url.PathEscape(name)+"/select?"+query, "", nil)
 	if err != nil {
@@ -650,6 +675,7 @@ type storeShape interface {
 	CreateArray(arrayvers.Schema) error
 	Insert(string, arrayvers.Payload) (int, error)
 	InsertBatch(string, []arrayvers.Payload) ([]int, error)
+	InsertMulti([]arrayvers.MultiInsert) (map[string][]int, error)
 	Select(string, int) (arrayvers.Plane, error)
 	SelectAttr(string, int, string) (arrayvers.Plane, error)
 	SelectRegion(string, int, arrayvers.Box) (arrayvers.Plane, error)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath|server|adaptive]
+//	avbench [-experiment all|table1|table2|table3|table4|table5|table6|table7|materialization|workload|ablations|hotpath|server|adaptive|ingest|tracing|manifest]
 //	        [-scale default|quick] [-workdir DIR]
 //	        [-parallelism N] [-cache-bytes N] [-json-dir DIR]
 //
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, adaptive, ingest, or tracing")
+	experiment := flag.String("experiment", "all", "all, table1..table7, materialization, workload, ablations, hotpath, server, adaptive, ingest, tracing, or manifest")
 	scaleName := flag.String("scale", "default", "scale preset: default or quick")
 	workdir := flag.String("workdir", "", "scratch directory (default: a temp dir)")
 	parallelism := flag.Int("parallelism", 0, "hot-path worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -111,6 +111,16 @@ func main() {
 		}
 	}
 
+	manifest := func() {
+		t, results, err := bench.Manifest(dir, sc, *parallelism)
+		emit(t, err)
+		if *jsonDir != "" {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_manifest.json"), results); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "hotpath":
@@ -123,6 +133,8 @@ func main() {
 			ingest()
 		case "tracing":
 			tracing()
+		case "manifest":
+			manifest()
 		case "table1":
 			t, err := bench.Table1(sc)
 			emit(t, err)
@@ -185,6 +197,7 @@ func main() {
 		adaptive()
 		ingest()
 		tracing()
+		manifest()
 		return
 	}
 	run(*experiment)

@@ -6,6 +6,8 @@
 //
 //	avstore -store DIR create  -name A -dims Y:0:255,X:0:255 -attrs V:float32
 //	avstore -store DIR load    -name A -file v1.dat
+//	avstore -store DIR batch   -parts A=v1.dat,B=v2.dat   # one atomic cross-array commit
+//	avstore batch -addr http://host:7421 -parts A=v1.dat,B=v2.dat
 //	avstore -store DIR select  -name A -version 3 [-box 0,0:16,16] [-out f.dat] [-trace]
 //	avstore select -addr http://host:7421 -name A -version 3 [-box ...] [-trace]
 //	avstore -store DIR versions -name A
@@ -41,8 +43,14 @@
 // is off by default so that read-only subcommands never mutate a store
 // directory (recovery truncates and sweeps — running it under a live
 // avstored would corrupt the daemon's in-flight writes). fsck forces it
-// on, reports what recovery repaired, and then runs the full integrity
-// check over every array; only run fsck with the daemon stopped.
+// on, reports what recovery repaired, then deep-verifies the store-wide
+// manifest commit log (checksums, sequence continuity, orphaned-record
+// sweep) and runs the full integrity check over every array; only run
+// fsck with the daemon stopped.
+//
+// batch loads several blob files into several arrays under ONE commit
+// point (the manifest log's atomic cross-array append): either every
+// named array gains its version or none does, even across a crash.
 package main
 
 import (
@@ -50,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -77,7 +86,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: avstore -store DIR <create|load|select|versions|info|stats|list|reorganize|tune|verify|fsck|delete-version|drop> [flags]")
+		return fmt.Errorf("usage: avstore -store DIR <create|load|batch|select|versions|info|stats|list|reorganize|tune|verify|fsck|delete-version|drop> [flags]")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -88,6 +97,7 @@ func run(args []string) error {
 	dims := fs.String("dims", "", "dimensions, e.g. Y:0:255,X:0:255")
 	attrs := fs.String("attrs", "", "attributes, e.g. V:float32")
 	boxSpec := fs.String("box", "", "region, e.g. 0,0:16,16 (lo:hi, hi exclusive)")
+	partsSpec := fs.String("parts", "", "batch: comma-separated array=blobfile pairs committed atomically")
 	policy := fs.String("policy", "optimal", "layout policy for reorganize")
 	spec := fs.String("spec", "", "tune: seed workload, comma-separated v*weight or lo-hi*weight terms")
 	minSavings := fs.Float64("min-savings", 0, "tune: fractional projected I/O savings required to re-lay out (0 = default 0.10)")
@@ -141,6 +151,17 @@ func run(args []string) error {
 			}
 			cliutil.WriteStats(os.Stdout, st)
 			return nil
+		case "batch":
+			batches, err := parseParts(*partsSpec)
+			if err != nil {
+				return err
+			}
+			out, err := c.InsertMulti(batches)
+			if err != nil {
+				return err
+			}
+			printMultiResult(out)
+			return nil
 		case "tune":
 			if *name == "" {
 				return fmt.Errorf("tune needs -name")
@@ -164,7 +185,7 @@ func run(args []string) error {
 			printTuneReport(rep)
 			return nil
 		default:
-			return fmt.Errorf("avstore: -addr is only supported by the stats, tune, and select subcommands")
+			return fmt.Errorf("avstore: -addr is only supported by the stats, tune, select, and batch subcommands")
 		}
 	}
 	if *storeDir == "" {
@@ -219,6 +240,16 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("loaded %s@%d\n", *name, id)
+	case "batch":
+		batches, err := parseParts(*partsSpec)
+		if err != nil {
+			return err
+		}
+		out, err := store.InsertMulti(batches)
+		if err != nil {
+			return err
+		}
+		printMultiResult(out)
 	case "select":
 		ctx := context.Background()
 		var tr *arrayvers.Trace
@@ -341,11 +372,28 @@ func run(args []string) error {
 		rec := store.Stats()
 		fmt.Printf("recovery: removed %d stale files, truncated %d torn tails (%s), dropped %d unreadable versions\n",
 			rec.RecoveryRemovedFiles, rec.RecoveryTruncatedFiles, human(rec.RecoveryTruncatedBytes), rec.RecoveryDroppedVersions)
+		problems := 0
+		mrep, err := store.VerifyManifest()
+		if err != nil {
+			return err
+		}
+		if mrep.Enabled {
+			fmt.Printf("manifest: gen %d, snapshot seq %d, %d log record(s) through seq %d, %d array(s), %s torn tail\n",
+				mrep.Gen, mrep.SnapshotSeq, mrep.LogRecords, mrep.LastSeq, mrep.Arrays, human(mrep.TornBytes))
+			for _, f := range mrep.StrayFiles {
+				fmt.Printf("  stray: %s\n", f)
+			}
+			for _, p := range mrep.Problems {
+				fmt.Printf("  PROBLEM: %s\n", p)
+				problems++
+			}
+		} else {
+			fmt.Println("manifest: not in use (legacy per-array commit protocol)")
+		}
 		names := store.ListArrays()
 		if *name != "" {
 			names = []string{*name}
 		}
-		problems := 0
 		for _, n := range names {
 			rep, err := store.Verify(n)
 			if err != nil {
@@ -375,6 +423,53 @@ func run(args []string) error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// parseParts parses the batch -parts syntax: comma-separated
+// array=blobfile pairs, each blob loaded the same way as the load
+// subcommand. One array may appear once.
+func parseParts(spec string) ([]arrayvers.MultiInsert, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("batch needs -parts array=blobfile[,array=blobfile...]")
+	}
+	var out []arrayvers.MultiInsert
+	for _, term := range strings.Split(spec, ",") {
+		name, file, ok := strings.Cut(term, "=")
+		if !ok || name == "" || file == "" {
+			return nil, fmt.Errorf("bad -parts term %q (want array=blobfile)", term)
+		}
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		v, err := array.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		var payload arrayvers.Payload
+		switch a := v.(type) {
+		case *arrayvers.Dense:
+			payload = arrayvers.DensePayload(a)
+		case *arrayvers.Sparse:
+			payload = arrayvers.SparsePayload(a)
+		}
+		out = append(out, arrayvers.MultiInsert{Array: name, Payloads: []arrayvers.Payload{payload}})
+	}
+	return out, nil
+}
+
+func printMultiResult(out map[string][]int) {
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, id := range out[n] {
+			fmt.Printf("committed %s@%d\n", n, id)
+		}
+	}
+	fmt.Printf("batch: %d array(s) committed atomically\n", len(names))
 }
 
 // emitPlane writes a selected plane to a blob file, or prints its

@@ -16,7 +16,7 @@ import (
 // writers inserting small dense versions into one array of a
 // crash-safe (Options.Durability) store, with the group-commit
 // coalescer on (production default) versus off (every insert pays its
-// own fsync schedule and versions.json commit — the pre-group-commit
+// own fsync schedule and metadata commit — the pre-group-commit
 // behavior). One shared array concentrates the commit contention the
 // coalescer exists for; both modes still benefit identically from the
 // pipelined commit stages, so the grouped-vs-per-insert delta isolates

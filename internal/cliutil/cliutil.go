@@ -152,6 +152,10 @@ func StatsCounters(st core.IOStats) []Counter {
 		{"recovery_dropped_versions", st.RecoveryDroppedVersions},
 		{"group_commits", st.GroupCommits},
 		{"group_commit_versions", st.GroupCommitVersions},
+		{"manifest_records", st.ManifestRecords},
+		{"manifest_appends", st.ManifestAppends},
+		{"manifest_fsyncs", st.ManifestFsyncs},
+		{"manifest_rotations", st.ManifestRotations},
 		{"insert_orphan_files", st.InsertOrphanFiles},
 		{"insert_orphan_bytes", st.InsertOrphanBytes},
 		{"workload_ops", st.WorkloadOps},

@@ -92,11 +92,14 @@ type Options struct {
 	// workload recording and forced Store.Tune passes work regardless.
 	AutoTune AutoTuneOptions
 	// Durability makes every commit crash-safe: chunk writes are fsynced
-	// (file and directory) before the metadata commit, metadata commits
-	// go through tmp-write + fsync + rename + parent-dir fsync, and Open
-	// runs crash recovery (see DESIGN.md "Durability & recovery"). Off by
-	// default so I/O accounting matches the paper's tables; avstored and
-	// the avstore CLI turn it on.
+	// (file and directory) before the metadata commit, the metadata
+	// commit itself is a durable manifest-log append (or, for
+	// PerArrayCommit stores, a tmp-write + fsync + rename + parent-dir
+	// fsync of versions.json), and Open runs crash recovery (see
+	// DESIGN.md "Durability & recovery"). The first durable open of a
+	// legacy store migrates it to the manifest in place unless
+	// PerArrayCommit is set. Off by default so I/O accounting matches
+	// the paper's tables; avstored and the avstore CLI turn it on.
 	Durability bool
 	// HealInterval is the background heal prober's period once an array
 	// (or the whole store) has entered degraded read-only mode after an
@@ -107,11 +110,25 @@ type Options struct {
 	// once everything is writable again.
 	HealInterval time.Duration
 	// DisableGroupCommit turns off the insert group-commit coalescer:
-	// every insert then pays its own chunks-dir fsync and versions.json
+	// every insert then pays its own chunks-dir fsync and metadata
 	// commit instead of sharing one with concurrent inserts to the same
 	// array. Exists for the ingest benchmark's per-insert-commit baseline
 	// and for bisecting; production callers leave it off.
 	DisableGroupCommit bool
+	// PerArrayCommit keeps a legacy store on the PR 3 per-array
+	// versions.json commit protocol instead of migrating it to the
+	// store-wide manifest log on its first durable open (see DESIGN.md
+	// "Manifest & commit log"). It only affects stores that have not
+	// migrated yet: once a CURRENT pointer exists, the store always
+	// opens manifest-format whatever this flag says. Exists for the
+	// manifest benchmark's per-array baseline and for bisecting;
+	// production callers leave it off. Cross-array InsertMulti requires
+	// the manifest and fails under this flag.
+	PerArrayCommit bool
+	// ManifestRotateBytes is the manifest log size that triggers a
+	// snapshot rotation. Zero means a 4 MiB default; negative disables
+	// rotation (the log grows without bound).
+	ManifestRotateBytes int64
 	// FS overrides the filesystem used by every write path; nil means the
 	// real OS. Tests inject fsio.Fault here to crash the store at an
 	// arbitrary write/sync/rename step.
@@ -219,6 +236,11 @@ type Store struct {
 	fs     fsio.FS // all write paths go through this (Options.FS)
 	closed bool    // set by Close; guarded by mu
 	arrays map[string]*arrayState
+	// man is the store-wide manifest log — THE commit point of every
+	// metadata mutation when non-nil (see manifest.go). Nil means the
+	// store runs the legacy per-array versions.json commit protocol.
+	// Set once by Open, immutable afterwards.
+	man *manifest
 	// epochs[name] is bumped whenever an array's on-disk encoding is
 	// invalidated (Reorganize, DeleteVersion, DeleteArray); it is part of
 	// every chunkCache key, so stale in-flight readers can never poison
@@ -328,6 +350,16 @@ type IOStats struct {
 	// (1.0 means no concurrent inserts ever shared a commit).
 	GroupCommits        int64
 	GroupCommitVersions int64
+	// ManifestRecords counts metadata commits through the store-wide
+	// manifest log; ManifestAppends counts the physical log appends
+	// that carried them, so ManifestRecords/ManifestAppends is the
+	// cross-array coalescing factor. ManifestFsyncs counts log fsyncs
+	// (equal to appends under Durability); ManifestRotations counts
+	// snapshot rotations. All zero on legacy per-array stores.
+	ManifestRecords   int64
+	ManifestAppends   int64
+	ManifestFsyncs    int64
+	ManifestRotations int64
 	// InsertOrphanFiles/InsertOrphanBytes count chunk blobs written by a
 	// failed insert and reclaimed at the failure site (removed files and
 	// truncated chain-file tails), instead of dangling until a durable
@@ -355,10 +387,15 @@ type IOStats struct {
 	RecoveryDroppedVersions int64
 }
 
-// Open creates or reopens a store rooted at dir. With
-// Options.Durability on, Open also runs crash recovery: it sweeps
-// commit leftovers (metadata tmp files, stale chunk generations,
-// orphaned chunk files), truncates torn chunk-file tails, and
+// Open creates or reopens a store rooted at dir. A CURRENT pointer in
+// the root marks the store manifest-format: Open replays the snapshot
+// plus the log to rebuild every array (see manifest.go); otherwise the
+// legacy per-array versions.json files are scanned, and the first
+// durable open migrates them to the manifest in place (unless
+// Options.PerArrayCommit opts out). With Options.Durability on, Open
+// also runs crash recovery: it sweeps commit leftovers (metadata tmp
+// files, stale manifest generations, stale chunk generations, orphaned
+// chunk files), truncates torn chunk-file and manifest-log tails, and
 // reconciles the version metadata against the payloads that survived;
 // what it repaired is reported through Stats().
 func Open(dir string, opts Options) (*Store, error) {
@@ -379,21 +416,70 @@ func Open(dir string, opts Options) (*Store, error) {
 		prof:       newProfile(),
 		clock:      time.Now,
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("core: read store dir: %w", err)
+	if _, err := os.Stat(filepath.Join(dir, currentFile)); err == nil {
+		if err := s.openManifestStore(); err != nil {
+			return nil, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("core: stat %s: %w", currentFile, err)
+	} else if err := s.openLegacyStore(); err != nil {
+		return nil, err
 	}
+	s.startTuner()
+	return s, nil
+}
+
+// openManifestStore replays an existing manifest store and, when
+// durable, sweeps root debris and runs per-array crash recovery.
+func (s *Store) openManifestStore() error {
+	man, err := openManifest(s)
+	if err != nil {
+		return err
+	}
+	s.man = man
+	for name, doc := range man.state {
+		s.arrays[name] = &arrayState{arrayMeta: *doc, dir: filepath.Join(s.dir, name)}
+	}
+	if !s.opts.Durability {
+		return nil
+	}
+	if err := man.sweepRootLocked(); err != nil {
+		return fmt.Errorf("core: manifest sweep: %w", err)
+	}
+	t0 := time.Now()
+	if err := s.recoverLocked(); err != nil {
+		return fmt.Errorf("core: crash recovery: %w", err)
+	}
+	s.prof.recoveryNanos.Store(time.Since(t0).Nanoseconds())
+	return nil
+}
+
+// openLegacyStore scans the per-array versions.json files, runs crash
+// recovery when durable, and then — the first durable open without
+// PerArrayCommit — migrates the store to the manifest in place. A
+// fresh store (no array directories at all) is born manifest-format
+// even without Durability: there is nothing to migrate, and new stores
+// should all speak the same commit protocol. Only a pre-existing
+// legacy store opened non-durably is left untouched, so read-only
+// tooling never rewrites a store's format behind its owner's back.
+func (s *Store) openLegacyStore() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("core: read store dir: %w", err)
+	}
+	sawDir := false
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
-		adir := filepath.Join(dir, e.Name())
+		sawDir = true
+		adir := filepath.Join(s.dir, e.Name())
 		if strings.HasSuffix(e.Name(), tombstoneSuffix) {
 			// a committed DeleteArray whose post-commit sweep was
 			// interrupted; never load it, remove it when recovering
-			if opts.Durability {
+			if s.opts.Durability {
 				if err := s.fs.RemoveAll(adir); err != nil {
-					return nil, fmt.Errorf("core: sweep deleted array %q: %w", e.Name(), err)
+					return fmt.Errorf("core: sweep deleted array %q: %w", e.Name(), err)
 				}
 				s.recovery.RemovedFiles++
 			}
@@ -406,27 +492,33 @@ func Open(dir string, opts Options) (*Store, error) {
 				// CreateArray: the array never existed. Recovery sweeps
 				// it; a non-durable open just skips it so read-only
 				// tools still work on a store with crash debris
-				if opts.Durability {
+				if s.opts.Durability {
 					if rerr := s.fs.RemoveAll(adir); rerr != nil {
-						return nil, fmt.Errorf("core: sweep half-created array %q: %w", e.Name(), rerr)
+						return fmt.Errorf("core: sweep half-created array %q: %w", e.Name(), rerr)
 					}
 					s.recovery.RemovedFiles++
 				}
 				continue
 			}
-			return nil, fmt.Errorf("core: load array %q: %w", e.Name(), err)
+			return fmt.Errorf("core: load array %q: %w", e.Name(), err)
 		}
 		s.arrays[st.Schema.Name] = st
 	}
-	if opts.Durability {
+	if s.opts.Durability {
 		t0 := time.Now()
 		if err := s.recoverLocked(); err != nil {
-			return nil, fmt.Errorf("core: crash recovery: %w", err)
+			return fmt.Errorf("core: crash recovery: %w", err)
 		}
 		s.prof.recoveryNanos.Store(time.Since(t0).Nanoseconds())
 	}
-	s.startTuner()
-	return s, nil
+	if !s.opts.PerArrayCommit && (s.opts.Durability || !sawDir) {
+		man, err := s.migrateToManifest()
+		if err != nil {
+			return fmt.Errorf("core: manifest migration: %w", err)
+		}
+		s.man = man
+	}
+	return nil
 }
 
 // Options returns the store's configuration.
@@ -585,11 +677,15 @@ type BranchRef struct {
 }
 
 // arrayMeta is the durable metadata of one named array — exactly the
-// fields serialized into versions.json. Mutators never edit the live
-// copy in place: they build a staged arrayMeta (metaClone), commit it
-// with saveMetaDoc, and install it only after the rename succeeds, so a
-// failed commit can never leave in-memory metadata referencing an
-// uncommitted version (see insert.go "The insert commit path").
+// fields serialized into a manifest record (or, on legacy stores, into
+// versions.json). Mutators never edit the live copy in place: they
+// build a staged arrayMeta (metaClone), commit it with commitMeta, and
+// install it only after the commit succeeds, so a failed commit can
+// never leave in-memory metadata referencing an uncommitted version
+// (see insert.go "The insert commit path"). Committed documents are
+// immutable: the manifest retains the last committed doc of every
+// array for its rotation snapshots, which is only sound because every
+// later mutation stages against a fresh clone.
 type arrayMeta struct {
 	Schema       array.Schema   `json:"schema"`
 	SparseRep    bool           `json:"sparseRep"`
@@ -643,18 +739,21 @@ type arrayState struct {
 	// syncMu and commitMu pipeline the group commit in two stages:
 	// syncMu admits one leader to the data-sync stage (drain pending,
 	// fsync every staged file and the chunks dir), commitMu admits one
-	// to the metadata stage (validate, install, versions.json rename).
-	// A leader acquires commitMu BEFORE releasing syncMu, so batches
-	// install in drain order, while the next leader's fsyncs overlap
-	// this leader's metadata commit.
+	// to the metadata stage (validate, install, commit via commitMeta —
+	// a manifest-log append, or the versions.json rename on legacy
+	// stores). A leader acquires commitMu BEFORE releasing syncMu, so
+	// batches install in drain order, while the next leader's fsyncs
+	// overlap this leader's metadata commit.
 	//
-	// commitMu doubles as the array's versions.json WRITER latch: insert
-	// leaders run the metadata rename with Store.mu released (so selects
+	// commitMu doubles as the array's metadata WRITER latch: insert
+	// leaders run the metadata commit with Store.mu released (so selects
 	// and staging never stall behind the commit's fsyncs), which is only
 	// safe because every other metadata writer on the array —
 	// DeleteVersion, Reorganize, Compact — also holds commitMu across
 	// its saveMeta. Lock order: syncMu < commitMu < writeMu < Store.mu
-	// < pendMu.
+	// < pendMu; the manifest's own latches are leaves below all of
+	// these (commit leaders append while holding commitMu, sometimes
+	// Store.mu too, and the manifest never takes a store lock back).
 	syncMu   sync.Mutex
 	commitMu sync.Mutex
 	// pendMu guards pending and stageNext.
@@ -784,18 +883,20 @@ func (st *arrayState) installMeta(m arrayMeta) {
 }
 
 // saveMeta commits an array's current in-memory metadata; mutators that
-// stage changes first commit the staged copy with saveMetaDoc and
+// stage changes first commit the staged copy with commitMeta and
 // install it only on success.
 func (s *Store) saveMeta(st *arrayState) error {
 	m := st.metaClone()
-	return s.saveMetaDoc(st.dir, &m)
+	return s.commitMeta(st, &m)
 }
 
-// saveMetaDoc commits an array metadata document: marshal to a tmp
-// file, rename over versions.json, and — with Durability on — fsync the
-// tmp file before the rename and the array directory after it. The
-// rename is the commit point of every mutation: chunk payloads are
-// synced before it, so once the new metadata is durable everything it
+// saveMetaDoc is the legacy per-array commit (PerArrayCommit stores
+// and pre-migration opens; manifest stores commit through
+// s.man.commit instead — see commitMeta): marshal to a tmp file,
+// rename over versions.json, and — with Durability on — fsync the tmp
+// file before the rename and the array directory after it. The rename
+// is the commit point of the mutation: chunk payloads are synced
+// before it, so once the new metadata is durable everything it
 // references is too, and anything it does not reference is garbage for
 // recovery and Compact to reclaim.
 func (s *Store) saveMetaDoc(dir string, m *arrayMeta) error {
@@ -859,6 +960,23 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		s.noteDiskPressure(err)
 		return err
 	}
+	if s.opts.Durability && s.man != nil {
+		// On a manifest store the directory chain must be durable BEFORE
+		// the commit record: the manifest never syncs the array directory
+		// again (no per-array rename commit), and chunk fsyncs inside a
+		// directory whose entry a crash can drop would silently lose
+		// committed data. A failure here is benign — nothing references
+		// the array yet.
+		err := s.fs.SyncDir(dir)
+		if err == nil {
+			err = s.fs.SyncDir(s.dir)
+		}
+		if err != nil {
+			s.noteDiskPressure(err)
+			_ = s.fs.RemoveAll(dir)
+			return err
+		}
+	}
 	elem := schema.Attrs[0].Type.Size()
 	ck, err := chunk.New(schema.Shape(), elem, s.opts.ChunkBytes)
 	if err != nil {
@@ -875,8 +993,11 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		dir: dir,
 	}
 	err = s.saveMeta(st)
-	if err == nil && s.opts.Durability {
-		// the array directory's entry in the store root must survive too
+	if err == nil && s.opts.Durability && s.man == nil {
+		// legacy commit: the array directory's entry in the store root
+		// must survive too. (A manifest store needs no root sync — the
+		// commit record is durable in the log, and recovery recreates a
+		// lost directory entry from it.)
 		err = uncertain(s.fs.SyncDir(s.dir))
 	}
 	if err != nil {
@@ -884,7 +1005,9 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 		// any on-disk uncertainty (a metadata rename that secretly
 		// landed) by deleting it. Only if that also fails can a phantom
 		// array survive to the next Open — degrade the store so writes
-		// stop until the disk recovers.
+		// stop until the disk recovers. (On a manifest store an
+		// uncertain commit already degraded the store via the poisoned
+		// log, and the heal's truncation resolves the uncertainty.)
 		s.noteDiskPressure(err)
 		if rerr := s.fs.RemoveAll(dir); rerr != nil && isUncertain(err) {
 			s.degradeStore(err)
@@ -901,17 +1024,19 @@ func (s *Store) createArrayLocked(schema array.Schema, branchedFrom *BranchRef) 
 // live array.
 const tombstoneSuffix = ".deleting"
 
-// DeleteArray removes an array and all of its versions. The commit
-// point is a single rename to a tombstone name (made durable with a
-// store-root sync); the tree removal happens after it, so a crash can
-// only ever leave a tombstone for Open-time recovery to sweep — never a
-// half-deleted array that resurrects with versions missing.
+// DeleteArray removes an array and all of its versions. On a manifest
+// store the commit point is a single drop record appended to the
+// store-wide log; on a legacy store it is a rename to a tombstone name
+// (made durable with a store-root sync). Either way the tree removal
+// happens after the commit, so a crash can only ever leave debris for
+// Open-time recovery to sweep — never a half-deleted array that
+// resurrects with versions missing.
 //
-// The array's commitMu is held across the tombstone rename: an insert
-// leader runs its versions.json rename with Store.mu released, and
-// without this latch a delete + same-name recreate could slip into
-// that window, landing the old array's staged metadata inside the
-// recreated array's directory.
+// The array's commitMu is held across the commit: an insert leader
+// runs its metadata commit with Store.mu released, and without this
+// latch a delete + same-name recreate could slip into that window,
+// landing the old array's staged metadata under the recreated array's
+// name.
 func (s *Store) DeleteArray(name string) error {
 	if err := s.writeGate(name); err != nil {
 		return err
@@ -931,23 +1056,38 @@ func (s *Store) DeleteArray(name string) error {
 	if s.arrays[name] != st {
 		return fmt.Errorf("core: no array %q", name)
 	}
-	tomb := st.dir + tombstoneSuffix
-	st.ioMu.Lock()
-	err = s.fs.Rename(st.dir, tomb)
-	if err == nil && s.opts.Durability {
-		err = s.fs.SyncDir(s.dir)
+	if s.man != nil {
+		st.ioMu.Lock()
+		err = s.man.commit([]manifestOp{{Name: name, Drop: true}})
+		if err != nil {
+			st.ioMu.Unlock()
+			s.noteCommitFailure(st, err)
+			return err
+		}
+		// post-commit garbage collection; a failure just leaves an
+		// unreferenced directory for the next durable open's root sweep
+		_ = s.fs.RemoveAll(st.dir)
+		st.ioMu.Unlock()
+	} else {
+		tomb := st.dir + tombstoneSuffix
+		st.ioMu.Lock()
+		err = s.fs.Rename(st.dir, tomb)
+		if err == nil && s.opts.Durability {
+			err = s.fs.SyncDir(s.dir)
+		}
+		st.ioMu.Unlock()
+		if err != nil {
+			// the tombstone rename's effect is uncertain: the directory
+			// may already be renamed while memory keeps serving the
+			// array. The heal restores the live name from the tombstone
+			// (see healArray).
+			s.noteCommitFailure(st, uncertain(err))
+			return err
+		}
+		// post-commit garbage collection; a failure just leaves the
+		// tombstone for the next Open's recovery
+		_ = s.fs.RemoveAll(tomb)
 	}
-	st.ioMu.Unlock()
-	if err != nil {
-		// the tombstone rename's effect is uncertain: the directory may
-		// already be renamed while memory keeps serving the array. The
-		// heal restores the live name from the tombstone (see healArray).
-		s.noteCommitFailure(st, uncertain(err))
-		return err
-	}
-	// post-commit garbage collection; a failure just leaves the
-	// tombstone for the next Open's recovery
-	_ = s.fs.RemoveAll(tomb)
 	delete(s.arrays, name)
 	s.invalidateArrayLocked(name)
 	s.workload.drop(name)

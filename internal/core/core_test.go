@@ -714,7 +714,9 @@ func TestCorruptChunkFileDetected(t *testing.T) {
 
 func TestCorruptMetadataRejectedOnOpen(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, smallOpts())
+	opts := smallOpts()
+	opts.PerArrayCommit = true // pin the legacy versions.json loader
+	s, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -724,7 +726,7 @@ func TestCorruptMetadataRejectedOnOpen(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "Meta", metaFile), []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, smallOpts()); err == nil {
+	if _, err := Open(dir, opts); err == nil {
 		t.Error("corrupt metadata accepted on reopen")
 	}
 }

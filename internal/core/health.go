@@ -241,6 +241,15 @@ func (s *Store) Heal() (HealReport, error) {
 		if err := s.probeDir(s.dir); err != nil {
 			return rep, fmt.Errorf("core: heal probe: %w", err)
 		}
+		// An uncertain manifest append or CURRENT flip poisoned the log;
+		// truncate the unhealed tail (or finish the flip) before declaring
+		// the store writable again, or the next append would stack a record
+		// on bytes whose durability is unknown.
+		if s.man != nil {
+			if err := s.man.heal(); err != nil {
+				return rep, fmt.Errorf("core: heal manifest: %w", err)
+			}
+		}
 		s.healthMu.Lock()
 		if s.storeDegraded != nil {
 			s.storeDegraded = nil
@@ -359,7 +368,7 @@ func (s *Store) healArray(name string, rep *HealReport) error {
 	}
 	m := st.metaClone()
 	s.mu.RUnlock()
-	if err := s.saveMetaDoc(st.dir, &m); err != nil {
+	if err := s.commitMeta(st, &m); err != nil {
 		return err
 	}
 

@@ -31,12 +31,14 @@ import (
 // pending on the array, makes their payloads durable with one fsync per
 // touched file plus one chunks-dir fsync shared by the whole batch,
 // validates each against the live state (generation unchanged, delta
-// bases still live), and publishes them all with a single versions.json
-// rename — the commit point of the PR 3 durability protocol, unchanged.
+// bases still live), and publishes them all with a single metadata
+// commit — one record appended to the store-wide manifest log, or the
+// versions.json rename on legacy PerArrayCommit stores (commitMeta is
+// the seam between the two protocols).
 //
-// Nothing is installed into the live arrayState until that rename
+// Nothing is installed into the live arrayState until that commit
 // succeeds: mutators build a staged arrayMeta and install it only after
-// saveMetaDoc returns, so a failed commit leaves in-memory metadata
+// commitMeta returns, so a failed commit leaves in-memory metadata
 // exactly equal to on-disk metadata (no phantom versions a select could
 // read but a reopen would lose), and the blobs a failed stage appended
 // are reclaimed at the failure site (writeSet.sweep).
@@ -341,7 +343,7 @@ func (s *Store) InsertCtx(ctx context.Context, name string, p Payload) (int, err
 // InsertBatch adds a batch of versions to the named array in one shared
 // commit and returns their IDs in payload order. The batch is atomic:
 // either every payload becomes a committed version or none does (one
-// versions.json rename covers them all). Payloads are resolved in
+// metadata commit covers them all). Payloads are resolved in
 // order, so later batch members delta-encode against earlier ones when
 // that is smaller, and each member's lineage parent is its predecessor
 // in the batch. Delta-list payloads must reference already-committed
@@ -421,7 +423,7 @@ func (s *Store) lockWrite(name string) (*arrayState, error) {
 	})
 }
 
-// lockMetaWrite is lockWrite plus the versions.json writer latch
+// lockMetaWrite is lockWrite plus the metadata writer latch
 // (commitMu), for mutators outside the insert pipeline that both
 // append to chunk files and rewrite the metadata (DeleteVersion). The
 // caller releases st.writeMu then st.commitMu.
@@ -619,7 +621,7 @@ func (s *Store) stagePayload(ctx *insertCtx, p Payload, id int, kind string, rep
 // durable, and publishes them all with one metadata commit. The two
 // commit stages are pipelined — a leader acquires the metadata latch
 // before releasing the sync latch (preserving drain order), so the
-// next leader's fsync schedule overlaps this leader's versions.json
+// next leader's fsync schedule overlaps this leader's metadata
 // commit. Inserts staged while a commit is in flight ride the next
 // leader (or a re-drain round of the current one) — the commit window
 // is the duration of the commit in front, no timers involved.
@@ -683,9 +685,10 @@ func (st *arrayState) drainPending() []*stagedInsert {
 
 // finalizeBatch is the metadata stage of the group commit: validate
 // every synced staged insert against the live state, commit the staged
-// document with a single versions.json rename, and install it. The
-// rename runs with Store.mu RELEASED — commitMu (held by the caller)
-// is the versions.json writer latch, serializing it against every
+// document with a single metadata commit (a manifest-log record, or
+// the versions.json rename on legacy stores), and install it. The
+// commit runs with Store.mu RELEASED — commitMu (held by the caller)
+// is the metadata writer latch, serializing it against every
 // other metadata writer on the array — so concurrent selects and the
 // next leader's staging never stall behind the commit's fsyncs. Every
 // insert in the batch has its outcome finalized (done closed) before
@@ -738,7 +741,7 @@ func (s *Store) finalizeBatch(st *arrayState, batch []*stagedInsert, latched boo
 		}
 		if commitErr == nil {
 			t0 := time.Now()
-			commitErr = s.saveMetaDoc(st.dir, staged)
+			commitErr = s.commitMeta(st, staged)
 			metaDur := time.Since(t0)
 			s.prof.observeCommit(StageMetaCommit, metaDur, 0)
 			for _, ins := range ok {
@@ -1024,6 +1027,63 @@ func (s *Store) insertBatchFallback(name string, ps []Payload) ([]int, error) {
 // Store.mu). Like the optimistic path, nothing is installed into the
 // live state until the metadata commit succeeds.
 func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]int, error) {
+	sb, err := s.stageBatchLocked(st, ps, kind)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) ([]int, error) {
+		// safe without further locking: callers either hold writeMu or
+		// own the array exclusively (see above)
+		sb.ws.sweep(s)
+		s.noteDiskPressure(err)
+		return nil, err
+	}
+	if s.opts.Durability {
+		t0 := time.Now()
+		if err := sb.ws.sync(s); err != nil {
+			s.noteCommitFailure(st, err)
+			return fail(err)
+		}
+		if sb.ws.createdFiles() {
+			if err := s.fs.SyncDir(sb.dir); err != nil {
+				s.noteCommitFailure(st, err)
+				return fail(err)
+			}
+		}
+		s.prof.observeCommit(StageDataFsync, time.Since(t0), sb.ws.totalBytes())
+	}
+	t0 := time.Now()
+	if err := s.commitMeta(st, sb.staged); err != nil {
+		if isUncertain(err) {
+			s.noteCommitFailure(st, err)
+		}
+		return fail(err)
+	}
+	s.prof.observeCommit(StageMetaCommit, time.Since(t0), 0)
+	st.mutateLocked()
+	st.installMeta(*sb.staged)
+	s.addGroupCommit(len(sb.ids))
+	s.prof.batchSize.Observe(float64(len(sb.ids)))
+	return sb.ids, nil
+}
+
+// stagedBatch is one array's staged-but-uncommitted insert batch: the
+// cloned metadata document holding the new versions, the write-set of
+// chunk blobs backing them, the reserved ids, and the directory whose
+// entries must be synced before the commit.
+type stagedBatch struct {
+	st     *arrayState
+	staged *arrayMeta
+	ws     *writeSet
+	ids    []int
+	dir    string
+}
+
+// stageBatchLocked stages ps into a cloned metadata document without
+// committing anything. Callers own the array exclusively (Store.mu
+// held, or the array not yet visible); on failure the write-set has
+// already been swept.
+func (s *Store) stageBatchLocked(st *arrayState, ps []Payload, kind string) (*stagedBatch, error) {
 	staged := st.metaClone()
 	v := s.viewOfMeta(st, &staged)
 	ws := newWriteSet()
@@ -1031,9 +1091,7 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 	sparse, fill := staged.SparseRep, staged.Fill
 	repFixed := len(staged.Versions) > 0
 	ctx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: sparse}
-	fail := func(err error) ([]int, error) {
-		// safe without further locking: callers either hold writeMu or
-		// own the array exclusively (see above)
+	fail := func(err error) (*stagedBatch, error) {
 		ws.sweep(s)
 		s.noteDiskPressure(err)
 		return nil, err
@@ -1053,33 +1111,7 @@ func (s *Store) insertBatchLocked(st *arrayState, ps []Payload, kind string) ([]
 			return fail(err)
 		}
 	}
-	if s.opts.Durability {
-		t0 := time.Now()
-		if err := ws.sync(s); err != nil {
-			s.noteCommitFailure(st, err)
-			return fail(err)
-		}
-		if ws.createdFiles() {
-			if err := s.fs.SyncDir(ctx.dir); err != nil {
-				s.noteCommitFailure(st, err)
-				return fail(err)
-			}
-		}
-		s.prof.observeCommit(StageDataFsync, time.Since(t0), ws.totalBytes())
-	}
-	t0 := time.Now()
-	if err := s.saveMetaDoc(st.dir, &staged); err != nil {
-		if isUncertain(err) {
-			s.noteCommitFailure(st, err)
-		}
-		return fail(err)
-	}
-	s.prof.observeCommit(StageMetaCommit, time.Since(t0), 0)
-	st.mutateLocked()
-	st.installMeta(staged)
-	s.addGroupCommit(len(ids))
-	s.prof.batchSize.Observe(float64(len(ids)))
-	return ids, nil
+	return &stagedBatch{st: st, staged: &staged, ws: ws, ids: ids, dir: ctx.dir}, nil
 }
 
 // batchReencodeStaged implements §IV-E's batched update heuristic on a

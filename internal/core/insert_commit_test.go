@@ -100,7 +100,11 @@ func assertStoreAgrees(t *testing.T, s *Store, name string, want map[int]*array.
 		}
 	}
 	check("live store", s)
-	r, err := Open(s.Dir(), Options{ChunkBytes: s.opts.ChunkBytes, CoLocate: s.opts.CoLocate, Durability: true})
+	// PerArrayCommit must carry over: a durable reopen of a legacy store
+	// would otherwise migrate it to the manifest behind the live store's
+	// back, and the live store's next commit would go unrecorded there.
+	r, err := Open(s.Dir(), Options{ChunkBytes: s.opts.ChunkBytes, CoLocate: s.opts.CoLocate,
+		Durability: true, PerArrayCommit: s.opts.PerArrayCommit})
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -111,10 +115,12 @@ func assertStoreAgrees(t *testing.T, s *Store, name string, want map[int]*array.
 }
 
 // TestInsertMetaCommitFailureRollsBack is the phantom-version
-// regression: a saveMeta fault injected under the insert's metadata
+// regression: a commit fault injected under the insert's metadata
 // commit must leave the failed id unselectable, the in-memory state
 // identical to a durable reopen, the orphaned blobs reclaimed, and the
-// id reusable by the next insert.
+// id reusable by the next insert. It pins the legacy per-array rename
+// protocol (PerArrayCommit); the manifest-mode analog lives in
+// manifest_test.go.
 func TestInsertMetaCommitFailureRollsBack(t *testing.T) {
 	for _, fault := range []string{"create-tmp", "rename-meta"} {
 		t.Run(fault, func(t *testing.T) {
@@ -122,6 +128,7 @@ func TestInsertMetaCommitFailureRollsBack(t *testing.T) {
 			opts := smallOpts()
 			opts.ChunkBytes = 1 << 10
 			opts.Durability = true
+			opts.PerArrayCommit = true
 			opts.FS = ffs
 			opts.HealInterval = -1 // heal explicitly, not from the background prober
 			s := testStore(t, opts)
@@ -317,9 +324,11 @@ func TestInsertBatchAtomicAndChained(t *testing.T) {
 		t.Fatal("no batch member delta-encoded against an earlier member of the same batch")
 	}
 
-	// a fault under the shared commit must abort the WHOLE batch
+	// a fault under the shared commit must abort the WHOLE batch (a
+	// failed manifest-log open is benign: nothing was appended)
 	ffs.arm(func(op, path string) bool {
-		return op == "create" && strings.HasSuffix(path, metaFile+".tmp")
+		return op == "append" && strings.HasSuffix(path, ".log") &&
+			strings.Contains(path, manifestPrefix)
 	})
 	if _, err := s.InsertBatch("B", []Payload{
 		DensePayload(crashContent(10, side)),

@@ -25,13 +25,14 @@ import (
 // from parallel insert workers; each worker targets a distinct file, so
 // writers never share a file handle. The only destructive operations
 // (Reorganize, Compact, DeleteArray) build a new chunk generation
-// beside the live one, commit it with the metadata rename, and remove
+// beside the live one, commit it with a metadata commit, and remove
 // the old generation under the array's exclusive I/O latch.
 //
 // Durability contract: with Options.Durability on, every append is
 // fsynced before writeBlob returns, and mutators sync the chunks
-// directory before committing metadata, so the metadata rename in
-// saveMeta is the commit point — everything a committed version
+// directory before committing metadata, so the metadata commit in
+// saveMeta — a manifest-log append, or the versions.json rename on
+// legacy stores — is the commit point: everything a committed version
 // references is already durable, and anything past the last committed
 // frame in a file is garbage that recovery truncates.
 

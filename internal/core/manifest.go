@@ -1,0 +1,854 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The store-wide manifest log (on-disk commit protocol 2).
+//
+// The PR 3 protocol gave every array its own commit point: a staged
+// versions.json renamed into place. That shape made cross-array
+// atomicity impossible by construction and charged every touched array
+// its own fsync pair. The manifest replaces the N per-array rename
+// commits with one append-only, checksummed log at the store root,
+// following the LSM-manifest idiom:
+//
+//	CURRENT            {"gen":N} — names the live snapshot/log pair;
+//	                   replaced by tmp-write + rename + root sync
+//	MANIFEST-N.snap    one AVC1 frame: JSON {seq, arrays} — the full
+//	                   store state as of sequence number seq
+//	MANIFEST-N.log     AVC1 frames, one per commit: JSON
+//	                   {seq, ops:[{name, drop?, meta?}...]}
+//
+// Every record carries whole arrayMeta documents (last-writer-wins on
+// replay), reusing the PR 3 chunk frame format — 13-byte header with
+// magic, version, payload length, and CRC32-C — so a torn append is
+// detected exactly like a torn chunk tail. Sequence numbers are
+// contiguous: the snapshot stores the last sequence it covers and the
+// log must continue at seq+1, so replay can tell a clean tail from a
+// missing record.
+//
+// THE commit point of every mutation is the manifest append (fsynced
+// under Durability). Chunk payloads are still synced before it, so the
+// PR 3 ordering invariant survives: once a record is durable,
+// everything it references is too. Because all arrays share the one
+// log, a single append can carry records for many arrays — the group
+// commit coalescer merges concurrent commits across arrays into one
+// fsync, and InsertMulti commits a multi-array batch as one record
+// with all-or-nothing visibility.
+//
+// Failure handling mirrors saveMetaDoc's split: an append that fails
+// before any byte is written (open failure) is benign; a failed write,
+// fsync, or close leaves the log tail uncertain, so the manifest is
+// poisoned — the whole store degrades read-only — until a heal
+// truncates the log back to the last known-good byte. A failed CURRENT
+// flip during rotation likewise poisons with the pending generation
+// recorded, and the heal retries the (idempotent) flip.
+
+const (
+	// currentFile points at the live manifest generation; its presence
+	// is what marks a store directory as manifest-format.
+	currentFile = "CURRENT"
+	// manifestPrefix prefixes the per-generation snapshot/log files.
+	manifestPrefix = "MANIFEST-"
+	// defaultManifestRotateBytes is the log size that triggers a
+	// snapshot rotation when Options.ManifestRotateBytes is zero.
+	defaultManifestRotateBytes = 4 << 20
+)
+
+func manifestSnapName(gen int) string { return fmt.Sprintf("%s%06d.snap", manifestPrefix, gen) }
+func manifestLogName(gen int) string  { return fmt.Sprintf("%s%06d.log", manifestPrefix, gen) }
+
+// manifestOp is one array's part of a commit record: either its full
+// replacement metadata document or a drop marker.
+type manifestOp struct {
+	Name string     `json:"name"`
+	Drop bool       `json:"drop,omitempty"`
+	Meta *arrayMeta `json:"meta,omitempty"`
+}
+
+// manifestRecord is one committed mutation: every op in it becomes
+// visible atomically at replay.
+type manifestRecord struct {
+	Seq int64        `json:"seq"`
+	Ops []manifestOp `json:"ops"`
+}
+
+// manifestSnapshot is the full store state a generation starts from.
+// Seq is the last sequence number the snapshot covers; the
+// generation's log continues at Seq+1.
+type manifestSnapshot struct {
+	Seq    int64        `json:"seq"`
+	Arrays []manifestOp `json:"arrays"`
+}
+
+// manifestCommit is one enqueued commit waiting for a leader to append
+// it; done is closed once err is final.
+type manifestCommit struct {
+	ops  []manifestOp
+	done chan struct{}
+	err  error
+}
+
+// manifest is the store-wide commit log. Its writer latch (mu) is a
+// leaf below every array latch and Store.mu: commit leaders call
+// commit() while holding per-array commitMu (and sometimes Store.mu),
+// and the manifest never takes any store or array lock back.
+type manifest struct {
+	s   *Store
+	dir string
+
+	// qmu guards the pending commit queue; commit() enqueues under it
+	// and whichever committer wins mu drains the whole queue into one
+	// append (cross-array group commit).
+	qmu   sync.Mutex
+	queue []*manifestCommit
+
+	// mu is the log writer latch; everything below is guarded by it.
+	mu sync.Mutex
+	// gen is the live generation (CURRENT's value).
+	gen int
+	// nextSeq is the last sequence number committed.
+	nextSeq int64
+	// validOff is the byte length of the known-good log prefix; a
+	// failed append leaves bytes past it in doubt until a heal
+	// truncates them.
+	validOff int64
+	// state mirrors the committed metadata document of every array;
+	// rotation snapshots it without touching Store.mu (committed docs
+	// are never edited in place — mutators always clone).
+	state map[string]*arrayMeta
+	// poisoned holds the error that left the log tail uncertain; no
+	// append runs until heal() clears it.
+	poisoned error
+	// pendingFlip is a rotation generation whose snapshot and log are
+	// durable but whose CURRENT flip failed uncertainly; heal retries
+	// the flip, which is idempotent.
+	pendingFlip int
+	// lazyTrunc marks a torn tail found by a non-durable open, which
+	// must not mutate the directory; the first append truncates it.
+	lazyTrunc bool
+	// rotateAt is the log size that triggers rotation; <0 disables.
+	rotateAt int64
+}
+
+func manifestRotateAt(opts Options) int64 {
+	if opts.ManifestRotateBytes != 0 {
+		return opts.ManifestRotateBytes
+	}
+	return defaultManifestRotateBytes
+}
+
+// commitMeta commits one array's staged metadata document. It is the
+// seam between the two commit protocols: per-array stores rename a
+// fresh versions.json into place (the PR 3 commit point), manifest
+// stores append one record to the store-wide log. Callers hold the
+// array's commitMu (the metadata writer latch) either way.
+func (s *Store) commitMeta(st *arrayState, m *arrayMeta) error {
+	if s.man == nil {
+		return s.saveMetaDoc(st.dir, m)
+	}
+	return s.man.commit([]manifestOp{{Name: st.Schema.Name, Meta: m}})
+}
+
+// commit appends ops as one record and returns once it is durable (or
+// failed). Concurrent commits — even to different arrays — coalesce:
+// the committer that wins the writer latch drains the whole queue and
+// pays one write + one fsync for every record in it.
+func (man *manifest) commit(ops []manifestOp) error {
+	c := &manifestCommit{ops: ops, done: make(chan struct{})}
+	man.qmu.Lock()
+	man.queue = append(man.queue, c)
+	man.qmu.Unlock()
+	for {
+		select {
+		case <-c.done:
+			return c.err
+		default:
+		}
+		man.mu.Lock()
+		select {
+		case <-c.done:
+			man.mu.Unlock()
+			return c.err
+		default:
+		}
+		man.qmu.Lock()
+		batch := man.queue
+		man.queue = nil
+		man.qmu.Unlock()
+		man.appendLocked(batch)
+		man.mu.Unlock()
+	}
+}
+
+// appendLocked encodes every queued commit into one buffer, appends it
+// to the log with a single write and (under Durability) a single
+// fsync, and installs the committed documents into the mirror state.
+// Callers hold man.mu.
+func (man *manifest) appendLocked(batch []*manifestCommit) {
+	if len(batch) == 0 {
+		return
+	}
+	finish := func(err error) {
+		for _, c := range batch {
+			c.err = err
+			close(c.done)
+		}
+	}
+	if man.poisoned != nil {
+		// definite failure: nothing was appended. The earlier failure
+		// already degraded the store; report that state, not a fresh
+		// uncertainty.
+		finish(fmt.Errorf("core: manifest log has an unhealed tail: %w", ErrDegraded))
+		return
+	}
+	s := man.s
+	startSeq := man.nextSeq
+	var buf []byte
+	for _, c := range batch {
+		man.nextSeq++
+		raw, err := json.Marshal(&manifestRecord{Seq: man.nextSeq, Ops: c.ops})
+		if err != nil {
+			man.nextSeq = startSeq
+			finish(err)
+			return
+		}
+		buf = appendFrame(buf, raw)
+	}
+	logPath := filepath.Join(man.dir, manifestLogName(man.gen))
+	if man.lazyTrunc {
+		// a non-durable open saw this torn tail but could not repair it
+		// (read-only opens must not mutate); cut it now, before the
+		// first append would otherwise land behind garbage
+		if err := s.fs.Truncate(logPath, man.validOff); err != nil {
+			man.nextSeq = startSeq
+			finish(err)
+			return
+		}
+		man.lazyTrunc = false
+	}
+	f, err := s.fs.Append(logPath)
+	if err != nil {
+		// benign: the log was never opened, nothing changed on disk
+		man.nextSeq = startSeq
+		finish(err)
+		return
+	}
+	_, werr := f.Write(buf)
+	if werr == nil && s.opts.Durability {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// uncertain: some prefix of the batch may be durable. The tail
+		// past validOff is poisoned — appending behind it would commit
+		// records that replay may never reach — so the whole store
+		// degrades until the heal truncates the log back to validOff.
+		man.nextSeq = startSeq
+		man.poisonLocked(werr)
+		finish(uncertain(werr))
+		return
+	}
+	for _, c := range batch {
+		for i := range c.ops {
+			op := &c.ops[i]
+			if op.Drop {
+				delete(man.state, op.Name)
+			} else {
+				man.state[op.Name] = op.Meta
+			}
+		}
+	}
+	man.validOff += int64(len(buf))
+	s.addManifestCommit(len(batch))
+	finish(nil)
+	if man.rotateAt >= 0 && man.validOff > man.rotateAt {
+		man.rotateLocked()
+	}
+}
+
+// poisonLocked marks the log tail uncertain and degrades the whole
+// store: every array shares this one commit point, so none of them can
+// safely commit until the heal repairs it. Callers hold man.mu.
+func (man *manifest) poisonLocked(err error) {
+	man.poisoned = err
+	man.s.degradeStore(err)
+}
+
+// rotateLocked writes a fresh snapshot generation and flips CURRENT to
+// it. Rotation is housekeeping for the commit that triggered it — that
+// commit already succeeded — so a failure before the flip is benign:
+// remove the debris, keep the old generation, retry at the next
+// append. From the CURRENT flip on a failure is uncertain and poisons
+// the manifest with the flip pending; heal retries it. Callers hold
+// man.mu.
+func (man *manifest) rotateLocked() {
+	s := man.s
+	newGen := man.gen + 1
+	snap := manifestSnapshot{Seq: man.nextSeq}
+	names := make([]string, 0, len(man.state))
+	for n := range man.state {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		snap.Arrays = append(snap.Arrays, manifestOp{Name: n, Meta: man.state[n]})
+	}
+	raw, err := json.Marshal(&snap)
+	if err != nil {
+		return
+	}
+	cleanup := func(err error) {
+		s.noteDiskPressure(err)
+		_ = s.fs.Remove(filepath.Join(man.dir, manifestSnapName(newGen)))
+		_ = s.fs.Remove(filepath.Join(man.dir, manifestLogName(newGen)))
+	}
+	if err := man.writeFileSync(manifestSnapName(newGen), appendFrame(nil, raw)); err != nil {
+		cleanup(err)
+		return
+	}
+	if err := man.writeFileSync(manifestLogName(newGen), nil); err != nil {
+		cleanup(err)
+		return
+	}
+	if s.opts.Durability {
+		// the new generation's directory entries must be durable before
+		// CURRENT can point at them
+		if err := s.fs.SyncDir(man.dir); err != nil {
+			cleanup(err)
+			return
+		}
+	}
+	if err := man.writeCurrent(newGen); err != nil {
+		if isUncertain(err) {
+			man.pendingFlip = newGen
+			man.poisonLocked(err)
+		} else {
+			cleanup(err)
+		}
+		return
+	}
+	man.finishFlipLocked(newGen)
+}
+
+// finishFlipLocked installs a committed rotation: the generation
+// advances, the log restarts empty, and the superseded generation's
+// files are swept best-effort (a crashed sweep leaves debris for the
+// next durable open). Callers hold man.mu.
+func (man *manifest) finishFlipLocked(newGen int) {
+	old := man.gen
+	man.gen = newGen
+	man.validOff = 0
+	man.lazyTrunc = false
+	man.pendingFlip = 0
+	man.s.addManifestRotation()
+	_ = man.s.fs.Remove(filepath.Join(man.dir, manifestSnapName(old)))
+	_ = man.s.fs.Remove(filepath.Join(man.dir, manifestLogName(old)))
+}
+
+// writeFileSync creates name under the manifest dir with the given
+// contents, fsynced under Durability. Failures are benign: Create
+// truncates, so a retry starts clean.
+func (man *manifest) writeFileSync(name string, data []byte) error {
+	s := man.s
+	f, err := s.fs.Create(filepath.Join(man.dir, name))
+	if err != nil {
+		return err
+	}
+	var werr error
+	if len(data) > 0 {
+		_, werr = f.Write(data)
+	}
+	if werr == nil && s.opts.Durability {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// writeCurrent atomically points CURRENT at gen: tmp write (+fsync
+// under Durability), rename, parent sync. Failures through the tmp
+// close are benign; the rename onward is uncertain, exactly like
+// saveMetaDoc.
+func (man *manifest) writeCurrent(gen int) error {
+	s := man.s
+	tmp := filepath.Join(man.dir, currentFile+".tmp")
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(f, "{\"gen\":%d}\n", gen)
+	if werr == nil && s.opts.Durability {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(man.dir, currentFile)); err != nil {
+		return uncertain(err)
+	}
+	if s.opts.Durability {
+		return uncertain(s.fs.SyncDir(man.dir))
+	}
+	return nil
+}
+
+// heal repairs the manifest after an uncertain failure: a pending
+// rotation flip is retried (the new generation's files are already
+// durable, so re-pointing CURRENT is idempotent), and a poisoned log
+// tail is truncated back to the last byte every acknowledged commit
+// covers. Called from Store.Heal's store-degraded branch.
+func (man *manifest) heal() error {
+	man.mu.Lock()
+	defer man.mu.Unlock()
+	if man.pendingFlip != 0 {
+		if err := man.writeCurrent(man.pendingFlip); err != nil {
+			return err
+		}
+		man.finishFlipLocked(man.pendingFlip)
+		man.poisoned = nil
+		return nil
+	}
+	if man.poisoned == nil {
+		return nil
+	}
+	logPath := filepath.Join(man.dir, manifestLogName(man.gen))
+	if err := man.s.fs.Truncate(logPath, man.validOff); err != nil {
+		return err
+	}
+	man.poisoned = nil
+	return nil
+}
+
+// --- open, replay, migration ---
+
+// readCurrent parses the CURRENT pointer; os.ErrNotExist means the
+// store is (still) per-array format.
+func readCurrent(dir string) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil {
+		return 0, err
+	}
+	var cur struct {
+		Gen int `json:"gen"`
+	}
+	if err := json.Unmarshal(raw, &cur); err != nil {
+		return 0, fmt.Errorf("core: corrupt %s: %w", currentFile, err)
+	}
+	if cur.Gen < 1 {
+		return 0, fmt.Errorf("core: corrupt %s: generation %d", currentFile, cur.Gen)
+	}
+	return cur.Gen, nil
+}
+
+// scanManifestFrame parses one AVC1 frame at the head of buf. ok is
+// false when the bytes do not form a complete, checksum-valid frame —
+// at the log tail that is a torn append, indistinguishable by design
+// from a crash mid-write.
+func scanManifestFrame(buf []byte) (payload []byte, size int64, ok bool) {
+	if len(buf) < frameHeaderLen {
+		return nil, 0, false
+	}
+	if string(buf[:4]) != frameMagic || buf[4] != frameVersion {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[5:9]))
+	total := frameHeaderLen + n
+	if int64(len(buf)) < total {
+		return nil, 0, false
+	}
+	payload = buf[frameHeaderLen:total]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[9:13]) {
+		return nil, 0, false
+	}
+	return payload, total, true
+}
+
+// decodeManifestSnapshot parses and validates a snapshot file's one
+// frame.
+func decodeManifestSnapshot(raw []byte) (manifestSnapshot, error) {
+	payload, size, ok := scanManifestFrame(raw)
+	if !ok || size != int64(len(raw)) {
+		return manifestSnapshot{}, errors.New("corrupt snapshot frame")
+	}
+	var snap manifestSnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return manifestSnapshot{}, fmt.Errorf("corrupt snapshot: %w", err)
+	}
+	for _, op := range snap.Arrays {
+		if op.Drop || op.Meta == nil {
+			return manifestSnapshot{}, fmt.Errorf("corrupt snapshot: array %q has no document", op.Name)
+		}
+		if err := op.Meta.Schema.Validate(); err != nil {
+			return manifestSnapshot{}, fmt.Errorf("corrupt snapshot: array %q: %w", op.Name, err)
+		}
+	}
+	return snap, nil
+}
+
+// openManifest replays an existing manifest (CURRENT present):
+// snapshot first, then the log in sequence order. A torn tail is
+// truncated under Durability (recorded in recovery stats) or replayed
+// around and cut lazily by the first append otherwise. A checksum-valid
+// record with a non-contiguous sequence number is corruption, not a
+// torn tail, and fails the open.
+func openManifest(s *Store) (*manifest, error) {
+	gen, err := readCurrent(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	man := &manifest{
+		s:        s,
+		dir:      s.dir,
+		gen:      gen,
+		state:    make(map[string]*arrayMeta),
+		rotateAt: manifestRotateAt(s.opts),
+	}
+	snapRaw, err := os.ReadFile(filepath.Join(s.dir, manifestSnapName(gen)))
+	if err != nil {
+		return nil, fmt.Errorf("core: manifest snapshot: %w", err)
+	}
+	snap, err := decodeManifestSnapshot(snapRaw)
+	if err != nil {
+		return nil, fmt.Errorf("core: manifest snapshot %s: %w", manifestSnapName(gen), err)
+	}
+	for _, op := range snap.Arrays {
+		man.state[op.Name] = op.Meta
+	}
+	man.nextSeq = snap.Seq
+
+	logPath := filepath.Join(s.dir, manifestLogName(gen))
+	logRaw, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("core: manifest log: %w", err)
+	}
+	var off int64
+	for off < int64(len(logRaw)) {
+		payload, size, ok := scanManifestFrame(logRaw[off:])
+		if !ok {
+			break // torn tail
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, fmt.Errorf("core: manifest log %s at offset %d: corrupt record: %w", manifestLogName(gen), off, err)
+		}
+		if rec.Seq != man.nextSeq+1 {
+			return nil, fmt.Errorf("core: manifest log %s at offset %d: sequence %d, want %d", manifestLogName(gen), off, rec.Seq, man.nextSeq+1)
+		}
+		for i := range rec.Ops {
+			op := &rec.Ops[i]
+			if op.Drop {
+				delete(man.state, op.Name)
+				continue
+			}
+			if op.Meta == nil {
+				return nil, fmt.Errorf("core: manifest log %s: record %d: array %q has no document", manifestLogName(gen), rec.Seq, op.Name)
+			}
+			if err := op.Meta.Schema.Validate(); err != nil {
+				return nil, fmt.Errorf("core: manifest log %s: record %d: array %q: %w", manifestLogName(gen), rec.Seq, op.Name, err)
+			}
+			man.state[op.Name] = op.Meta
+		}
+		man.nextSeq = rec.Seq
+		off += size
+	}
+	man.validOff = off
+	if torn := int64(len(logRaw)) - off; torn > 0 {
+		if s.opts.Durability {
+			if err := s.fs.Truncate(logPath, off); err != nil {
+				return nil, fmt.Errorf("core: truncate torn manifest tail: %w", err)
+			}
+			s.recovery.TruncatedFiles++
+			s.recovery.TruncatedBytes += torn
+		} else {
+			man.lazyTrunc = true
+		}
+	}
+	return man, nil
+}
+
+// sweepRootLocked removes root-level crash debris on a durable open of
+// a manifest store: superseded or half-written MANIFEST generations,
+// CURRENT tmp files, legacy tombstones, and array directories the
+// replayed state does not reference (a crashed CreateArray that never
+// committed, a committed DeleteArray whose removal was interrupted, or
+// a pre-migration leftover).
+func (man *manifest) sweepRootLocked() error {
+	s := man.s
+	entries, err := os.ReadDir(man.dir)
+	if err != nil {
+		return err
+	}
+	keepSnap, keepLog := manifestSnapName(man.gen), manifestLogName(man.gen)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if _, live := man.state[name]; live && !strings.HasSuffix(name, tombstoneSuffix) {
+				continue
+			}
+			if err := s.fs.RemoveAll(filepath.Join(man.dir, name)); err != nil {
+				return fmt.Errorf("sweep array dir %q: %w", name, err)
+			}
+			s.recovery.RemovedFiles++
+			continue
+		}
+		stale := name == currentFile+".tmp" ||
+			(strings.HasPrefix(name, manifestPrefix) && name != keepSnap && name != keepLog)
+		if stale {
+			if err := s.fs.Remove(filepath.Join(man.dir, name)); err != nil {
+				return fmt.Errorf("sweep %q: %w", name, err)
+			}
+			s.recovery.RemovedFiles++
+		}
+	}
+	return nil
+}
+
+// migrateToManifest upgrades a legacy per-array store in place on its
+// first durable open (an empty directory is the trivial case — a new
+// store is born manifest-format). The sequence is:
+//
+//  1. write MANIFEST-1.snap holding every loaded array's document
+//  2. create an empty MANIFEST-1.log
+//  3. sync the store root (both entries durable)
+//  4. write CURRENT — THE migration commit point
+//  5. remove each array's versions.json (+ tmp), best-effort
+//
+// A crash before 4 leaves a fully legacy store (the MANIFEST debris is
+// overwritten by the next attempt and invisible to non-durable opens);
+// a crash after 4 leaves a fully migrated store whose stray
+// versions.json files the next durable open sweeps. Reads are
+// byte-identical either way: the snapshot holds exactly the documents
+// the legacy scan loaded.
+func (s *Store) migrateToManifest() (*manifest, error) {
+	man := &manifest{
+		s:        s,
+		dir:      s.dir,
+		gen:      1,
+		state:    make(map[string]*arrayMeta),
+		rotateAt: manifestRotateAt(s.opts),
+	}
+	snap := manifestSnapshot{}
+	names := make([]string, 0, len(s.arrays))
+	for n := range s.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := s.arrays[n].metaClone()
+		man.state[n] = &m
+		snap.Arrays = append(snap.Arrays, manifestOp{Name: n, Meta: &m})
+	}
+	raw, err := json.Marshal(&snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := man.writeFileSync(manifestSnapName(1), appendFrame(nil, raw)); err != nil {
+		return nil, err
+	}
+	if err := man.writeFileSync(manifestLogName(1), nil); err != nil {
+		return nil, err
+	}
+	if s.opts.Durability {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return nil, err
+		}
+	}
+	if err := man.writeCurrent(1); err != nil {
+		return nil, err
+	}
+	// migrated: the per-array metadata files are now dead weight. A
+	// failed removal is harmless — the next durable open sweeps strays.
+	for _, n := range names {
+		dir := filepath.Join(s.dir, n)
+		if err := s.fs.Remove(filepath.Join(dir, metaFile)); err == nil {
+			s.recovery.RemovedFiles++
+		}
+		_ = s.fs.Remove(filepath.Join(dir, metaFile+".tmp"))
+	}
+	return man, nil
+}
+
+// --- stats ---
+
+func (s *Store) addManifestCommit(records int) {
+	s.statsMu.Lock()
+	s.stats.ManifestRecords += int64(records)
+	s.stats.ManifestAppends++
+	if s.opts.Durability {
+		s.stats.ManifestFsyncs++
+	}
+	s.statsMu.Unlock()
+}
+
+func (s *Store) addManifestRotation() {
+	s.statsMu.Lock()
+	s.stats.ManifestRotations++
+	s.statsMu.Unlock()
+}
+
+// --- deep verification (avstore fsck) ---
+
+// ManifestReport is VerifyManifest's result: the replayed chain's
+// shape plus every integrity problem found. StrayFiles lists harmless
+// crash debris a durable open would sweep; Problems are real
+// corruption.
+type ManifestReport struct {
+	// Enabled reports whether the store uses the manifest commit
+	// protocol at all (false for legacy per-array stores).
+	Enabled bool `json:"enabled"`
+	// Gen is the live generation CURRENT points at.
+	Gen int `json:"gen"`
+	// SnapshotSeq is the sequence number the snapshot covers; LastSeq
+	// is the last sequence replayed from the log.
+	SnapshotSeq int64 `json:"snapshotSeq"`
+	LastSeq     int64 `json:"lastSeq"`
+	// LogRecords counts checksum-valid records replayed from the log.
+	LogRecords int64 `json:"logRecords"`
+	// Arrays is the number of live arrays in the replayed state.
+	Arrays int `json:"arrays"`
+	// TornBytes counts unreplayable bytes at the log tail (a torn
+	// final append — repaired, not a problem).
+	TornBytes int64 `json:"tornBytes"`
+	// StrayFiles lists crash debris: superseded MANIFEST generations,
+	// CURRENT tmp files, and leftover per-array versions.json files.
+	StrayFiles []string `json:"strayFiles,omitempty"`
+	// Problems lists integrity violations: bad checksums mid-chain,
+	// sequence gaps, undecodable documents, or committed arrays whose
+	// directories are missing.
+	Problems []string `json:"problems,omitempty"`
+}
+
+// Ok reports whether the manifest chain verified clean.
+func (r ManifestReport) Ok() bool { return len(r.Problems) == 0 }
+
+// VerifyManifest deep-verifies the manifest chain from disk: CURRENT,
+// the snapshot frame, every log record's checksum and sequence
+// continuity, and that every committed array resolves to a directory.
+// It reads through the plain os layer and never repairs anything, so
+// it is safe on a store opened read-only. On a live manifest store the
+// writer latch is held so the log is not scanned mid-append.
+func (s *Store) VerifyManifest() (ManifestReport, error) {
+	if s.man != nil {
+		s.man.mu.Lock()
+		defer s.man.mu.Unlock()
+	}
+	rep := ManifestReport{}
+	gen, err := readCurrent(s.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		rep.Enabled = true
+		rep.Problems = append(rep.Problems, err.Error())
+		return rep, nil
+	}
+	rep.Enabled = true
+	rep.Gen = gen
+
+	state := make(map[string]*arrayMeta)
+	snapRaw, err := os.ReadFile(filepath.Join(s.dir, manifestSnapName(gen)))
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("snapshot %s unreadable: %v", manifestSnapName(gen), err))
+		return rep, nil
+	}
+	snap, err := decodeManifestSnapshot(snapRaw)
+	if err != nil {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("snapshot %s: %v", manifestSnapName(gen), err))
+		return rep, nil
+	}
+	for _, op := range snap.Arrays {
+		state[op.Name] = op.Meta
+	}
+	rep.SnapshotSeq = snap.Seq
+	rep.LastSeq = snap.Seq
+
+	logName := manifestLogName(gen)
+	logRaw, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("log %s unreadable: %v", logName, err))
+		return rep, nil
+	}
+	var off int64
+	for off < int64(len(logRaw)) {
+		payload, size, ok := scanManifestFrame(logRaw[off:])
+		if !ok {
+			break
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("log %s offset %d: undecodable record: %v", logName, off, err))
+			return rep, nil
+		}
+		if rec.Seq != rep.LastSeq+1 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("log %s offset %d: sequence %d, want %d", logName, off, rec.Seq, rep.LastSeq+1))
+			return rep, nil
+		}
+		for i := range rec.Ops {
+			op := &rec.Ops[i]
+			switch {
+			case op.Drop:
+				delete(state, op.Name)
+			case op.Meta == nil:
+				rep.Problems = append(rep.Problems, fmt.Sprintf("log %s record %d: array %q has no document", logName, rec.Seq, op.Name))
+			default:
+				if err := op.Meta.Schema.Validate(); err != nil {
+					rep.Problems = append(rep.Problems, fmt.Sprintf("log %s record %d: array %q: %v", logName, rec.Seq, op.Name, err))
+				}
+				state[op.Name] = op.Meta
+			}
+		}
+		rep.LastSeq = rec.Seq
+		rep.LogRecords++
+		off += size
+	}
+	rep.TornBytes = int64(len(logRaw)) - off
+	rep.Arrays = len(state)
+
+	// orphaned-record sweep: every committed array must resolve to a
+	// directory, and leftover files (superseded generations, legacy
+	// metadata inside array dirs) are reported as strays
+	for name := range state {
+		if info, err := os.Stat(filepath.Join(s.dir, name)); err != nil || !info.IsDir() {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("array %q is committed but its directory is missing", name))
+		} else if _, err := os.Stat(filepath.Join(s.dir, name, metaFile)); err == nil {
+			rep.StrayFiles = append(rep.StrayFiles, filepath.Join(name, metaFile))
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if _, live := state[name]; !live {
+				rep.StrayFiles = append(rep.StrayFiles, name+string(os.PathSeparator))
+			}
+			continue
+		}
+		if name == currentFile+".tmp" ||
+			(strings.HasPrefix(name, manifestPrefix) && name != manifestSnapName(gen) && name != logName) {
+			rep.StrayFiles = append(rep.StrayFiles, name)
+		}
+	}
+	sort.Strings(rep.StrayFiles)
+	return rep, nil
+}

@@ -8,17 +8,20 @@ import (
 )
 
 // Open-time crash recovery (Options.Durability). The commit protocol
-// (see saveMeta and commitGen) guarantees that the committed
-// versions.json only references payloads that were fsynced before the
-// metadata rename, so after a crash the committed state is intact and
-// everything else on disk is debris from the interrupted mutation:
+// (see commitMeta) guarantees that the committed metadata — a fsynced
+// manifest record, or the renamed versions.json on legacy stores —
+// only references payloads that were fsynced before the commit, so
+// after a crash the committed state is intact and everything else on
+// disk is debris from the interrupted mutation:
 //
-//   - a metadata tmp file that never got renamed;
+//   - a metadata tmp file that never got renamed (legacy stores), or a
+//     stale versions.json superseded by the manifest (migrated stores);
 //   - a chunk generation that never got committed (either a *.build
-//     directory or a fully renamed one whose metadata rename was lost);
+//     directory or a fully renamed one whose metadata commit was lost);
 //   - chunk files created by an uncommitted insert (orphans);
 //   - torn or garbage bytes past the last committed frame at the tail
-//     of a chunk file.
+//     of a chunk file (the manifest log's own torn tail is truncated
+//     by openManifest before recovery runs).
 //
 // recoverLocked sweeps all of it, truncates the torn tails, and — as a
 // defense in depth for stores that were written without Durability and
@@ -71,6 +74,11 @@ func (s *Store) sweepDebris(st *arrayState, rs *RecoveryStats) error {
 		name := e.Name()
 		stale := name == metaFile+".tmp" || name == healProbeFile ||
 			(strings.HasPrefix(name, "chunks") && name != committed)
+		// on manifest stores the per-array versions.json is dead weight:
+		// either migration debris or a leftover a pre-migration binary wrote
+		if s.man != nil && name == metaFile {
+			stale = true
+		}
 		if !stale {
 			continue
 		}

@@ -162,7 +162,7 @@ func (s *Store) Reorganize(name string, opts ReorganizeOptions) error {
 	}
 	// the array is mutating faster than the off-lock builds can keep up;
 	// rebuild under the exclusive lock so the call terminates. commitMu
-	// serializes the versions.json write with insert leaders, whose
+	// serializes the metadata commit with insert leaders, whose
 	// commits run outside Store.mu.
 	st.commitMu.Lock()
 	defer st.commitMu.Unlock()
@@ -238,7 +238,7 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 		s.noteDiskPressure(err)
 		return false, err
 	}
-	// commitMu serializes this rewrite's versions.json write with insert
+	// commitMu serializes this rewrite's metadata commit with insert
 	// leaders, whose commits run outside Store.mu
 	st.commitMu.Lock()
 	s.mu.Lock()
@@ -641,8 +641,9 @@ func (s *Store) commitRewriteLocked(st *arrayState, buildDir string, ids []int, 
 //     committed generation name and sync the array directory — the new
 //     payloads are now durable but unreferenced;
 //  2. stage the new metadata (generation number, framed format, the
-//     entries the apply callback installs) and commit it with saveMeta's
-//     atomic rename — this is the commit point;
+//     entries the apply callback installs) and commit it with saveMeta —
+//     a manifest-log record, or the atomic versions.json rename on
+//     legacy stores — this is the commit point;
 //  3. remove the old generation under the exclusive I/O latch, waiting
 //     out in-flight readers whose snapshots pinned it.
 //
@@ -885,7 +886,7 @@ func (s *Store) DeleteVersion(name string, id int) error {
 				}
 			}
 		}
-		if err := s.saveMetaDoc(st.dir, &staged); err != nil {
+		if err := s.commitMeta(st, &staged); err != nil {
 			if isUncertain(err) {
 				s.noteCommitFailure(st, err)
 			}
@@ -930,7 +931,7 @@ func (s *Store) Compact(name string) error {
 		return err
 	}
 	defer st.reorgMu.Unlock()
-	// commitMu: the generation flip rewrites versions.json, which must
+	// commitMu: the generation flip commits new metadata, which must
 	// serialize with insert leaders committing outside Store.mu
 	st.commitMu.Lock()
 	defer st.commitMu.Unlock()

@@ -29,6 +29,11 @@ import (
 type transientModel struct {
 	created bool
 	content map[int]*array.Dense
+	// created2/content2 track the second array ("T2"), which receives
+	// its versions only through the cross-array InsertMulti path, so
+	// the sweep faults every step of the shared manifest commit too.
+	created2 bool
+	content2 map[int]*array.Dense
 }
 
 // runTransientWorkload drives the fixed workload until completion or
@@ -70,7 +75,28 @@ func runTransientWorkload(s *Store, side int64) (*transientModel, error) {
 	if err := s.Reorganize("T", ReorganizeOptions{Policy: PolicyLinearChain}); err != nil {
 		return m, err
 	}
-	return m, insert(5)
+	if err := insert(5); err != nil {
+		return m, err
+	}
+	// cross-array atomic batch: T and a fresh T2 land one member each
+	// under the manifest's single commit point, so a scripted fault at
+	// any step of stage → sync → append → install must contain to "the
+	// whole batch did not happen" on BOTH arrays.
+	if err := s.CreateArray(schema2D("T2", side)); err != nil {
+		return m, err
+	}
+	m.created2 = true
+	multi := map[string]*array.Dense{"T": crashContent(6, side), "T2": crashContent(7, side)}
+	out, err := s.InsertMulti([]MultiInsert{
+		{Array: "T", Payloads: []Payload{DensePayload(multi["T"])}},
+		{Array: "T2", Payloads: []Payload{DensePayload(multi["T2"])}},
+	})
+	if err != nil {
+		return m, err
+	}
+	m.content[out["T"][0]] = multi["T"]
+	m.content2 = map[int]*array.Dense{out["T2"][0]: multi["T2"]}
+	return m, nil
 }
 
 // checkTransientState asserts the live store agrees with the model:
@@ -114,6 +140,32 @@ func checkTransientState(t *testing.T, s *Store, m *transientModel, label string
 	if !rep.Ok() {
 		t.Fatalf("%s: Verify problems: %v", label, rep.Problems)
 	}
+	if !m.created2 {
+		return
+	}
+	infos, err = s.Versions("T2")
+	if err != nil {
+		t.Fatalf("%s: Versions T2: %v", label, err)
+	}
+	if len(infos) != len(m.content2) {
+		t.Fatalf("%s: T2 has %d versions, want %d (an InsertMulti fault must contain to both arrays)", label, len(infos), len(m.content2))
+	}
+	for id, content := range m.content2 {
+		got, err := s.Select("T2", id)
+		if err != nil {
+			t.Fatalf("%s: T2 version %d unreadable: %v", label, id, err)
+		}
+		if !got.Dense.Equal(content) {
+			t.Fatalf("%s: T2 version %d corrupted", label, id)
+		}
+	}
+	rep, err = s.Verify("T2")
+	if err != nil {
+		t.Fatalf("%s: Verify T2: %v", label, err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("%s: Verify T2 problems: %v", label, rep.Problems)
+	}
 }
 
 func TestTransientFaultSweep(t *testing.T) {
@@ -127,6 +179,7 @@ func TestTransientFaultSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	pinClock(s) // byte-identical manifest records in every run
 	model, err := runTransientWorkload(s, side)
 	if err != nil {
 		t.Fatalf("counting run failed: %v", err)
@@ -160,6 +213,7 @@ func TestTransientFaultSweep(t *testing.T) {
 					// the fault hit store creation itself; nothing to check
 					continue
 				}
+				pinClock(s)
 				m, werr := runTransientWorkload(s, side)
 				label := fmt.Sprintf("%s step %d/%d", inj.name, n, total)
 
@@ -167,12 +221,21 @@ func TestTransientFaultSweep(t *testing.T) {
 				// degraded depending on where the fault landed
 				flaky.Heal()
 				if werr != nil {
-					if s.Health().Degraded {
+					if h := s.Health(); h.Degraded {
 						// degraded mode must fail writes fast with the
-						// typed error until healed
-						if m.created {
-							if _, ierr := s.Insert("T", DensePayload(crashContent(90, side))); !errors.Is(ierr, ErrDegraded) {
-								t.Fatalf("%s: degraded insert error = %v, want ErrDegraded", label, ierr)
+						// typed error until healed — probed against an
+						// array that is actually refusing writes (a fault
+						// inside InsertMulti may degrade only one member)
+						probe := ""
+						if h.StoreDegraded && m.created {
+							probe = "T"
+						}
+						for _, ah := range h.Arrays {
+							probe = ah.Name
+						}
+						if probe != "" {
+							if _, ierr := s.Insert(probe, DensePayload(crashContent(90, side))); !errors.Is(ierr, ErrDegraded) {
+								t.Fatalf("%s: degraded insert to %s error = %v, want ErrDegraded", label, probe, ierr)
 							}
 						}
 						if _, herr := s.Heal(); herr != nil {

@@ -71,7 +71,9 @@ func TestVerifyDetectsDanglingAfterDelete(t *testing.T) {
 
 func TestVerifyDetectsCorruptMetadata(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, smallOpts())
+	opts := smallOpts()
+	opts.PerArrayCommit = true // sabotages versions.json directly
+	s, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestVerifyDetectsCorruptMetadata(t *testing.T) {
 	if err := os.WriteFile(metaPath, sab, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Open(dir, smallOpts())
+	s2, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,8 @@
 // Package fsio is the filesystem seam under internal/core's write
 // paths. Every mutation the store performs on disk — chunk appends,
-// whole-file writes, the tmp-write/rename metadata commit, directory
-// syncs, recovery truncations — goes through the FS interface, so tests
+// manifest-log appends, the tmp-write/rename commits (legacy
+// versions.json, the CURRENT pointer), directory syncs, recovery
+// truncations — goes through the FS interface, so tests
 // can substitute a fault-injecting implementation (Fault) that kills the
 // process-visible world at any numbered step and then simulates what a
 // real power cut leaves behind: torn unsynced tails and un-persisted

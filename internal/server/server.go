@@ -145,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	s.route(mux, "GET /v1/arrays/{name}/verify", "verify", s.handleVerify)
 	s.route(mux, "POST /v1/arrays/{name}/versions", "insert", s.handleInsert)
 	s.route(mux, "POST /v1/arrays/{name}/versions/batch", "insert-batch", s.handleInsertBatch)
+	s.route(mux, "POST /v1/batch", "insert-multi", s.handleInsertMulti)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select", "select", s.handleSelect)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select-multi", "select-multi", s.handleSelectMulti)
 	s.routeStream(mux, "GET /v1/arrays/{name}/select-sparse-multi", "select-sparse-multi", s.handleSelectSparseMulti)
@@ -270,6 +271,26 @@ func (s *Server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
+// degradedRetryAfter derives the degraded-mode (503) Retry-After hint
+// from the store's heal-prober cadence: the soonest the store can
+// plausibly be writable again is one heal interval away, so a shorter
+// interval invites faster retries, and a second of jitter spreads the
+// retrying cohort out — mirroring the 429 path's derived hint.
+func (s *Server) degradedRetryAfter() string {
+	iv := s.store.Options().HealInterval
+	if iv <= 0 {
+		// 0 means the store runs the default prober cadence; negative
+		// disables the prober, where a short optimistic hint still beats
+		// telling clients to never come back
+		iv = time.Second
+	}
+	secs := int((iv + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs + rand.Intn(2))
+}
+
 // statusWriter records the first status code written and the response
 // body size.
 type statusWriter struct {
@@ -311,7 +332,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // match the stable "core: ..."-prefixed message forms (anchored so a
 // user-supplied name or path embedded in an unrelated error cannot flip
 // the status).
-func writeErr(w http.ResponseWriter, err error) {
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	msg := err.Error()
 	code := http.StatusBadRequest
 	switch {
@@ -321,7 +342,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		// degraded mode is transient by design (the heal prober is
 		// working on it): tell well-behaved clients when to retry
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Retry-After", s.degradedRetryAfter())
 	case errors.Is(err, core.ErrClosed):
 		code = http.StatusServiceUnavailable
 	case strings.HasPrefix(msg, "core: array") && strings.HasSuffix(msg, "already exists"):
@@ -406,7 +427,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	h := s.store.Health()
 	if h.Degraded {
-		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Retry-After", s.degradedRetryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
@@ -474,11 +495,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var schema array.Schema
 	if err := decodeJSONBody(r, &schema); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if err := s.store.CreateArray(schema); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": schema.Name})
@@ -486,7 +507,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.DeleteArray(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
@@ -495,7 +516,7 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	info, err := s.store.Info(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -504,7 +525,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	schema, err := s.store.Schema(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, schema)
@@ -513,7 +534,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 	infos, err := s.store.Versions(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if infos == nil {
@@ -526,12 +547,12 @@ func (s *Server) handleVersionAt(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("time")
 	t, err := time.Parse(time.RFC3339Nano, raw)
 	if err != nil {
-		writeErr(w, fmt.Errorf("bad ?time parameter %q (want RFC 3339): %w", raw, err))
+		s.writeErr(w, fmt.Errorf("bad ?time parameter %q (want RFC 3339): %w", raw, err))
 		return
 	}
 	id, err := s.store.VersionAt(r.PathValue("name"), t)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"id": id})
@@ -540,7 +561,7 @@ func (s *Server) handleVersionAt(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBranchedFrom(w http.ResponseWriter, r *http.Request) {
 	ref, err := s.store.BranchedFrom(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ref)
@@ -549,10 +570,23 @@ func (s *Server) handleBranchedFrom(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.store.Verify(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// idemKey scopes the client's Idempotency-Key header by route: the
+// dedupe key is method + path + header, so reusing one key against a
+// different array — or mixing the single, batch, and multi insert
+// routes — can never replay another commit's version ids in place of
+// performing the insert. An absent header opts out (empty key).
+func idemKey(r *http.Request) string {
+	h := r.Header.Get("Idempotency-Key")
+	if h == "" {
+		return ""
+	}
+	return r.Method + " " + r.URL.Path + "\x00" + h
 }
 
 // handleInsert commits one version. When the request carries an
@@ -563,11 +597,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	p, err := wire.ReadPayload(r.Body, s.maxFrame)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	name := r.PathValue("name")
-	ids, err, replayed := s.idem.do(r.Context(), r.Header.Get("Idempotency-Key"), func() ([]int, error) {
+	ids, err, replayed := s.idem.do(r.Context(), idemKey(r), func() ([]int, error) {
 		id, err := s.store.InsertCtx(r.Context(), name, p)
 		if err != nil {
 			return nil, err
@@ -575,7 +609,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return []int{id}, nil
 	})
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if replayed {
@@ -596,15 +630,15 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	limit := s.maxFrame + int64(wire.MaxBatchPayloads)*16
 	ps, err := wire.ReadPayloadBatch(http.MaxBytesReader(w, r.Body, limit), s.maxFrame)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	name := r.PathValue("name")
-	ids, err, replayed := s.idem.do(r.Context(), r.Header.Get("Idempotency-Key"), func() ([]int, error) {
+	ids, err, replayed := s.idem.do(r.Context(), idemKey(r), func() ([]int, error) {
 		return s.store.InsertBatchCtx(r.Context(), name, ps)
 	})
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if replayed {
@@ -613,17 +647,63 @@ func (s *Server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string][]int{"ids": ids})
 }
 
+// handleInsertMulti commits a cross-array batch: the request body is a
+// multi-batch frame (one header frame naming the member arrays and
+// their payload counts, then every payload frame back to back), and the
+// whole batch lands under the manifest log's single commit point —
+// either every array shows its new versions or none does. The response
+// maps each array to its new version ids in payload order. The idem
+// table stores one flat id list, so the map is rebuilt from the
+// request's part layout on replay.
+func (s *Server) handleInsertMulti(w http.ResponseWriter, r *http.Request) {
+	limit := s.maxFrame + int64(wire.MaxBatchPayloads)*16
+	parts, err := wire.ReadMultiBatch(http.MaxBytesReader(w, r.Body, limit), s.maxFrame)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	batches := make([]core.MultiInsert, len(parts))
+	for i, p := range parts {
+		batches[i] = core.MultiInsert{Array: p.Array, Payloads: p.Payloads}
+	}
+	flat, err, replayed := s.idem.do(r.Context(), idemKey(r), func() ([]int, error) {
+		out, err := s.store.InsertMultiCtx(r.Context(), batches)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int, 0, len(out))
+		for _, b := range batches {
+			ids = append(ids, out[b.Array]...)
+		}
+		return ids, nil
+	})
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	out := make(map[string][]int, len(batches))
+	pos := 0
+	for _, b := range batches {
+		out[b.Array] = flat[pos : pos+len(b.Payloads)]
+		pos += len(b.Payloads)
+	}
+	writeJSON(w, http.StatusCreated, map[string]map[string][]int{"ids": out})
+}
+
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	id, err := versionParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	attr := r.URL.Query().Get("attr")
 	box, hasBox, err := boxParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// the request context cancels on client disconnect, so an abandoned
@@ -635,7 +715,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		pl, err = s.store.SelectAttrCtx(r.Context(), name, id, attr)
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", FrameContentType)
@@ -646,12 +726,12 @@ func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	ids, err := versionsParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	box, hasBox, err := boxParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	var d *array.Dense
@@ -661,7 +741,7 @@ func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
 		d, err = s.store.SelectMultiRegionCtx(r.Context(), name, ids, array.Box{})
 	}
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", FrameContentType)
@@ -672,17 +752,17 @@ func (s *Server) handleSelectSparseMulti(w http.ResponseWriter, r *http.Request)
 	name := r.PathValue("name")
 	ids, err := versionsParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	box, _, err := boxParam(r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	set, err := s.store.SelectSparseMultiCtx(r.Context(), name, ids, box)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", FrameContentType)
@@ -695,11 +775,11 @@ func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
 		NewName string `json:"newName"`
 	}
 	if err := decodeJSONBody(r, &req); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if err := s.store.Branch(r.PathValue("name"), req.Version, req.NewName); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": req.NewName})
@@ -711,11 +791,11 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		Parents []core.VersionRef `json:"parents"`
 	}
 	if err := decodeJSONBody(r, &req); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if err := s.store.Merge(req.NewName, req.Parents); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": req.NewName})
@@ -733,12 +813,12 @@ type reorganizeRequest struct {
 func (s *Server) handleReorganize(w http.ResponseWriter, r *http.Request) {
 	var req reorganizeRequest
 	if err := decodeJSONBody(r, &req); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	policy, err := cliutil.ParsePolicy(req.Policy)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	opts := core.ReorganizeOptions{
@@ -748,7 +828,7 @@ func (s *Server) handleReorganize(w http.ResponseWriter, r *http.Request) {
 		Workload:     req.Workload,
 	}
 	if err := s.store.Reorganize(r.PathValue("name"), opts); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "reorganized"})
@@ -761,7 +841,7 @@ func (s *Server) handleReorganize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.store.Tune(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -770,7 +850,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	wl, err := s.store.Workload(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if wl == nil {
@@ -785,11 +865,11 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkloadRecord(w http.ResponseWriter, r *http.Request) {
 	var queries []layout.Query
 	if err := decodeJSONBody(r, &queries); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if err := s.store.RecordWorkload(r.PathValue("name"), queries); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
@@ -801,12 +881,12 @@ func (s *Server) handleDeleteVersion(w http.ResponseWriter, r *http.Request) {
 		Compact bool `json:"compact,omitempty"`
 	}
 	if err := decodeJSONBody(r, &req); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	name := r.PathValue("name")
 	if err := s.store.DeleteVersion(name, req.Version); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// the delete is durable at this point; a compact failure must not
@@ -822,7 +902,7 @@ func (s *Server) handleDeleteVersion(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.Compact(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "compacted"})
@@ -840,12 +920,12 @@ func (s *Server) handleAQL(w http.ResponseWriter, r *http.Request) {
 		Stmt string `json:"stmt"`
 	}
 	if err := decodeJSONBody(r, &req); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	res, err := s.engine.Execute(req.Stmt)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	switch {

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +19,7 @@ import (
 	"arrayvers/client"
 	"arrayvers/internal/array"
 	"arrayvers/internal/core"
+	"arrayvers/internal/fsio"
 	"arrayvers/internal/layout"
 	"arrayvers/internal/wire"
 )
@@ -695,4 +699,269 @@ func TestInsertBatchRoute(t *testing.T) {
 	if infos, _ := store.Versions("Batch"); len(infos) != 3 {
 		t.Fatalf("torn batch committed something: %d versions", len(infos))
 	}
+}
+
+// TestInsertMultiRoute drives the cross-array batch route end to end:
+// one /v1/batch request spanning three arrays commits atomically, the
+// per-array id map comes back in payload order, every member reads
+// back byte-identical from both the remote and the embedded store, and
+// a torn multi-batch body is a 400 that commits nothing anywhere.
+func TestInsertMultiRoute(t *testing.T) {
+	_, store, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	const side = 24
+	for _, name := range []string{"MulA", "MulB", "MulC"} {
+		if err := c.CreateArray(denseSchema(name, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(77))
+	want := map[string][]*array.Dense{
+		"MulA": {randDense(rng, side), randDense(rng, side)},
+		"MulB": {randDense(rng, side)},
+		"MulC": {randDense(rng, side)},
+	}
+	batches := make([]core.MultiInsert, 0, len(want))
+	for _, name := range []string{"MulA", "MulB", "MulC"} {
+		var ps []core.Payload
+		for _, d := range want[name] {
+			ps = append(ps, core.DensePayload(d))
+		}
+		batches = append(batches, core.MultiInsert{Array: name, Payloads: ps})
+	}
+	ids, err := c.InsertMulti(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("id map covers %d arrays, want 3", len(ids))
+	}
+	for name, ds := range want {
+		got := ids[name]
+		if len(got) != len(ds) {
+			t.Fatalf("%s: %d ids, want %d", name, len(got), len(ds))
+		}
+		for i, d := range ds {
+			pl, err := c.Select(name, got[i])
+			if err != nil {
+				t.Fatalf("%s@%d: %v", name, got[i], err)
+			}
+			if !pl.Dense.Equal(d) {
+				t.Fatalf("%s@%d corrupted over the wire", name, got[i])
+			}
+		}
+		infos, err := store.Versions(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != len(ds) {
+			t.Fatalf("embedded %s has %d versions, want %d", name, len(infos), len(ds))
+		}
+	}
+
+	// torn multi body: valid part table, last payload frame truncated →
+	// 400, and no array gains a version
+	var buf bytes.Buffer
+	if err := wire.WriteMultiBatch(&buf, []core.MultiInsert{
+		{Array: "MulA", Payloads: []core.Payload{core.DensePayload(randDense(rng, side))}},
+		{Array: "MulB", Payloads: []core.Payload{core.DensePayload(randDense(rng, side))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()-9]
+	resp, err := http.Post(ts.URL+"/v1/batch", FrameContentType, bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("torn multi batch answered %d, want 400", resp.StatusCode)
+	}
+	for name, ds := range want {
+		if infos, _ := store.Versions(name); len(infos) != len(ds) {
+			t.Fatalf("torn multi batch committed into %s: %d versions", name, len(infos))
+		}
+	}
+}
+
+// TestIdempotencyKeyScopedByRoute is the regression for the dedupe-key
+// collision: the replay table must scope the client's Idempotency-Key
+// by method+path, so reusing one key against two different arrays (or
+// two different routes) commits twice instead of replaying the first
+// array's ids against the second. Only an exact method+path+key match
+// replays.
+func TestIdempotencyKeyScopedByRoute(t *testing.T) {
+	_, store, ts := newTestServer(t, Config{})
+	c := client.New(ts.URL)
+	const side = 16
+	for _, name := range []string{"IdemA", "IdemB"} {
+		if err := c.CreateArray(denseSchema(name, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	post := func(name string, d *array.Dense) (*http.Response, int) {
+		t.Helper()
+		var body strings.Builder
+		if err := wire.WritePayload(&body, core.DensePayload(d)); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/arrays/"+name+"/versions", strings.NewReader(body.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", FrameContentType)
+		req.Header.Set("Idempotency-Key", "one-shared-key")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST %s: status %d", name, resp.StatusCode)
+		}
+		var out struct {
+			ID int `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp, out.ID
+	}
+
+	dA, dB := randDense(rng, side), randDense(rng, side)
+	respA, idA := post("IdemA", dA)
+	if respA.Header.Get("Idempotency-Replayed") != "" {
+		t.Fatal("first insert claims to be a replay")
+	}
+	// same key, different array: a fresh commit, never a replay of IdemA
+	respB, _ := post("IdemB", dB)
+	if respB.Header.Get("Idempotency-Replayed") != "" {
+		t.Fatal("same key against a different array replayed instead of committing")
+	}
+	if infos, _ := store.Versions("IdemB"); len(infos) != 1 {
+		t.Fatalf("IdemB has %d versions, want 1 (cross-array key collision swallowed the insert)", len(infos))
+	}
+	// same key, same route: genuine retry, replayed with the same id
+	respA2, idA2 := post("IdemA", dA)
+	if respA2.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("retry of the same key+route was not replayed")
+	}
+	if idA2 != idA {
+		t.Fatalf("replay returned id %d, want %d", idA2, idA)
+	}
+	if infos, _ := store.Versions("IdemA"); len(infos) != 1 {
+		t.Fatalf("IdemA has %d versions after replay, want 1", len(infos))
+	}
+}
+
+// readyzFaultFS wraps a base FS and, while armed, fails the Write of
+// any MANIFEST-*.log append handle — the uncertain-commit failure that
+// degrades the whole store (see core's manifest append tests).
+type readyzFaultFS struct {
+	fsio.FS
+	mu    sync.Mutex
+	armed bool
+}
+
+func (f *readyzFaultFS) arm(on bool) {
+	f.mu.Lock()
+	f.armed = on
+	f.mu.Unlock()
+}
+
+func (f *readyzFaultFS) hot() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.armed
+}
+
+func (f *readyzFaultFS) Append(path string) (fsio.File, error) {
+	file, err := f.FS.Append(path)
+	base := filepath.Base(path)
+	if err != nil || !strings.HasPrefix(base, "MANIFEST-") || !strings.HasSuffix(base, ".log") {
+		return file, err
+	}
+	return &readyzFaultFile{File: file, fs: f}, nil
+}
+
+type readyzFaultFile struct {
+	fsio.File
+	fs *readyzFaultFS
+}
+
+func (fl *readyzFaultFile) Write(p []byte) (int, error) {
+	if fl.fs.hot() {
+		return 0, fsio.ErrIO
+	}
+	return fl.File.Write(p)
+}
+
+// TestDegradedRetryAfterFromHealInterval pins the satellite behavior:
+// the 503 Retry-After hint on a degraded store is derived from the
+// heal prober's cadence (ceil(HealInterval) plus at most a second of
+// jitter), not a hardcoded constant — a 30s prober must tell clients
+// to come back in 30-31s, on both the write path and /readyz.
+func TestDegradedRetryAfterFromHealInterval(t *testing.T) {
+	const side = 16
+	ffs := &readyzFaultFS{FS: fsio.OS}
+	opts := core.DefaultOptions()
+	opts.ChunkBytes = 4 << 10
+	opts.Durability = true
+	opts.FS = ffs
+	opts.HealInterval = 30 * time.Second
+	st, err := core.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ffs.arm(false)
+		st.Close()
+	}()
+	if err := st.CreateArray(denseSchema("Deg", side)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := st.Insert("Deg", core.DensePayload(randDense(rng, side))); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ts := newTestServer(t, Config{Store: st})
+
+	// degrade the store: the manifest append fails mid-write, an
+	// uncertain commit
+	ffs.arm(true)
+	if _, err := st.Insert("Deg", core.DensePayload(randDense(rng, side))); err == nil {
+		t.Fatal("insert with a failing manifest append succeeded")
+	}
+	if h := st.Health(); !h.StoreDegraded {
+		t.Fatalf("store not degraded: %+v", h)
+	}
+
+	wantRetry := func(resp *http.Response, label string) {
+		t.Helper()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503", label, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "30" && ra != "31" {
+			t.Fatalf("%s: Retry-After %q, want 30 or 31 (derived from the 30s heal interval)", label, ra)
+		}
+	}
+
+	var body strings.Builder
+	if err := wire.WritePayload(&body, core.DensePayload(randDense(rng, side))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/arrays/Deg/versions", FrameContentType, strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantRetry(resp, "degraded insert")
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantRetry(resp, "readyz")
 }

@@ -20,6 +20,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,9 @@ const (
 	// KindSparseSet carries an ordered set of sparse arrays (the
 	// SelectSparseMulti result shape).
 	KindSparseSet Kind = 4
+	// KindMultiHeader carries the JSON part table of a multi-array
+	// atomic batch (see WriteMultiBatch).
+	KindMultiHeader Kind = 5
 )
 
 // DefaultMaxFrameBytes bounds frame payloads when the caller passes a
@@ -460,6 +464,105 @@ func ReadPayloadBatch(r io.Reader, max int64) ([]core.Payload, error) {
 		}
 		ps = append(ps, p)
 	}
+}
+
+// --- multi-array atomic batches ---
+
+// MultiPart names one array's slice of a multi-array batch body: the
+// next Count payload frames after the header belong to array Name.
+type MultiPart struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+// WriteMultiBatch writes a multi-array atomic-insert request body: one
+// KindMultiHeader frame holding the JSON part table, then each part's
+// payloads as back-to-back KindPayload frames, in part order. The
+// server commits the whole body under one manifest commit point
+// (Store.InsertMulti).
+func WriteMultiBatch(w io.Writer, batches []core.MultiInsert) error {
+	if len(batches) == 0 {
+		return errors.New("wire: empty multi batch")
+	}
+	parts := make([]MultiPart, len(batches))
+	for i, b := range batches {
+		if len(b.Payloads) == 0 {
+			return fmt.Errorf("wire: multi batch part %q has no payloads", b.Array)
+		}
+		parts[i] = MultiPart{Name: b.Array, Count: len(b.Payloads)}
+	}
+	hdr, err := json.Marshal(parts)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(w, KindMultiHeader, hdr); err != nil {
+		return err
+	}
+	for _, b := range batches {
+		for _, p := range b.Payloads {
+			if err := WritePayload(w, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadMultiBatch reads a multi-array batch body back: the header's
+// part table, then exactly the payload frames it promises, rejecting
+// duplicate or empty part names, zero counts, more than
+// MaxBatchPayloads total payloads, and trailing bytes after the last
+// frame. Each frame is bounded by max individually.
+func ReadMultiBatch(r io.Reader, max int64) ([]core.MultiInsert, error) {
+	kind, hdr, err := ReadFrame(r, max)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindMultiHeader {
+		return nil, fmt.Errorf("wire: expected a multi-batch header frame, got kind %d", kind)
+	}
+	var parts []MultiPart
+	if err := json.Unmarshal(hdr, &parts); err != nil {
+		return nil, fmt.Errorf("wire: bad multi-batch header: %w", err)
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("wire: multi batch has no parts")
+	}
+	seen := make(map[string]bool, len(parts))
+	total := 0
+	for _, pt := range parts {
+		if pt.Name == "" {
+			return nil, errors.New("wire: multi batch part with an empty array name")
+		}
+		if seen[pt.Name] {
+			return nil, fmt.Errorf("wire: multi batch names array %q twice", pt.Name)
+		}
+		seen[pt.Name] = true
+		if pt.Count <= 0 {
+			return nil, fmt.Errorf("wire: multi batch part %q claims %d payloads", pt.Name, pt.Count)
+		}
+		total += pt.Count
+		if total > MaxBatchPayloads {
+			return nil, fmt.Errorf("wire: multi batch exceeds %d payloads", MaxBatchPayloads)
+		}
+	}
+	out := make([]core.MultiInsert, len(parts))
+	for i, pt := range parts {
+		ps := make([]core.Payload, pt.Count)
+		for j := range ps {
+			p, err := ReadPayload(r, max)
+			if err != nil {
+				return nil, fmt.Errorf("wire: multi batch part %q payload %d: %w", pt.Name, j, err)
+			}
+			ps[j] = p
+		}
+		out[i] = core.MultiInsert{Array: pt.Name, Payloads: ps}
+	}
+	var peek [1]byte
+	if _, err := io.ReadFull(r, peek[:]); !errors.Is(err, io.EOF) {
+		return nil, errors.New("wire: trailing bytes after multi batch")
+	}
+	return out, nil
 }
 
 func readUvarint(blob []byte, pos int) (uint64, int, error) {
