@@ -62,10 +62,10 @@ func main() {
 	}
 
 	hotpath := func() {
-		t, results, err := bench.HotPath(dir, sc, *parallelism, *cacheBytes)
+		t, report, err := bench.HotPath(dir, sc, *parallelism, *cacheBytes)
 		emit(t, err)
 		if *jsonDir != "" {
-			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_hotpath.json"), results); err != nil {
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_hotpath.json"), report); err != nil {
 				fatal(err)
 			}
 		}

@@ -16,14 +16,23 @@ const (
 	magicSparse = 0xA175
 )
 
-// MarshalDense serializes a dense array.
-func MarshalDense(d *Dense) []byte {
-	buf := make([]byte, 0, 16+len(d.data))
+// AppendDenseHeader appends the dense blob header — magic, dtype, ndim,
+// shape varints — without the cell bytes. It exists for vectored writers
+// that send the header and the (possibly mmap-backed) cell bytes as
+// separate I/O vectors instead of materializing one contiguous blob;
+// header + d.Bytes() is exactly a MarshalDense blob.
+func AppendDenseHeader(buf []byte, d *Dense) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, magicDense)
 	buf = append(buf, byte(d.dtype), byte(len(d.shape)))
 	for _, s := range d.shape {
 		buf = binary.AppendVarint(buf, s)
 	}
+	return buf
+}
+
+// MarshalDense serializes a dense array.
+func MarshalDense(d *Dense) []byte {
+	buf := AppendDenseHeader(make([]byte, 0, 16+len(d.data)), d)
 	return append(buf, d.data...)
 }
 

@@ -230,14 +230,14 @@ func checkUnpack(bufLen, n, width int) error {
 	return nil
 }
 
-// UnpackSigned extracts n signed values of the given width from buf.
+// UnpackSigned extracts n signed values of the given width from buf,
+// using the active unpack kernel (see kernels.go).
 func UnpackSigned(buf []byte, n, width int) ([]int64, error) {
 	if err := checkUnpack(len(buf), n, width); err != nil {
 		return nil, err
 	}
 	out := make([]int64, n)
-	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = Unzigzag(u) })
-	if err != nil {
+	if err := kernels[ActiveKernel()].signed(buf, n, width, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -261,14 +261,14 @@ func PackUnsigned(vs []uint64, width int) []byte {
 	return w.Bytes()
 }
 
-// UnpackUnsigned extracts n unsigned codes of the given width from buf.
+// UnpackUnsigned extracts n unsigned codes of the given width from buf,
+// using the active unpack kernel (see kernels.go).
 func UnpackUnsigned(buf []byte, n, width int) ([]uint64, error) {
 	if err := checkUnpack(len(buf), n, width); err != nil {
 		return nil, err
 	}
 	out := make([]uint64, n)
-	err := unpackBulk(buf, n, width, func(i int, u uint64) { out[i] = u })
-	if err != nil {
+	if err := kernels[ActiveKernel()].unsigned(buf, n, width, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -285,52 +285,4 @@ func putAligned(dst []byte, u uint64, width int) {
 	default:
 		binary.LittleEndian.PutUint64(dst, u)
 	}
-}
-
-// unpackBulk streams n width-bit codes from buf into emit. Byte-aligned
-// widths decode word-at-a-time with no bit arithmetic; other widths run
-// the Reader, whose own fast path loads 64-bit windows.
-func unpackBulk(buf []byte, n, width int, emit func(i int, u uint64)) error {
-	if n < 0 || width < 0 || width > 64 {
-		return fmt.Errorf("bitpack: bad unpack of %d values at width %d", n, width)
-	}
-	if need := PackedLen(n, width); need > len(buf) {
-		return fmt.Errorf("bitpack: unpack of %d %d-bit values needs %d bytes, buffer has %d", n, width, need, len(buf))
-	}
-	if width == 0 {
-		for i := 0; i < n; i++ {
-			emit(i, 0)
-		}
-		return nil
-	}
-	if byteAligned(width) {
-		switch width {
-		case 8:
-			for i := 0; i < n; i++ {
-				emit(i, uint64(buf[i]))
-			}
-		case 16:
-			for i := 0; i < n; i++ {
-				emit(i, uint64(binary.LittleEndian.Uint16(buf[2*i:])))
-			}
-		case 32:
-			for i := 0; i < n; i++ {
-				emit(i, uint64(binary.LittleEndian.Uint32(buf[4*i:])))
-			}
-		default:
-			for i := 0; i < n; i++ {
-				emit(i, binary.LittleEndian.Uint64(buf[8*i:]))
-			}
-		}
-		return nil
-	}
-	r := NewReader(buf)
-	for i := 0; i < n; i++ {
-		u, err := r.Read(width)
-		if err != nil {
-			return err
-		}
-		emit(i, u)
-	}
-	return nil
 }

@@ -259,7 +259,8 @@ func BenchmarkUnpackSigned(b *testing.B) {
 }
 
 // referenceRead is the original bit-by-bit decoder, kept as the oracle
-// for the word-at-a-time fast paths in Reader.Read and unpackBulk.
+// for the word-at-a-time fast paths in Reader.Read and for the bulk
+// unpack kernels (kernels.go).
 func referenceRead(buf []byte, pos uint64, width int) uint64 {
 	var u uint64
 	got := 0
@@ -334,6 +335,44 @@ func TestUnpackBulkShortBuffer(t *testing.T) {
 		n := 4 + (8+width-1)/width
 		if _, err := UnpackUnsigned(buf, n, width); err == nil {
 			t.Fatalf("width %d: expected short-buffer error", width)
+		}
+	}
+}
+
+// TestUnpackExhaustiveWidthTail crosses every width with every length
+// up to 130, covering each unroll remainder and every tail shape near
+// the end of the buffer — where the batched kernel switches from
+// window loads to the anchored final-word load and the Reader falls
+// back to bit-by-bit assembly — and checks every registered kernel
+// against referenceRead at each bit position.
+func TestUnpackExhaustiveWidthTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for width := 1; width <= 64; width++ {
+		var mask uint64 = math.MaxUint64
+		if width < 64 {
+			mask = (1 << uint(width)) - 1
+		}
+		for n := 0; n <= 130; n++ {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64() & mask
+			}
+			buf := PackUnsigned(vals, width)
+			for _, k := range Kernels() {
+				SetKernel(k)
+				got, err := UnpackUnsigned(buf, n, width)
+				if err != nil {
+					t.Fatalf("kernel %v width %d n %d: %v", k, width, n, err)
+				}
+				for i := 0; i < n; i++ {
+					want := referenceRead(buf, uint64(i)*uint64(width), width)
+					if got[i] != want {
+						t.Fatalf("kernel %v width %d n %d idx %d: got %x want %x", k, width, n, i, got[i], want)
+					}
+				}
+			}
 		}
 	}
 }

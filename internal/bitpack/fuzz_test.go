@@ -62,3 +62,59 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKernels is the differential kernel fuzzer: one arbitrary
+// buffer/count/width request is decoded by every registered unpack
+// kernel, which must either all reject it or all produce identical
+// codes. The batched kernel is only correct if it is bit-identical to
+// the scalar reference on every input, including hostile ones.
+func FuzzKernels(f *testing.F) {
+	f.Add([]byte{0x05, 0x03, 0xde, 0xad, 0xbe, 0xef}, uint16(3), byte(7))
+	f.Add(PackUnsigned([]uint64{1 << 40, 5, 0, 9}, 48), uint16(4), byte(48))
+	f.Add(PackSigned([]int64{-1, 1, -2, 2, 1000}, 13), uint16(5), byte(13))
+	f.Add([]byte{0xff}, uint16(8), byte(1))
+	f.Add(PackUnsigned(make([]uint64, 600), 5), uint16(600), byte(5))
+
+	f.Fuzz(func(t *testing.T, buf []byte, nRaw uint16, widthRaw byte) {
+		if len(buf) > 1<<16 {
+			return
+		}
+		width := int(widthRaw) % 70 // includes invalid widths > 64
+		n := int(nRaw)
+		if width == 0 && n > 1<<12 {
+			n = 1 << 12
+		}
+		prev := ActiveKernel()
+		defer SetKernel(prev)
+
+		SetKernel(KernelScalar)
+		refU, refUErr := UnpackUnsigned(buf, n, width)
+		refS, refSErr := UnpackSigned(buf, n, width)
+		if (refUErr == nil) != (refSErr == nil) {
+			t.Fatalf("scalar signed/unsigned disagree: %v vs %v", refSErr, refUErr)
+		}
+
+		SetKernel(KernelBatched)
+		gotU, gotUErr := UnpackUnsigned(buf, n, width)
+		gotS, gotSErr := UnpackSigned(buf, n, width)
+		if (gotUErr == nil) != (refUErr == nil) {
+			t.Fatalf("unsigned kernels disagree on error: batched %v, scalar %v", gotUErr, refUErr)
+		}
+		if (gotSErr == nil) != (refSErr == nil) {
+			t.Fatalf("signed kernels disagree on error: batched %v, scalar %v", gotSErr, refSErr)
+		}
+		if refUErr != nil {
+			return
+		}
+		for i := range refU {
+			if gotU[i] != refU[i] {
+				t.Fatalf("unsigned code %d: batched %x, scalar %x (width %d n %d)", i, gotU[i], refU[i], width, n)
+			}
+		}
+		for i := range refS {
+			if gotS[i] != refS[i] {
+				t.Fatalf("signed code %d: batched %d, scalar %d (width %d n %d)", i, gotS[i], refS[i], width, n)
+			}
+		}
+	})
+}

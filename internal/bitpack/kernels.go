@@ -1,0 +1,369 @@
+package bitpack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Unpack kernels. The Reader's fast path still decodes one value per
+// call — a call, a position update, and a bounds check per code. The
+// batched kernel amortizes all of that: it decodes straight into a
+// caller slice with unrolled 64-bit window loads, one bounds check per
+// unroll block, and handles the buffer tail with a single anchored load
+// instead of falling back to bit-by-bit assembly.
+//
+// Both kernels stay compiled whatever the active selection: the scalar
+// kernel is the reference the differential harness (kernels_test.go,
+// FuzzKernels) drives the batched kernel against, and callers that need
+// a specific kernel (tests, the avbench kernel microbench) select one
+// explicitly with SetKernel.
+
+// Kernel identifies an unpack implementation in the kernel registry.
+type Kernel uint8
+
+// Registered kernels.
+const (
+	// KernelScalar decodes one value per step through the Reader — the
+	// reference implementation.
+	KernelScalar Kernel = iota
+	// KernelBatched decodes with unrolled word-at-a-time loads; the
+	// default.
+	KernelBatched
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelBatched:
+		return "batched"
+	default:
+		return fmt.Sprintf("Kernel(%d)", uint8(k))
+	}
+}
+
+// kernelImpl is one registry entry: a pair of bulk unpack
+// implementations sharing the scalar kernel's exact semantics.
+type kernelImpl struct {
+	unsigned func(buf []byte, n, width int, out []uint64) error
+	signed   func(buf []byte, n, width int, out []int64) error
+}
+
+// kernels is the kernel registry, indexed by Kernel.
+var kernels = [...]kernelImpl{
+	KernelScalar:  {unsigned: scalarUnpackUnsigned, signed: scalarUnpackSigned},
+	KernelBatched: {unsigned: batchedUnpackUnsigned, signed: batchedUnpackSigned},
+}
+
+// activeKernel selects the kernel UnpackSigned/UnpackUnsigned (and the
+// Into variants) dispatch to. Batched by default.
+var activeKernel atomic.Uint32
+
+func init() { activeKernel.Store(uint32(KernelBatched)) }
+
+// SetKernel selects the active unpack kernel and returns the previous
+// selection. Unknown kernels are ignored.
+func SetKernel(k Kernel) Kernel {
+	prev := ActiveKernel()
+	if int(k) < len(kernels) {
+		activeKernel.Store(uint32(k))
+	}
+	return prev
+}
+
+// ActiveKernel returns the currently selected kernel.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// Kernels lists every registered kernel, for tests and benches that
+// iterate the registry.
+func Kernels() []Kernel { return []Kernel{KernelScalar, KernelBatched} }
+
+// batchedOps counts batched-kernel bulk unpacks process-wide; stores
+// report it (baselined at Open) as part of kernel_batched_ops.
+var batchedOps atomic.Int64
+
+// BatchedOps returns the cumulative number of batched bulk unpacks.
+func BatchedOps() int64 { return batchedOps.Load() }
+
+// CheckUnpack is the exported form of the unpack validation: buf of
+// bufLen bytes must hold n width-bit codes. Fused decoders in
+// internal/delta validate with it before touching a payload.
+func CheckUnpack(bufLen, n, width int) error { return checkUnpack(bufLen, n, width) }
+
+// UnpackUnsignedInto extracts n unsigned width-bit codes from buf into
+// out (which must hold at least n values) using the active kernel.
+func UnpackUnsignedInto(buf []byte, n, width int, out []uint64) error {
+	if err := checkUnpack(len(buf), n, width); err != nil {
+		return err
+	}
+	if len(out) < n {
+		return fmt.Errorf("bitpack: output holds %d values, need %d", len(out), n)
+	}
+	return kernels[ActiveKernel()].unsigned(buf, n, width, out[:n])
+}
+
+// UnpackSignedInto is UnpackUnsignedInto with zigzag decoding.
+func UnpackSignedInto(buf []byte, n, width int, out []int64) error {
+	if err := checkUnpack(len(buf), n, width); err != nil {
+		return err
+	}
+	if len(out) < n {
+		return fmt.Errorf("bitpack: output holds %d values, need %d", len(out), n)
+	}
+	return kernels[ActiveKernel()].signed(buf, n, width, out[:n])
+}
+
+// --- scalar reference kernel ---
+
+// scalarUnpackUnsigned is the reference bulk unpack: the Reader, one
+// value at a time. Deliberately the simplest correct implementation.
+func scalarUnpackUnsigned(buf []byte, n, width int, out []uint64) error {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return nil
+	}
+	r := NewReader(buf)
+	for i := 0; i < n; i++ {
+		u, err := r.Read(width)
+		if err != nil {
+			return err
+		}
+		out[i] = u
+	}
+	return nil
+}
+
+func scalarUnpackSigned(buf []byte, n, width int, out []int64) error {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
+		return nil
+	}
+	r := NewReader(buf)
+	for i := 0; i < n; i++ {
+		u, err := r.Read(width)
+		if err != nil {
+			return err
+		}
+		out[i] = Unzigzag(u)
+	}
+	return nil
+}
+
+// --- batched kernel ---
+
+func batchedUnpackUnsigned(buf []byte, n, width int, out []uint64) error {
+	batchedOps.Add(1)
+	return batchedUnsigned(buf, n, width, out)
+}
+
+// signedBlockVals is the signed kernel's decode-block size. 512 values
+// at any width occupy exactly 64*width bytes, so every block starts
+// byte-aligned and the unsigned kernel can run on a plain sub-slice.
+const signedBlockVals = 512
+
+func batchedUnpackSigned(buf []byte, n, width int, out []int64) error {
+	batchedOps.Add(1)
+	if n == 0 {
+		return nil
+	}
+	if width == 0 {
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		return nil
+	}
+	if width <= 57 && len(buf) >= 8 {
+		// fused path: one anchored window load and an inline unzigzag per
+		// code, no intermediate block buffer. Same window/tail structure
+		// (and the same in-bounds proof) as batchedUnsigned.
+		mask := uint64(1)<<uint(width) - 1
+		uw := uint64(width)
+		lim := (8*(len(buf)-8)+7)/width + 1
+		if lim > n {
+			lim = n
+		}
+		i := 0
+		p := uint64(0)
+		for ; i+4 <= lim; i += 4 {
+			u0 := binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+			p += uw
+			u1 := binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+			p += uw
+			u2 := binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+			p += uw
+			u3 := binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+			p += uw
+			dst := out[i : i+4 : i+4]
+			dst[0] = Unzigzag(u0)
+			dst[1] = Unzigzag(u1)
+			dst[2] = Unzigzag(u2)
+			dst[3] = Unzigzag(u3)
+		}
+		for ; i < lim; i++ {
+			out[i] = Unzigzag(binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask)
+			p += uw
+		}
+		if i < n {
+			base := uint64(len(buf)-8) * 8
+			w := binary.LittleEndian.Uint64(buf[len(buf)-8:])
+			for ; i < n; i++ {
+				out[i] = Unzigzag(w >> (p - base) & mask)
+				p += uw
+			}
+		}
+		return nil
+	}
+	// wide codes (58..64 bits) and buffers too small for a window load:
+	// unpack blockwise through the unsigned kernel, then unzigzag. 512
+	// values at any width occupy exactly 64*width bytes, so every block
+	// starts byte-aligned and runs on a plain sub-slice.
+	var block [signedBlockVals]uint64
+	for start := 0; start < n; start += signedBlockVals {
+		m := n - start
+		if m > signedBlockVals {
+			m = signedBlockVals
+		}
+		off := start * width / 8
+		if err := batchedUnsigned(buf[off:], m, width, block[:m]); err != nil {
+			return err
+		}
+		dst := out[start : start+m]
+		for j, u := range block[:m] {
+			dst[j] = Unzigzag(u)
+		}
+	}
+	return nil
+}
+
+// batchedUnsigned decodes n width-bit codes from buf into out. Callers
+// have validated the request with checkUnpack (directly or via a
+// byte-aligned sub-slice of a validated request).
+func batchedUnsigned(buf []byte, n, width int, out []uint64) error {
+	if n == 0 {
+		return nil
+	}
+	switch width {
+	case 0:
+		for i := range out[:n] {
+			out[i] = 0
+		}
+		return nil
+	case 8:
+		i := 0
+		for ; i+8 <= n; i += 8 {
+			src := buf[i : i+8 : i+8]
+			dst := out[i : i+8 : i+8]
+			dst[0] = uint64(src[0])
+			dst[1] = uint64(src[1])
+			dst[2] = uint64(src[2])
+			dst[3] = uint64(src[3])
+			dst[4] = uint64(src[4])
+			dst[5] = uint64(src[5])
+			dst[6] = uint64(src[6])
+			dst[7] = uint64(src[7])
+		}
+		for ; i < n; i++ {
+			out[i] = uint64(buf[i])
+		}
+		return nil
+	case 16:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			src := buf[2*i : 2*i+8 : 2*i+8]
+			dst := out[i : i+4 : i+4]
+			dst[0] = uint64(binary.LittleEndian.Uint16(src[0:]))
+			dst[1] = uint64(binary.LittleEndian.Uint16(src[2:]))
+			dst[2] = uint64(binary.LittleEndian.Uint16(src[4:]))
+			dst[3] = uint64(binary.LittleEndian.Uint16(src[6:]))
+		}
+		for ; i < n; i++ {
+			out[i] = uint64(binary.LittleEndian.Uint16(buf[2*i:]))
+		}
+		return nil
+	case 32:
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			src := buf[4*i : 4*i+16 : 4*i+16]
+			dst := out[i : i+4 : i+4]
+			dst[0] = uint64(binary.LittleEndian.Uint32(src[0:]))
+			dst[1] = uint64(binary.LittleEndian.Uint32(src[4:]))
+			dst[2] = uint64(binary.LittleEndian.Uint32(src[8:]))
+			dst[3] = uint64(binary.LittleEndian.Uint32(src[12:]))
+		}
+		for ; i < n; i++ {
+			out[i] = uint64(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return nil
+	case 64:
+		for i := 0; i < n; i++ {
+			out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		return nil
+	}
+	if width > 57 {
+		// 58..63 bits at arbitrary alignment can straddle a 64-bit
+		// window; these widths are vanishingly rare in delta planes
+		// (they imply near-full-width diffs), so the reference path
+		// serves them
+		return scalarUnpackUnsigned(buf, n, width, out)
+	}
+	// general widths 1..57: each code fits one 64-bit window load at
+	// any alignment. The main loop covers every value whose window load
+	// stays inside buf; the remaining values all live inside the final
+	// 8 bytes (proof: i past the main loop means i*width/8 > len-8, so
+	// the code's bits start at or after bit (len-8)*8 and end at or
+	// before bit len*8 by checkUnpack), so one load anchored at len-8
+	// finishes the tail with no bit-by-bit fallback.
+	mask := uint64(1)<<uint(width) - 1
+	uw := uint64(width)
+	lim := 0
+	if len(buf) >= 8 {
+		lim = (8*(len(buf)-8) + 7) / width
+		lim++
+		if lim > n {
+			lim = n
+		}
+	}
+	i := 0
+	p := uint64(0)
+	for ; i+4 <= lim; i += 4 {
+		out[i] = binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+		p += uw
+		out[i+1] = binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+		p += uw
+		out[i+2] = binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+		p += uw
+		out[i+3] = binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+		p += uw
+	}
+	for ; i < lim; i++ {
+		out[i] = binary.LittleEndian.Uint64(buf[p>>3:]) >> (p & 7) & mask
+		p += uw
+	}
+	if i < n {
+		if len(buf) < 8 {
+			// buffer too small for any window load; bit-by-bit
+			r := &Reader{buf: buf, pos: p}
+			for ; i < n; i++ {
+				u, err := r.Read(width)
+				if err != nil {
+					return err
+				}
+				out[i] = u
+			}
+			return nil
+		}
+		base := uint64(len(buf)-8) * 8
+		w := binary.LittleEndian.Uint64(buf[len(buf)-8:])
+		for ; i < n; i++ {
+			out[i] = w >> (p - base) & mask
+			p += uw
+		}
+	}
+	return nil
+}

@@ -64,7 +64,7 @@ func TestStatsCounters(t *testing.T) {
 			t.Errorf("WriteStats output missing %q", want)
 		}
 	}
-	if len(StatsCounters(st)) != 31 {
+	if len(StatsCounters(st)) != 37 {
 		t.Errorf("StatsCounters: %d entries", len(StatsCounters(st)))
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"arrayvers/internal/array"
+	"arrayvers/internal/bitpack"
 	"arrayvers/internal/cache"
 	"arrayvers/internal/chunk"
 	"arrayvers/internal/compress"
@@ -133,6 +134,12 @@ type Options struct {
 	// real OS. Tests inject fsio.Fault here to crash the store at an
 	// arbitrary write/sync/rename step.
 	FS fsio.FS
+	// DisableMmap turns off the mmap-backed read path: chunk payloads are
+	// then always fetched with plain positional reads and the decoded-chunk
+	// cache never holds zero-copy planes. Mapping is on by default where
+	// the platform supports it (see internal/fsio.MapSupported); this flag
+	// exists for benchmarking the copying baseline and for bisecting.
+	DisableMmap bool
 }
 
 // AutoTuneOptions parameterizes the adaptive reorganizer. Interval
@@ -250,6 +257,11 @@ type Store struct {
 	// chunkCache is the store-wide decoded-chunk LRU (nil when disabled).
 	chunkCache *cache.Cache
 
+	// maps manages read-only mmaps of committed chunk generations (see
+	// mmap.go); inert when Options.DisableMmap is set or the platform
+	// cannot map files.
+	maps *genMaps
+
 	// workload is the per-array access histogram the adaptive tuner
 	// feeds on; every successful select records into it.
 	workload *workloadRecorder
@@ -282,6 +294,10 @@ type Store struct {
 
 	statsMu sync.Mutex
 	stats   IOStats
+	// kernelBase is the process-wide batched/fused kernel op count at
+	// Open (or the last ResetStats); Stats reports the delta, so each
+	// store's KernelBatchedOps starts at zero. Guarded by statsMu.
+	kernelBase int64
 	// recovery is what Open-time crash recovery repaired; immutable after
 	// Open, merged into Stats() and never cleared by ResetStats.
 	recovery RecoveryStats
@@ -385,6 +401,26 @@ type IOStats struct {
 	RecoveryTruncatedBytes  int64
 	RecoveryRemovedFiles    int64
 	RecoveryDroppedVersions int64
+
+	// MmapReads/MmapBytesRead count chunk frames decoded straight out of
+	// a generation mapping (no read syscall, no frame copy); they are a
+	// subset of ChunksRead/BytesRead. MmapPlanes/MmapPlaneBytes count
+	// zero-copy planes admitted to the decoded-chunk cache — cached cell
+	// data that aliases the page cache instead of the heap.
+	// MmapDeferredUnlinks counts generation removals whose directory
+	// unlink outlived the retiring rewrite because cached planes still
+	// referenced the mapping.
+	MmapReads           int64
+	MmapBytesRead       int64
+	MmapPlanes          int64
+	MmapPlaneBytes      int64
+	MmapDeferredUnlinks int64
+
+	// KernelBatchedOps counts batched bitpack unpacks plus fused delta
+	// applies executed since Open (the kernels are process-global; each
+	// store baselines the counters at Open, so concurrently open stores
+	// see each other's ops).
+	KernelBatchedOps int64
 }
 
 // Open creates or reopens a store rooted at dir. A CURRENT pointer in
@@ -410,12 +446,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		arrays:     make(map[string]*arrayState),
 		epochs:     make(map[string]uint64),
 		chunkCache: cache.New(opts.CacheBytes),
+		maps:       newGenMaps(opts.DisableMmap),
 		degraded:   make(map[string]degradedInfo),
 		workload:   newWorkloadRecorder(),
 		tuneEst:    make(map[string]*tuneEstimate),
 		prof:       newProfile(),
 		clock:      time.Now,
 	}
+	s.kernelBase = kernelOps()
+	// cached zero-copy planes pin their generation's mapping; the release
+	// must follow every way an entry can leave the cache, so it hangs off
+	// the cache's eviction callback rather than any one invalidation site
+	s.chunkCache.SetOnEvict(func(_ cache.Key, v cache.Value) {
+		if md, ok := v.(*mmapDense); ok {
+			md.set.release()
+		}
+	})
 	if _, err := os.Stat(filepath.Join(dir, currentFile)); err == nil {
 		if err := s.openManifestStore(); err != nil {
 			return nil, err
@@ -568,6 +614,14 @@ func (s *Store) Close() error {
 		st.ioMu.Lock()
 		st.ioMu.Unlock()
 	}
+	// with every latch drained no query can touch mapped bytes again:
+	// sweep the cache so zero-copy planes release their mapping refs (a
+	// retired generation's pending unlink completes here), then unmap
+	// whatever is still live
+	for _, st := range arrays {
+		s.chunkCache.InvalidateArray(st.Schema.Name)
+	}
+	s.maps.closeAll()
 	return nil
 }
 
@@ -578,7 +632,11 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Stats() IOStats {
 	s.statsMu.Lock()
 	out := s.stats
+	out.KernelBatchedOps = kernelOps() - s.kernelBase
 	s.statsMu.Unlock()
+	if s.maps != nil {
+		out.MmapDeferredUnlinks = s.maps.deferred.Load()
+	}
 	cs := s.chunkCache.Stats()
 	out.CacheHits = cs.Hits
 	out.CacheMisses = cs.Misses
@@ -610,14 +668,38 @@ func (s *Store) Recovery() RecoveryStats { return s.recovery }
 func (s *Store) ResetStats() {
 	s.statsMu.Lock()
 	s.stats = IOStats{}
+	s.kernelBase = kernelOps()
 	s.statsMu.Unlock()
 	s.chunkCache.ResetCounters()
+}
+
+// kernelOps is the process-wide count of batched-kernel invocations:
+// bulk bitpack unpacks through the batched kernel plus fused delta
+// applies.
+func kernelOps() int64 {
+	return bitpack.BatchedOps() + delta.FusedOps()
 }
 
 func (s *Store) addRead(bytes int64) {
 	s.statsMu.Lock()
 	s.stats.BytesRead += bytes
 	s.stats.ChunksRead++
+	s.statsMu.Unlock()
+}
+
+func (s *Store) addMmapRead(bytes int64) {
+	s.statsMu.Lock()
+	s.stats.BytesRead += bytes
+	s.stats.ChunksRead++
+	s.stats.MmapReads++
+	s.stats.MmapBytesRead += bytes
+	s.statsMu.Unlock()
+}
+
+func (s *Store) addMmapPlane(bytes int64) {
+	s.statsMu.Lock()
+	s.stats.MmapPlanes++
+	s.stats.MmapPlaneBytes += bytes
 	s.statsMu.Unlock()
 }
 
@@ -1065,8 +1147,13 @@ func (s *Store) DeleteArray(name string) error {
 			return err
 		}
 		// post-commit garbage collection; a failure just leaves an
-		// unreferenced directory for the next durable open's root sweep
-		_ = s.fs.RemoveAll(st.dir)
+		// unreferenced directory for the next durable open's root sweep.
+		// The removal is routed through the generation-map retire so it
+		// defers past cached zero-copy planes; the invalidate below (still
+		// under Store.mu, with no reader able to start meanwhile) drains
+		// those refs, so the unlink always lands before we return.
+		dir := st.dir
+		s.maps.retire(st.chunksDir(), func() { _ = s.fs.RemoveAll(dir) })
 		st.ioMu.Unlock()
 	} else {
 		tomb := st.dir + tombstoneSuffix
@@ -1085,8 +1172,10 @@ func (s *Store) DeleteArray(name string) error {
 			return err
 		}
 		// post-commit garbage collection; a failure just leaves the
-		// tombstone for the next Open's recovery
-		_ = s.fs.RemoveAll(tomb)
+		// tombstone for the next Open's recovery. The mapping survives the
+		// tombstone rename (it pins inodes, not names), so retire is keyed
+		// by the pre-rename chunks path.
+		s.maps.retire(st.chunksDir(), func() { _ = s.fs.RemoveAll(tomb) })
 	}
 	delete(s.arrays, name)
 	s.invalidateArrayLocked(name)

@@ -274,9 +274,11 @@ func (s *Store) tryReorganize(name string, st *arrayState, opts ReorganizeOption
 	st.commitMu.Unlock()
 	// post-commit garbage collection: waiting out in-flight readers that
 	// pinned the old generation happens with no store lock held, so new
-	// selects (on this and every other array) proceed meanwhile
+	// selects (on this and every other array) proceed meanwhile. The
+	// epoch bump above already made the old generation's cache entries
+	// unreachable; retire defers the unlink past any still resident.
 	st.ioMu.Lock()
-	_ = s.fs.RemoveAll(oldDir)
+	s.maps.retire(oldDir, func() { _ = s.fs.RemoveAll(oldDir) })
 	st.ioMu.Unlock()
 	return true, nil
 }
@@ -720,8 +722,12 @@ func (s *Store) commitGen(st *arrayState, newGen int, buildDir string, apply fun
 	if err != nil {
 		return err
 	}
+	// retire defers the unlink past cached zero-copy planes of the old
+	// generation. Callers hold Store.mu for the rest of their critical
+	// section and invalidate the array's cache before releasing it, so no
+	// future lookup can return a retired-generation plane.
 	st.ioMu.Lock()
-	_ = s.fs.RemoveAll(oldDir)
+	s.maps.retire(oldDir, func() { _ = s.fs.RemoveAll(oldDir) })
 	st.ioMu.Unlock()
 	return nil
 }
@@ -1017,6 +1023,15 @@ func (s *Store) Compact(name string) error {
 	})
 	if err != nil {
 		_ = s.fs.RemoveAll(buildDir)
+		return err
 	}
-	return err
+	if s.maps.active() {
+		// decoded content is unchanged, but cached zero-copy planes alias
+		// the retired generation's mapping: bump the epoch so they can
+		// never be served again, releasing their refs (and with them the
+		// deferred unlink) before Store.mu is released. Without mmap the
+		// warm cache stays valid and is kept.
+		s.invalidateArrayLocked(name)
+	}
+	return nil
 }

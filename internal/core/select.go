@@ -361,7 +361,13 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 		s.prof.cacheAccess(st.Schema.Name, ok)
 		if ok {
 			tk.attr("cache_hits", 1)
-			d := got.(*array.Dense)
+			var d *array.Dense
+			switch val := got.(type) {
+			case *mmapDense:
+				d = val.Dense
+			default:
+				d = got.(*array.Dense)
+			}
 			local[id] = d
 			return d, nil
 		}
@@ -376,7 +382,7 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 		return nil, fmt.Errorf("core: version %d missing chunk %s/%s", id, attr, key)
 	}
 	t0 := time.Now()
-	blob, err := s.readBlob(v.dir, v.format, e)
+	blob, ms, err := s.readBlobShared(v.dir, v.format, e)
 	if err != nil {
 		return nil, err
 	}
@@ -386,9 +392,24 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	ai := st.Schema.AttrIndex(attr)
 	dt := st.Schema.Attrs[ai].Type
 	t0 = time.Now()
-	raw, err := unseal(compress.Codec(e.Codec), blob, sealParams(e.Base < 0, box, dt))
-	if err != nil {
-		return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
+	// An uncompressed payload needs no unseal copy: delta blobs are only
+	// read transiently under the I/O latch, and a materialized root built
+	// over mapping bytes is admitted to the cache as a zero-copy plane
+	// holding a counted mapping ref. The one aliasing case that must not
+	// escape is a no-cache view's root plane (bulk loads hand planes to
+	// callers that outlive this query's latch), which gets a private copy.
+	var raw []byte
+	zeroCopy := ms != nil && compress.Codec(e.Codec) == compress.None && e.Base < 0 && !v.noCache
+	if compress.Codec(e.Codec) == compress.None {
+		raw = blob
+		if ms != nil && e.Base < 0 && v.noCache {
+			raw = append([]byte(nil), blob...)
+		}
+	} else {
+		raw, err = unseal(compress.Codec(e.Codec), blob, sealParams(e.Base < 0, box, dt))
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %s/%s of version %d: %w", attr, key, id, err)
+		}
 	}
 	var out *array.Dense
 	if e.Base < 0 {
@@ -413,7 +434,20 @@ func (s *Store) resolveDenseChunk(v *readView, id int, attr string, ck *chunk.Ch
 	tk.attr("chunks_decoded", 1)
 	local[id] = out
 	if !v.noCache {
-		s.chunkCache.Put(ckey, out)
+		if zeroCopy {
+			if ms.acquire() {
+				if s.chunkCache.Put(ckey, &mmapDense{Dense: out, set: ms}) {
+					s.addMmapPlane(out.SizeBytes())
+				} else {
+					ms.release()
+				}
+			}
+			// acquire can only fail on a drained set, which the I/O latch
+			// rules out for the generation this query reads; skipping the
+			// insert is the safe degradation either way
+		} else {
+			s.chunkCache.Put(ckey, out)
+		}
 	}
 	return out, nil
 }
@@ -456,16 +490,24 @@ func (s *Store) resolveSparse(v *readView, id int, attr string, local map[int]sp
 		return nil, false, fmt.Errorf("core: version %d missing sparse container for %s", id, attr)
 	}
 	t0 := time.Now()
-	blob, err := s.readBlob(v.dir, v.format, e)
+	blob, ms, err := s.readBlobShared(v.dir, v.format, e)
 	if err != nil {
 		return nil, false, err
 	}
 	tk.observe(StageRead, time.Since(t0), e.Length)
 	tk.attr("bytes_read", e.Length)
 	t0 = time.Now()
-	raw, err := unseal(compress.Codec(e.Codec), blob, compress.Params{Elem: 1})
-	if err != nil {
-		return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+	// sparse decodes may retain slices of raw (and the decoded container
+	// can outlive this query via the cache), so mapping bytes are always
+	// copied out; the mmap read still skips the read syscall
+	raw := blob
+	if compress.Codec(e.Codec) != compress.None {
+		raw, err = unseal(compress.Codec(e.Codec), blob, compress.Params{Elem: 1})
+		if err != nil {
+			return nil, false, fmt.Errorf("core: sparse container of version %d: %w", id, err)
+		}
+	} else if ms != nil {
+		raw = append([]byte(nil), blob...)
 	}
 	var out *array.Sparse
 	if e.Base < 0 {

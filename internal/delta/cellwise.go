@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"arrayvers/internal/array"
+	"arrayvers/internal/bitpack"
 )
 
 // Cellwise delta methods: dense (uniform D-bit packing), sparse
@@ -44,6 +45,12 @@ func applyDense(blob []byte, from *array.Dense, reverse bool) (*array.Dense, err
 	}
 	width := int(blob[2])
 	n := from.NumCells()
+	if ActiveKernel() == KernelFused {
+		if err := bitpack.CheckUnpack(len(blob)-3, int(n), width); err != nil {
+			return nil, err
+		}
+		return fusedApply(blob[3:], width, from, nil, nil, reverse)
+	}
 	diffs, err := unpackSigned(blob[3:], n, width)
 	if err != nil {
 		return nil, err
@@ -248,10 +255,8 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 	if len(blob) < 3+planeBytes {
 		return nil, fmt.Errorf("delta: truncated hybrid dense plane")
 	}
-	plane, err := unpackSigned(blob[3:3+planeBytes], n, width)
-	if err != nil {
-		return nil, err
-	}
+	// parse the sparse overlay before touching the dense plane, so the
+	// fused kernel can skip materializing the plane entirely
 	pos := 3 + planeBytes
 	nnz, k := binary.Uvarint(blob[pos:])
 	if k <= 0 {
@@ -273,6 +278,7 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 		idx[i] = prev
 		pos += k
 	}
+	vals := make([]int64, nnz)
 	for i := range idx {
 		d, k := binary.Varint(blob[pos:])
 		if k <= 0 {
@@ -282,7 +288,19 @@ func applyHybrid(blob []byte, from *array.Dense, reverse bool) (*array.Dense, er
 		if idx[i] < 0 || idx[i] >= n {
 			return nil, fmt.Errorf("delta: hybrid overlay index %d out of range", idx[i])
 		}
-		plane[idx[i]] = d
+		vals[i] = d
+	}
+	if ActiveKernel() == KernelFused {
+		return fusedApply(blob[3:3+planeBytes], width, from, idx, vals, reverse)
+	}
+	plane, err := unpackSigned(blob[3:3+planeBytes], n, width)
+	if err != nil {
+		return nil, err
+	}
+	// outlier cells override whatever the packed plane stored (the
+	// encoder writes 0 there)
+	for i := range idx {
+		plane[idx[i]] = vals[i]
 	}
 	dt := from.DType()
 	out, err := array.NewDense(dt, from.Shape())

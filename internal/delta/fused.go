@@ -1,0 +1,164 @@
+package delta
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"arrayvers/internal/array"
+	"arrayvers/internal/bitpack"
+)
+
+// Fused unpack+apply kernels. The scalar decode path materializes an
+// n-value []int64 diff plane and then walks it with the generic
+// Bits/SetBits cell accessors — two full passes plus an 8n-byte
+// allocation per chunk. The fused kernel deletes the intermediate
+// plane: diffs are unpacked in byte-aligned blocks into a stack buffer
+// and added straight into the output's backing bytes at the dtype's
+// native width.
+//
+// The scalar apply bodies in cellwise.go stay compiled as the reference
+// implementation; the differential harness (fused_test.go,
+// FuzzFusedApply) drives the fused kernel against them and requires
+// bit-identical output.
+
+// Kernel identifies a delta-apply implementation.
+type Kernel uint8
+
+// Registered kernels.
+const (
+	// KernelScalar unpacks the full diff plane and applies it through
+	// the generic cell accessors — the reference implementation.
+	KernelScalar Kernel = iota
+	// KernelFused unpacks and applies blockwise with native-width
+	// arithmetic, skipping the intermediate plane; the default.
+	KernelFused
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelFused:
+		return "fused"
+	default:
+		return "Kernel(?)"
+	}
+}
+
+var activeKernel atomic.Uint32
+
+func init() { activeKernel.Store(uint32(KernelFused)) }
+
+// SetKernel selects the apply kernel for the cellwise dense/hybrid
+// methods and returns the previous selection.
+func SetKernel(k Kernel) Kernel {
+	prev := ActiveKernel()
+	if k <= KernelFused {
+		activeKernel.Store(uint32(k))
+	}
+	return prev
+}
+
+// ActiveKernel returns the currently selected apply kernel.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// Kernels lists every registered apply kernel.
+func Kernels() []Kernel { return []Kernel{KernelScalar, KernelFused} }
+
+// fusedOps counts fused applies process-wide; stores report it
+// (baselined at Open) as part of kernel_batched_ops.
+var fusedOps atomic.Int64
+
+// FusedOps returns the cumulative number of fused delta applies.
+func FusedOps() int64 { return fusedOps.Load() }
+
+// fusedBlockVals is the fused decode-block size. 256 values at any
+// width occupy exactly 32*width bytes, so every block starts
+// byte-aligned and can be unpacked from a plain sub-slice of the packed
+// plane.
+const fusedBlockVals = 256
+
+// fusedApply reconstructs out = from ± decode(packed), where packed
+// holds NumCells zigzag codes of the given width, then patches the
+// overlay cells (hybrid outliers; the packed plane stores 0 there) with
+// out[idx] = from[idx] ± val, replicating the scalar path's
+// patch-plane-then-add order.
+//
+// Equivalence to the scalar path: the scalar kernel computes
+// TruncateBits(dt, from.Bits(i) + diff) and stores the low k bytes;
+// the low k bytes of a sum depend only on the low k bytes of the
+// addends, so native k-byte wrapping addition over the backing bytes is
+// bit-identical. Subtraction is folded in by negating the diffs.
+func fusedApply(packed []byte, width int, from *array.Dense, overlayIdx, overlayVal []int64, reverse bool) (*array.Dense, error) {
+	fusedOps.Add(1)
+	n := from.NumCells()
+	dt := from.DType()
+	out, err := array.NewDense(dt, from.Shape())
+	if err != nil {
+		return nil, err
+	}
+	src := from.Bytes()
+	dst := out.Bytes()
+	esz := dt.Size()
+	var block [fusedBlockVals]uint64
+	for start := int64(0); start < n; start += fusedBlockVals {
+		m := int(n - start)
+		if m > fusedBlockVals {
+			m = fusedBlockVals
+		}
+		off := start * int64(width) / 8
+		if err := bitpack.UnpackUnsignedInto(packed[off:], m, width, block[:]); err != nil {
+			return nil, err
+		}
+		diffs := block[:m]
+		for j := range diffs {
+			diffs[j] = uint64(bitpack.Unzigzag(diffs[j]))
+		}
+		if reverse {
+			for j := range diffs {
+				diffs[j] = -diffs[j]
+			}
+		}
+		switch esz {
+		case 1:
+			o := start
+			for j := range diffs {
+				dst[o] = src[o] + byte(diffs[j])
+				o++
+			}
+		case 2:
+			o := 2 * start
+			for j := range diffs {
+				binary.LittleEndian.PutUint16(dst[o:], binary.LittleEndian.Uint16(src[o:])+uint16(diffs[j]))
+				o += 2
+			}
+		case 4:
+			o := 4 * start
+			for j := range diffs {
+				binary.LittleEndian.PutUint32(dst[o:], binary.LittleEndian.Uint32(src[o:])+uint32(diffs[j]))
+				o += 4
+			}
+		case 8:
+			o := 8 * start
+			for j := range diffs {
+				binary.LittleEndian.PutUint64(dst[o:], binary.LittleEndian.Uint64(src[o:])+diffs[j])
+				o += 8
+			}
+		default:
+			// no native word width for this dtype; generic accessors
+			for j := range diffs {
+				i := start + int64(j)
+				out.SetBits(i, wrapAdd(dt, from.Bits(i), int64(diffs[j])))
+			}
+		}
+	}
+	for i, ix := range overlayIdx {
+		d := overlayVal[i]
+		if reverse {
+			out.SetBits(ix, wrapSub(dt, from.Bits(ix), d))
+		} else {
+			out.SetBits(ix, wrapAdd(dt, from.Bits(ix), d))
+		}
+	}
+	return out, nil
+}

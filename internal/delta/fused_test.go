@@ -1,0 +1,246 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"arrayvers/internal/array"
+)
+
+// Differential harness for the fused apply kernel: every dtype × method
+// × direction is encoded once and decoded by both kernels, which must
+// produce bit-identical arrays (and agree on errors for hostile blobs —
+// FuzzFusedApply covers those).
+
+var fusedDTypes = []array.DataType{
+	array.Int8, array.Int16, array.Int32, array.Int64,
+	array.UInt8, array.UInt16, array.UInt32,
+	array.Float32, array.Float64,
+}
+
+// randomPair builds a base and a mutated target of the same shape:
+// mostly small diffs, a sprinkling of wide outliers (so Hybrid gets a
+// real overlay), and runs of identical cells.
+func randomPair(t *testing.T, rng *rand.Rand, dt array.DataType, shape []int64) (target, base *array.Dense) {
+	t.Helper()
+	base, err := array.NewDense(dt, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err = array.NewDense(dt, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.NumCells()
+	for i := int64(0); i < n; i++ {
+		b := rng.Int63() - (1 << 62)
+		base.SetBits(i, array.TruncateBits(dt, b))
+		switch rng.Intn(10) {
+		case 0: // identical
+			target.SetBits(i, base.Bits(i))
+		case 1: // wide outlier
+			target.SetBits(i, array.TruncateBits(dt, rng.Int63()-(1<<62)))
+		default: // small diff
+			target.SetBits(i, array.TruncateBits(dt, base.Bits(i)+int64(rng.Intn(31)-15)))
+		}
+	}
+	return target, base
+}
+
+func applyWithKernel(t *testing.T, k Kernel, blob []byte, from *array.Dense, unapply bool) *array.Dense {
+	t.Helper()
+	prev := SetKernel(k)
+	defer SetKernel(prev)
+	var out *array.Dense
+	var err error
+	if unapply {
+		out, err = Unapply(blob, from)
+	} else {
+		out, err = Apply(blob, from)
+	}
+	if err != nil {
+		t.Fatalf("kernel %v apply: %v", k, err)
+	}
+	return out
+}
+
+func TestFusedDifferentialAllDTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := [][]int64{{1}, {3}, {16, 16}, {7, 37}, {255}, {256}, {257}, {1000}}
+	for _, dt := range fusedDTypes {
+		for _, shape := range shapes {
+			for _, m := range []Method{Dense, Hybrid} {
+				target, base := randomPair(t, rng, dt, shape)
+				blob, err := Encode(m, target, base)
+				if err != nil {
+					t.Fatalf("%v %v %v: encode: %v", dt, shape, m, err)
+				}
+				scalar := applyWithKernel(t, KernelScalar, blob, base, false)
+				fused := applyWithKernel(t, KernelFused, blob, base, false)
+				if !scalar.Equal(target) {
+					t.Fatalf("%v %v %v: scalar apply does not reconstruct target", dt, shape, m)
+				}
+				if !fused.Equal(scalar) {
+					t.Fatalf("%v %v %v: fused apply differs from scalar", dt, shape, m)
+				}
+				// reverse direction: reconstruct base from target
+				scalarBack := applyWithKernel(t, KernelScalar, blob, target, true)
+				fusedBack := applyWithKernel(t, KernelFused, blob, target, true)
+				if !scalarBack.Equal(base) {
+					t.Fatalf("%v %v %v: scalar unapply does not reconstruct base", dt, shape, m)
+				}
+				if !fusedBack.Equal(scalarBack) {
+					t.Fatalf("%v %v %v: fused unapply differs from scalar", dt, shape, m)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedIdenticalVersions covers the width-0 plane: a delta between
+// identical arrays decodes through the fused kernel's zero-width path.
+func TestFusedIdenticalVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, m := range []Method{Dense, Hybrid} {
+		target, _ := randomPair(t, rng, array.Int32, []int64{40, 10})
+		blob, err := Encode(m, target, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar := applyWithKernel(t, KernelScalar, blob, target, false)
+		fused := applyWithKernel(t, KernelFused, blob, target, false)
+		if !fused.Equal(scalar) || !fused.Equal(target) {
+			t.Fatalf("%v: width-0 fused apply differs", m)
+		}
+	}
+}
+
+// TestFusedAllOutliers forces a hybrid overlay covering every cell: the
+// encoder may pick width 0 with all cells in the overlay, and the fused
+// kernel's overlay patching must still override the plane everywhere.
+func TestFusedAllOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := array.MustDense(array.Int64, []int64{300})
+	target := array.MustDense(array.Int64, []int64{300})
+	for i := int64(0); i < 300; i++ {
+		base.SetBits(i, rng.Int63())
+		target.SetBits(i, rng.Int63())
+	}
+	blob, err := Encode(Hybrid, target, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := applyWithKernel(t, KernelScalar, blob, base, false)
+	fused := applyWithKernel(t, KernelFused, blob, base, false)
+	if !scalar.Equal(target) {
+		t.Fatal("scalar apply does not reconstruct target")
+	}
+	if !fused.Equal(scalar) {
+		t.Fatal("fused apply differs from scalar")
+	}
+}
+
+// TestFusedChain walks a chain of deltas — the shape of a real version
+// chain — alternating kernels between links, so a fused output feeds a
+// scalar apply and vice versa.
+func TestFusedChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	versions := make([]*array.Dense, 8)
+	versions[0] = array.MustDense(array.Int16, []int64{12, 31})
+	for i := int64(0); i < versions[0].NumCells(); i++ {
+		versions[0].SetBits(i, int64(rng.Intn(1000)))
+	}
+	blobs := make([][]byte, 0, len(versions)-1)
+	for v := 1; v < len(versions); v++ {
+		next := versions[v-1].Clone()
+		for i := int64(0); i < next.NumCells(); i += int64(1 + rng.Intn(4)) {
+			next.SetBits(i, array.TruncateBits(array.Int16, next.Bits(i)+int64(rng.Intn(9)-4)))
+		}
+		versions[v] = next
+		blob, err := Encode(Hybrid, next, versions[v-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	cur := versions[0]
+	for v, blob := range blobs {
+		k := KernelFused
+		if v%2 == 0 {
+			k = KernelScalar
+		}
+		cur = applyWithKernel(t, k, blob, cur, false)
+		if !cur.Equal(versions[v+1]) {
+			t.Fatalf("chain link %d: reconstruction differs", v+1)
+		}
+	}
+	// and back down the chain
+	for v := len(blobs) - 1; v >= 0; v-- {
+		k := KernelScalar
+		if v%2 == 0 {
+			k = KernelFused
+		}
+		cur = applyWithKernel(t, k, blobs[v], cur, true)
+		if !cur.Equal(versions[v]) {
+			t.Fatalf("chain link %d: reverse reconstruction differs", v)
+		}
+	}
+}
+
+func TestFusedOpsCounter(t *testing.T) {
+	prev := SetKernel(KernelFused)
+	defer SetKernel(prev)
+	rng := rand.New(rand.NewSource(25))
+	target, base := randomPair(t, rng, array.Int32, []int64{64})
+	blob, err := Encode(Dense, target, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := FusedOps()
+	if _, err := Apply(blob, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := FusedOps(); got != before+1 {
+		t.Fatalf("FusedOps = %d, want %d", got, before+1)
+	}
+	SetKernel(KernelScalar)
+	if _, err := Apply(blob, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := FusedOps(); got != before+1 {
+		t.Fatalf("scalar apply bumped FusedOps to %d", got)
+	}
+}
+
+func benchmarkApplyKernel(b *testing.B, k Kernel, m Method) {
+	rng := rand.New(rand.NewSource(26))
+	base := array.MustDense(array.Int32, []int64{128, 128})
+	target := array.MustDense(array.Int32, []int64{128, 128})
+	for i := int64(0); i < base.NumCells(); i++ {
+		v := int64(rng.Intn(100000))
+		base.SetBits(i, v)
+		d := int64(rng.Intn(15) - 7)
+		if rng.Intn(100) == 0 {
+			d = int64(rng.Intn(1 << 20))
+		}
+		target.SetBits(i, array.TruncateBits(array.Int32, v+d))
+	}
+	blob, err := Encode(m, target, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := SetKernel(k)
+	defer SetKernel(prev)
+	b.SetBytes(base.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(blob, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyScalarHybrid(b *testing.B) { benchmarkApplyKernel(b, KernelScalar, Hybrid) }
+func BenchmarkApplyFusedHybrid(b *testing.B)  { benchmarkApplyKernel(b, KernelFused, Hybrid) }
+func BenchmarkApplyScalarDense(b *testing.B)  { benchmarkApplyKernel(b, KernelScalar, Dense) }
+func BenchmarkApplyFusedDense(b *testing.B)   { benchmarkApplyKernel(b, KernelFused, Dense) }

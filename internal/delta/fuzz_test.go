@@ -75,3 +75,61 @@ func FuzzApply(f *testing.F) {
 		_, _ = MethodOf(blob)
 	})
 }
+
+// FuzzFusedApply is the differential kernel fuzzer for the cellwise
+// decoders: an arbitrary blob is applied (and unapplied) under both the
+// scalar and fused kernels, which must either both reject it or both
+// produce identical arrays.
+func FuzzFusedApply(f *testing.F) {
+	base := fuzzBase()
+	target := fuzzBase()
+	for i := int64(0); i < 12; i++ {
+		target.SetBits(i*5, target.Bits(i*5)+1000)
+	}
+	for _, m := range []Method{Dense, Hybrid} {
+		if blob, err := Encode(m, target, base); err == nil {
+			f.Add(blob)
+		}
+	}
+	if blob, err := Encode(Dense, base, base); err == nil {
+		f.Add(blob) // width-0 plane
+	}
+	f.Add([]byte{byte(Hybrid), 3, 200})     // implausible width
+	f.Add([]byte{byte(Dense), 3, 65, 0, 0}) // width out of range
+	f.Add([]byte{byte(Hybrid), 3, 2, 0xff}) // truncated plane
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		if len(blob) > 1<<16 {
+			return
+		}
+		prevK := ActiveKernel()
+		defer SetKernel(prevK)
+		base := fuzzBase()
+		pristine := base.Clone()
+		for _, unapply := range []bool{false, true} {
+			SetKernel(KernelScalar)
+			var sOut, fOut *array.Dense
+			var sErr, fErr error
+			if unapply {
+				sOut, sErr = Unapply(blob, base)
+			} else {
+				sOut, sErr = Apply(blob, base)
+			}
+			SetKernel(KernelFused)
+			if unapply {
+				fOut, fErr = Unapply(blob, base)
+			} else {
+				fOut, fErr = Apply(blob, base)
+			}
+			if (sErr == nil) != (fErr == nil) {
+				t.Fatalf("kernels disagree on error (unapply=%v): scalar %v, fused %v", unapply, sErr, fErr)
+			}
+			if sErr == nil && !fOut.Equal(sOut) {
+				t.Fatalf("kernels disagree on output (unapply=%v)", unapply)
+			}
+			if !base.Equal(pristine) {
+				t.Fatal("apply mutated the base array")
+			}
+		}
+	})
+}

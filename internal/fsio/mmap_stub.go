@@ -1,0 +1,7 @@
+//go:build !unix
+
+package fsio
+
+const mapSupported = false
+
+func mapFile(path string) (Mapping, error) { return nil, ErrMapUnsupported }

@@ -25,6 +25,18 @@ type metrics struct {
 
 	inFlight atomic.Int64
 	rejected atomic.Int64 // 429s from the in-flight semaphore
+
+	// zcFrames/zcBytes count dense reply frames whose cell bytes went to
+	// the socket as a separate writev vector (wire.WriteDenseNoCopy)
+	// instead of being copied into a contiguous marshal buffer.
+	zcFrames atomic.Int64
+	zcBytes  atomic.Int64
+}
+
+// addZeroCopy records one vectored dense reply of n cell bytes.
+func (m *metrics) addZeroCopy(n int64) {
+	m.zcFrames.Add(1)
+	m.zcBytes.Add(n)
 }
 
 type routeCode struct {
@@ -106,6 +118,12 @@ func (m *metrics) write(w io.Writer, stats core.IOStats, prof core.ProfileSnapsh
 	fmt.Fprintf(w, "# HELP avstored_requests_rejected_total Requests rejected with 429 by the in-flight limit.\n")
 	fmt.Fprintf(w, "# TYPE avstored_requests_rejected_total counter\n")
 	fmt.Fprintf(w, "avstored_requests_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "# HELP avstored_zero_copy_frames_total Dense reply frames written with vectored I/O (no marshal copy).\n")
+	fmt.Fprintf(w, "# TYPE avstored_zero_copy_frames_total counter\n")
+	fmt.Fprintf(w, "avstored_zero_copy_frames_total %d\n", m.zcFrames.Load())
+	fmt.Fprintf(w, "# HELP avstored_zero_copy_bytes_total Cell bytes sent to clients without a marshal copy.\n")
+	fmt.Fprintf(w, "# TYPE avstored_zero_copy_bytes_total counter\n")
+	fmt.Fprintf(w, "avstored_zero_copy_bytes_total %d\n", m.zcBytes.Load())
 
 	writeProfile(w, prof)
 	writeRuntime(w)

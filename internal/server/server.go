@@ -719,7 +719,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", FrameContentType)
-	_ = wire.WritePlane(w, pl)
+	if n, err := wire.WritePlaneNoCopy(w, pl); err == nil && n > 0 {
+		s.metrics.addZeroCopy(n)
+	}
 }
 
 func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
@@ -745,7 +747,9 @@ func (s *Server) handleSelectMulti(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", FrameContentType)
-	_ = wire.WriteDense(w, d)
+	if n, err := wire.WriteDenseNoCopy(w, d); err == nil {
+		s.metrics.addZeroCopy(n)
+	}
 }
 
 func (s *Server) handleSelectSparseMulti(w http.ResponseWriter, r *http.Request) {
@@ -931,7 +935,9 @@ func (s *Server) handleAQL(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case res.Dense != nil:
 		w.Header().Set("Content-Type", FrameContentType)
-		_ = wire.WriteDense(w, res.Dense)
+		if n, err := wire.WriteDenseNoCopy(w, res.Dense); err == nil {
+			s.metrics.addZeroCopy(n)
+		}
 	case res.Sparse != nil:
 		w.Header().Set("Content-Type", FrameContentType)
 		_ = wire.WriteFrame(w, wire.KindSparse, array.MarshalSparse(res.Sparse))

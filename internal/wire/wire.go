@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"arrayvers/internal/array"
 	"arrayvers/internal/core"
@@ -165,6 +166,41 @@ func ReadPlane(r io.Reader, max int64) (core.Plane, error) {
 // WriteDense frames one dense array (the SelectMulti result shape).
 func WriteDense(w io.Writer, d *array.Dense) error {
 	return WriteFrame(w, KindDense, array.MarshalDense(d))
+}
+
+// WriteDenseNoCopy frames one dense array without materializing the
+// payload: the frame header and the dense blob header share one small
+// buffer, and the cell bytes go out as a second I/O vector via
+// net.Buffers — writev(2) on a TCP connection — so a cached (possibly
+// mmap-backed) plane reaches the socket with no frame-sized copy. The
+// caller must not mutate d until the write returns. Returns the number
+// of cell bytes written zero-copy.
+func WriteDenseNoCopy(w io.Writer, d *array.Dense) (int64, error) {
+	data := d.Bytes()
+	hdr := make([]byte, headerLen, headerLen+16)
+	hdr = array.AppendDenseHeader(hdr, d)
+	copy(hdr[:4], magic[:])
+	hdr[4] = byte(KindDense)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(len(hdr)-headerLen+len(data)))
+	bufs := net.Buffers{hdr, data}
+	if _, err := bufs.WriteTo(w); err != nil {
+		return 0, fmt.Errorf("wire: write dense frame: %w", err)
+	}
+	return int64(len(data)), nil
+}
+
+// WritePlaneNoCopy is WritePlane with the dense case routed through
+// WriteDenseNoCopy. Sparse planes have no flat cell buffer to hand to
+// writev and fall back to the copying path (returning 0).
+func WritePlaneNoCopy(w io.Writer, pl core.Plane) (int64, error) {
+	switch {
+	case pl.Dense != nil:
+		return WriteDenseNoCopy(w, pl.Dense)
+	case pl.Sparse != nil:
+		return 0, WriteFrame(w, KindSparse, array.MarshalSparse(pl.Sparse))
+	default:
+		return 0, errors.New("wire: cannot frame an empty plane")
+	}
 }
 
 // ReadDense reads a KindDense frame.

@@ -368,3 +368,71 @@ func TestPayloadBatchRejectsEmptyAndTruncated(t *testing.T) {
 		t.Fatal("batch with a foreign frame kind decoded cleanly")
 	}
 }
+
+func TestDenseNoCopyMatchesCopyingPath(t *testing.T) {
+	d := testDense(t)
+	var copied bytes.Buffer
+	if err := WriteDense(&copied, d); err != nil {
+		t.Fatal(err)
+	}
+	var vectored bytes.Buffer
+	n, err := WriteDenseNoCopy(&vectored, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(d.Bytes())) {
+		t.Fatalf("zero-copy bytes = %d, want %d", n, len(d.Bytes()))
+	}
+	// the vectored writer must emit exactly the bytes the copying path
+	// does, so readers cannot tell which path the server took
+	if !bytes.Equal(vectored.Bytes(), copied.Bytes()) {
+		t.Fatal("vectored frame differs from copying frame")
+	}
+	got, err := ReadDense(&vectored, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatal("no-copy dense round trip mismatch")
+	}
+}
+
+func TestPlaneNoCopy(t *testing.T) {
+	d := testDense(t)
+	var buf bytes.Buffer
+	n, err := WritePlaneNoCopy(&buf, core.Plane{Dense: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(d.Bytes())) {
+		t.Fatalf("zero-copy bytes = %d, want %d", n, len(d.Bytes()))
+	}
+	pl, err := ReadPlane(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Dense == nil || !pl.Dense.Equal(d) {
+		t.Fatal("no-copy dense plane round trip mismatch")
+	}
+
+	sp := testSparse(t)
+	buf.Reset()
+	n, err = WritePlaneNoCopy(&buf, core.Plane{Sparse: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("sparse plane reported %d zero-copy bytes, want 0", n)
+	}
+	pl, err = ReadPlane(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Sparse == nil || !pl.Sparse.Equal(sp) {
+		t.Fatal("no-copy sparse plane round trip mismatch")
+	}
+
+	if _, err := WritePlaneNoCopy(&buf, core.Plane{}); err == nil {
+		t.Fatal("empty plane accepted")
+	}
+}
