@@ -1,0 +1,95 @@
+// Command avlint runs the repo's custom static analyzers (internal/lint)
+// over the tree: the durability-boundary check (fsiocheck), the lock
+// hierarchy check (lockorder), the commit-before-install check
+// (commitpoint), the discarded-durable-error check (errsync), and the
+// context-threading check (ctxcheck).
+//
+// Usage:
+//
+//	avlint [-json] [-list] [packages...]
+//
+// Package patterns default to ./... and accept anything `go list`
+// does. Exit status is 1 when any diagnostic is reported (or a target
+// package fails to type-check), 0 otherwise.
+//
+// Suppressions: //avlint:allow-<directive> <reason> on the flagged
+// line or the line above it. The reason is mandatory — a bare
+// directive does not suppress.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"arrayvers/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (file/line/col/analyzer/message)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: avlint [-json] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, p := range pkgs {
+		if !p.Target {
+			continue
+		}
+		for _, e := range p.Errs {
+			failed = true
+			fmt.Fprintf(os.Stderr, "avlint: %s: %v\n", p.Path, e)
+		}
+	}
+
+	diags := lint.Run(pkgs, lint.Analyzers())
+	if *jsonOut {
+		out := diags
+		if out == nil {
+			out = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "avlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 || failed {
+		os.Exit(1)
+	}
+}

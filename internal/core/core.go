@@ -951,6 +951,8 @@ func (st *arrayState) metaClone() arrayMeta {
 // concurrent stagers bump the live counter atomically while a commit is
 // in flight, and the staged snapshot may be behind it. Callers hold
 // Store.mu exclusively.
+//
+//avlint:installer
 func (st *arrayState) installMeta(m arrayMeta) {
 	if st.SparseRep != m.SparseRep {
 		st.SparseRep = m.SparseRep

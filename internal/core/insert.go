@@ -145,7 +145,7 @@ func (c *insertCtx) context() context.Context {
 	if c.goCtx != nil {
 		return c.goCtx
 	}
-	return context.Background()
+	return context.Background() //avlint:allow-ctx the designated fallback for internal non-cancellable staging (fallback commit, Branch, Merge); every cancellable path sets goCtx
 }
 
 // writeSet tracks the chunk-file byte ranges appended by one staged
@@ -1139,7 +1139,7 @@ func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *write
 	}
 	batch := live[len(live)-k:]
 	v := s.viewOfMeta(st, staged)
-	ctx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: staged.SparseRep}
+	ictx := &insertCtx{st: st, v: v, ws: ws, qc: qc, dir: v.dir, format: staged.Format, sparse: staged.SparseRep}
 	// load batch contents; re-encodes only ever append (chain files grow
 	// at the tail, per-version files get fresh FileSeq names), so
 	// in-flight lock-free readers keep decoding the byte ranges their
@@ -1149,7 +1149,7 @@ func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *write
 	for i, vm := range batch {
 		planes[i] = make([]Plane, len(st.Schema.Attrs))
 		for ai, attr := range st.Schema.Attrs {
-			pl, err := s.readRegionView(context.Background(), v, vm.ID, attr.Name, full, qc, nil)
+			pl, err := s.readRegionView(ictx.context(), v, vm.ID, attr.Name, full, qc, nil)
 			if err != nil {
 				return err
 			}
@@ -1174,7 +1174,7 @@ func (s *Store) batchReencodeStaged(st *arrayState, staged *arrayMeta, ws *write
 			cp.Chunks[attr] = m
 		}
 		for ai, attr := range st.Schema.Attrs {
-			entries, err := s.encodePlane(ctx, vm.ID, attr, planes[i][ai], base)
+			entries, err := s.encodePlane(ictx, vm.ID, attr, planes[i][ai], base)
 			if err != nil {
 				return err
 			}

@@ -88,7 +88,7 @@ func (s *Store) appendBlob(path string, format int, payload []byte, sync bool) (
 	}
 	off, err := f.Size()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the size error is the failure; nothing was written
 		return 0, err
 	}
 	buf := payload
@@ -97,7 +97,7 @@ func (s *Store) appendBlob(path string, format int, payload []byte, sync bool) (
 		// it cannot represent would commit as a permanently unreadable
 		// frame, so refuse it up front (chunks are ~10 MB by design)
 		if int64(len(payload)) >= 1<<32 {
-			f.Close()
+			_ = f.Close() // nothing was written; the oversize payload is the failure
 			return 0, fmt.Errorf("core: chunk payload of %d bytes exceeds the frame format limit", len(payload))
 		}
 		buf = appendFrame(make([]byte, 0, frameLen(format, int64(len(payload)))), payload)
@@ -125,7 +125,7 @@ func (s *Store) readBlob(dir string, format int, e chunkEntry) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open chunk file: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle; close cannot lose data
 	buf := make([]byte, frameLen(format, e.Length))
 	if _, err := f.ReadAt(buf, e.Offset); err != nil {
 		return nil, fmt.Errorf("core: read chunk %s@%d+%d: %w", e.File, e.Offset, e.Length, err)

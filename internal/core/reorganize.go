@@ -695,8 +695,8 @@ func (s *Store) commitGenLocked(st *arrayState, newGen int, buildDir string, app
 		}
 	}
 	oldDir := st.chunksDir()
-	st.Gen = newGen
-	st.Format = formatFramed
+	st.Gen = newGen          //avlint:allow-install generation flip precedes its commit by design: the payloads are already durable, and heal/reopen resolve the divergence when saveMeta below fails
+	st.Format = formatFramed //avlint:allow-install committed together with Gen above; same divergence contract
 	apply()
 	if err := s.saveMeta(st); err != nil {
 		// the commit did not land on disk; in-memory state keeps the new
@@ -835,7 +835,7 @@ func (s *Store) DeleteVersion(name string, id int) error {
 				if !dirty {
 					continue
 				}
-				pl, err := s.readRegionView(context.Background(), v, child.ID, attr.Name, full, qc, nil)
+				pl, err := s.readRegionView(ctx.context(), v, child.ID, attr.Name, full, qc, nil)
 				if err != nil {
 					return err
 				}

@@ -195,7 +195,7 @@ func (f *Fault) open(path string, trunc bool) (File, error) {
 	}
 	info, err := file.Stat()
 	if err != nil {
-		file.Close()
+		_ = file.Close() // the stat error is the failure; no writes happened yet
 		return nil, err
 	}
 	st, ok := f.files[path]

@@ -41,7 +41,7 @@ func mapFile(path string) (Mapping, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only handle; the mapping outlives it
 	info, err := f.Stat()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxCheck flags context.Background() / context.TODO() calls in
+// internal/core and internal/server code that already has a context in
+// scope. A handler or hot-path helper that mints a fresh Background
+// instead of threading the caller's ctx silently detaches the work
+// from cancellation — an abandoned request keeps burning the decode
+// pool (the exact hole PR 6's ctx threading closed). "In scope" means
+// any enclosing function's receiver or parameter, or an earlier local
+// definition, whose type carries a context: context.Context itself,
+// *http.Request (r.Context()), or a type with a context.Context field
+// or a niladic method returning one (e.g. core's insertCtx).
+//
+// Escape hatch: //avlint:allow-ctx <reason> — for the designated
+// fallback sites (public non-Ctx API wrappers stay unflagged
+// naturally, since no context is in scope there).
+var CtxCheck = &Analyzer{
+	Name:      "ctxcheck",
+	Directive: "ctx",
+	Doc:       "no context.Background()/TODO() where a caller context is already in scope",
+	Applies: func(path string) bool {
+		return PathSuffix(path, "internal/core") ||
+			PathSuffix(path, "internal/server")
+	},
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncCtx(pass, fn)
+		}
+	}
+	_ = info
+}
+
+func checkFuncCtx(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// A context source available from the function's start: receiver or
+	// any parameter of a context-carrying type (closures below inherit).
+	fromStart := false
+	if fn.Recv != nil {
+		for _, fld := range fn.Recv.List {
+			if t := info.TypeOf(fld.Type); t != nil && carriesContext(t) {
+				fromStart = true
+			}
+		}
+	}
+	for _, fld := range fn.Type.Params.List {
+		if t := info.TypeOf(fld.Type); t != nil && carriesContext(t) {
+			fromStart = true
+		}
+	}
+	// Local definitions of context-carrying values (ctx := ...,
+	// ictx := &insertCtx{...}): a Background() after one of these has a
+	// real context it is ignoring.
+	var defs []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range d.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil && carriesContext(obj.Type()) {
+						// the definition counts only once complete: a
+						// Background() on this statement's own RHS is the
+						// mint that CREATES the context, not a detach
+						defs = append(defs, d.End())
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range d.Names {
+				if id.Name == "_" {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil && carriesContext(obj.Type()) {
+					defs = append(defs, d.End())
+				}
+			}
+		case *ast.FuncLit:
+			// a literal's own params count as definitions at its position
+			for _, fld := range d.Type.Params.List {
+				if t := info.TypeOf(fld.Type); t != nil && carriesContext(t) {
+					defs = append(defs, d.Pos())
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[ident].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "context" {
+			return true
+		}
+		inScope := fromStart
+		for _, d := range defs {
+			if d < call.Pos() {
+				inScope = true
+				break
+			}
+		}
+		if inScope {
+			pass.Reportf(call.Pos(), "context.%s() detaches this path from the caller's cancellation — a context is already in scope, thread it through", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// carriesContext reports whether t provides a context: context.Context
+// itself, *http.Request, or a named type with a context.Context field
+// or a niladic method returning context.Context.
+func carriesContext(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "net/http" && obj.Name() == "Request":
+		return true
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if isContextInterface(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		sig := named.Method(i).Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isContextInterface(sig.Results().At(0).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

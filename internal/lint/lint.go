@@ -1,0 +1,195 @@
+// Package lint implements avlint: custom static-analysis passes that
+// enforce this repository's own durability, locking, and context
+// invariants at authoring time — the rules the crash matrix, the
+// transient-fault sweeps, and -race stress only probe dynamically.
+// See DESIGN.md "Static analysis" for the rule catalogue and the
+// escape-hatch policy.
+//
+// The framework mirrors the golang.org/x/tools go/analysis shape
+// (Analyzer / Pass / Diagnostic, fixture tests driven by "// want"
+// comments) but is built on the standard library alone: the repo
+// builds offline with zero external modules, and its linters do too.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule set.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and selects its
+	// escape-hatch directive: a finding on a line carrying
+	// "//avlint:allow-<Directive> <reason>" is suppressed.
+	Name string
+	// Directive is the allow-suffix ("os" for fsiocheck's
+	// //avlint:allow-os). Defaults to Name when empty.
+	Directive string
+	Doc       string
+	// Applies gates the analyzer to its package scope (the durability
+	// boundary, the handler layer, ...). Nil means every package.
+	Applies func(pkgPath string) bool
+	Run     func(*Pass)
+}
+
+func (a *Analyzer) directive() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// A Pass is one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags      *[]Diagnostic
+	directives map[string]map[int]string // file -> line -> directive comment text
+}
+
+// Reportf records a finding at pos unless the line (or the comment
+// line directly above it) carries the analyzer's allow directive with
+// a reason. A directive without a reason does not suppress — the whole
+// point of the escape hatch is a recorded justification.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt checks the allow directive for the finding's line: either
+// trailing on the line itself or on a comment line immediately above.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines, ok := p.directives[pos.Filename]
+	if !ok {
+		return false
+	}
+	want := "allow-" + p.Analyzer.directive()
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[line]; ok && directiveMatches(d, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveMatches reports whether text is "avlint:<name> <reason>"
+// with a non-empty reason.
+func directiveMatches(text, name string) bool {
+	rest, ok := strings.CutPrefix(text, "avlint:"+name)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return false // a longer directive name must not match a shorter one
+	}
+	return strings.TrimSpace(rest) != ""
+}
+
+// FuncDirective reports whether a function's doc comment carries the
+// named avlint directive (e.g. "installer" for //avlint:installer).
+// Marker directives on declarations need no reason — the doc comment
+// they sit in is the explanation.
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == "avlint:"+name || strings.HasPrefix(text, "avlint:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives indexes every //avlint: comment by file and line.
+// A trailing comment suppresses its own line; a standalone comment
+// line suppresses the line below it.
+func collectDirectives(pkg *Package) map[string]map[int]string {
+	out := map[string]map[int]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "avlint:") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]string{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = text
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package it covers and returns
+// the findings ordered by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, directives: dirs}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Analyzers returns the full avlint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FsioCheck,
+		LockOrder,
+		CommitPoint,
+		ErrSync,
+		CtxCheck,
+	}
+}

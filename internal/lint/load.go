@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package loading without golang.org/x/tools (the repo builds offline
+// with no external modules): `go list -deps -json` enumerates the
+// import graph in dependency order — dependencies strictly precede
+// dependents — and go/types checks each package from source. Dependency
+// packages are checked with function bodies ignored (only their
+// exported API matters); target packages get full bodies and a
+// populated types.Info so analyzers can resolve selections.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path   string // import path
+	Dir    string // source directory
+	Module string // owning module path ("" for the standard library)
+	Target bool   // named by the load patterns (not a dependency)
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Errs holds type errors in target packages. The loader tolerates
+	// them (go list -e semantics) so one broken package cannot hide
+	// findings elsewhere, but avlint reports them.
+	Errs []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load type-checks the packages matched by patterns (and, internally,
+// everything they import) rooted at dir. It returns every loaded
+// module/target package; standard-library dependencies stay internal.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader()
+	var out []*Package
+	for _, lp := range pkgs {
+		p, err := ld.check(lp, !lp.DepOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", lp.ImportPath, err)
+		}
+		if p != nil && !lp.DepOnly {
+			p.Target = true
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -json` (optionally -deps) and decodes the
+// JSON stream. CGO_ENABLED=0 keeps every dependency — the standard
+// library included — type-checkable from pure Go source.
+func goList(dir string, deps bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(outPipe))
+	var out []*listPkg
+	for dec.More() {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list %v: decode: %v", patterns, err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// loader type-checks packages in dependency order, memoizing results so
+// every dependent sees the same *types.Package.
+type loader struct {
+	fset   *token.FileSet
+	byPath map[string]*types.Package
+	loaded map[string]*Package
+}
+
+func newLoader() *loader {
+	return &loader{
+		fset:   token.NewFileSet(),
+		byPath: map[string]*types.Package{"unsafe": types.Unsafe},
+		loaded: map[string]*Package{},
+	}
+}
+
+// Import satisfies types.Importer against the already-checked set —
+// dependency order guarantees every import resolves.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.byPath[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded", path)
+}
+
+// check parses and type-checks one listed package. full selects a
+// complete check with types.Info; otherwise function bodies are
+// skipped (dependencies only contribute their API).
+func (ld *loader) check(lp *listPkg, full bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		return nil, nil
+	}
+	if _, done := ld.byPath[lp.ImportPath]; done {
+		return ld.loaded[lp.ImportPath], nil
+	}
+	if lp.Error != nil && len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("%s", lp.Error.Err)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	p := &Package{
+		Path: lp.ImportPath,
+		Dir:  lp.Dir,
+		Fset: ld.fset,
+	}
+	if lp.Module != nil {
+		p.Module = lp.Module.Path
+	}
+	conf := types.Config{
+		Importer:         ld,
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+		Error:            func(err error) { p.Errs = append(p.Errs, err) },
+	}
+	if full {
+		p.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+	}
+	tp, _ := conf.Check(lp.ImportPath, ld.fset, files, p.Info)
+	if !full {
+		// dependency-package errors are irrelevant as long as the API
+		// surface resolved; targets keep theirs for reporting
+		p.Errs = nil
+	}
+	p.Files = files
+	p.Types = tp
+	ld.byPath[lp.ImportPath] = tp
+	ld.loaded[lp.ImportPath] = p
+	return p, nil
+}
+
+// PathSuffix reports whether the package import path ends in suffix at
+// a path-segment boundary ("a/internal/core" matches "internal/core";
+// "maternal/core" does not). Analyzers scope themselves with it so the
+// same rule fires on "arrayvers/internal/core" and on a fixture
+// package named "example/internal/core".
+func PathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,63 @@
+// Package core is a ctxcheck fixture: minting context.Background/TODO
+// with a caller context already in scope must be flagged; legitimate
+// mint points (no context anywhere) must not.
+package core
+
+import "context"
+
+// insertCtx mirrors the real staging context: a named type carrying a
+// goroutine context, recognized via its context.Context field and its
+// niladic context() accessor.
+type insertCtx struct {
+	goCtx context.Context
+	dir   string
+}
+
+func (c *insertCtx) context() context.Context {
+	if c.goCtx != nil {
+		return c.goCtx
+	}
+	return context.Background() //avlint:allow-ctx fixture: the designated fallback for non-cancellable internal paths
+}
+
+func use(context.Context) {}
+
+func badParam(ctx context.Context) {
+	use(context.Background()) // want `context\.Background\(\) detaches this path from the caller's cancellation`
+	use(ctx)
+}
+
+func badTODO(ctx context.Context) {
+	use(context.TODO()) // want `context\.TODO\(\) detaches this path from the caller's cancellation`
+	use(ctx)
+}
+
+func badCarrier(ictx *insertCtx) {
+	use(context.Background()) // want `context\.Background\(\) detaches this path from the caller's cancellation`
+	_ = ictx.dir
+}
+
+func badLocalCarrier() {
+	ictx := &insertCtx{}
+	_ = ictx
+	use(context.Background()) // want `context\.Background\(\) detaches this path from the caller's cancellation`
+}
+
+// no context in scope anywhere: the legitimate mint point (public
+// non-ctx API surface)
+func okNoCtx() {
+	use(context.Background())
+}
+
+// the definition that mints the context is not itself a detach
+func okMint() {
+	ctx := context.Background()
+	use(ctx)
+}
+
+// a context defined AFTER the call was never available to it
+func okDefinedLater() {
+	use(context.Background())
+	ctx := context.TODO()
+	use(ctx)
+}

@@ -1,0 +1,20 @@
+// Package server is a ctxcheck fixture for the handler layer: an
+// *http.Request in scope means r.Context() is the context to thread.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context\.Background\(\) detaches this path from the caller's cancellation`
+	_ = ctx
+	_ = w
+}
+
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	_ = w
+}

@@ -1,0 +1,46 @@
+// Package core is a fsiocheck fixture: raw os mutations inside the
+// durability boundary must be flagged; reads and annotated escape
+// hatches must not.
+package core
+
+import "os"
+
+func bad(path string) error {
+	if err := os.Rename(path, path+".new"); err != nil { // want `os\.Rename bypasses the fsio\.FS durability boundary`
+		return err
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil { // want `os\.MkdirAll bypasses the fsio\.FS durability boundary`
+		return err
+	}
+	f, err := os.Create(path) // want `os\.Create bypasses the fsio\.FS durability boundary`
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync on a raw handle bypasses`
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reads are exempt: the boundary exists for mutations
+func allowedRead(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+func escapeHatch(path string) error {
+	return os.Remove(path) //avlint:allow-os fixture exercising the escape hatch
+}
+
+func escapeHatchAbove(path string) error {
+	//avlint:allow-os fixture: the directive on the line above also suppresses
+	return os.Remove(path)
+}
+
+func hatchNeedsReason(path string) error {
+	//avlint:allow-os
+	return os.Remove(path) // want `os\.Remove bypasses the fsio\.FS durability boundary`
+}

@@ -1,0 +1,3 @@
+module example
+
+go 1.22

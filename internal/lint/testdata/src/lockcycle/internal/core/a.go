@@ -1,0 +1,28 @@
+// Package core is a lockorder cycle fixture: two functions whose
+// acquisition orders oppose each other form a cycle in the global
+// acquisition graph — the classic ABBA deadlock — reported on top of
+// the per-site order violation.
+package core
+
+import "sync"
+
+type arrayState struct {
+	commitMu sync.Mutex
+	writeMu  sync.Mutex
+}
+
+// commitMu before writeMu: the documented direction
+func (st *arrayState) ab() {
+	st.commitMu.Lock()
+	st.writeMu.Lock()
+	st.writeMu.Unlock()
+	st.commitMu.Unlock()
+}
+
+// writeMu before commitMu: opposes ab, closing the cycle
+func (st *arrayState) ba() {
+	st.writeMu.Lock()
+	st.commitMu.Lock() // want `acquires commitMu while holding writeMu — violates the documented lock order` `lock-order cycle: commitMu -> writeMu -> commitMu`
+	st.commitMu.Unlock()
+	st.writeMu.Unlock()
+}

@@ -1,0 +1,140 @@
+// Package core is a lockorder fixture mirroring the store's latch
+// names. Scenarios: in-order acquisition (clean), out-of-order
+// acquisition (flagged), same-instance re-acquire (flagged),
+// cross-instance latch pairs (suppressed: the sorted-name protocol
+// governs), early-return unlock (no false positive), interprocedural
+// acquisition through a summary (flagged), the lockArray latch-list
+// order (flagged when descending), and the escape hatch.
+package core
+
+import "sync"
+
+type arrayState struct {
+	reorgMu  sync.Mutex
+	syncMu   sync.Mutex
+	commitMu sync.Mutex
+	writeMu  sync.Mutex
+	ioMu     sync.RWMutex
+	pendMu   sync.Mutex
+}
+
+type Store struct {
+	mu     sync.RWMutex
+	arrays map[string]*arrayState
+}
+
+func (s *Store) lockArray(name string, pick func(st *arrayState) []*sync.Mutex) (*arrayState, error) {
+	s.mu.RLock()
+	st := s.arrays[name]
+	s.mu.RUnlock()
+	for _, m := range pick(st) {
+		m.Lock()
+	}
+	return st, nil
+}
+
+// ascending ranks throughout: clean
+func (s *Store) goodOrder(st *arrayState) {
+	st.reorgMu.Lock()
+	st.syncMu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	st.syncMu.Unlock()
+	st.reorgMu.Unlock()
+}
+
+// pendMu ranks above ioMu: taking ioMu while holding pendMu descends
+func (st *arrayState) badOrder() {
+	st.pendMu.Lock()
+	st.ioMu.Lock() // want `acquires ioMu while holding pendMu — violates the documented lock order`
+	st.ioMu.Unlock()
+	st.pendMu.Unlock()
+}
+
+// same-rank, same-instance double acquisition is a self-deadlock
+func (st *arrayState) doubleLock() {
+	st.pendMu.Lock()
+	st.pendMu.Lock() // want `re-acquires pendMu already held`
+	st.pendMu.Unlock()
+	st.pendMu.Unlock()
+}
+
+// descending within ONE array's latches is flagged even though the
+// same pair across two arrays (multiArray below) is not
+func (st *arrayState) sameInstance() {
+	st.writeMu.Lock()
+	st.commitMu.Lock() // want `acquires commitMu while holding writeMu — violates the documented lock order`
+	st.commitMu.Unlock()
+	st.writeMu.Unlock()
+}
+
+// cross-instance latch pairs follow the sorted-name protocol
+// (InsertMulti), which rank cannot express: suppressed
+func multiArray(a, b *arrayState) {
+	a.writeMu.Lock()
+	b.syncMu.Lock()
+	b.syncMu.Unlock()
+	a.writeMu.Unlock()
+}
+
+// the early-return cleanup pattern: the conditional unlock must not
+// clear the held set for the fall-through path, and the fall-through
+// unlock must
+func (s *Store) earlyReturn(ok bool) {
+	s.mu.RLock()
+	if !ok {
+		s.mu.RUnlock()
+		return
+	}
+	s.mu.RUnlock()
+	st := &arrayState{}
+	st.writeMu.Lock() // would flag against a phantom-held Store.mu otherwise
+	st.writeMu.Unlock()
+}
+
+// lockWrite is a pure acquirer: its held-at-exit set propagates to
+// callers through the call summary
+func (s *Store) lockWrite(st *arrayState) {
+	st.writeMu.Lock()
+}
+
+func (s *Store) viaSummary(st *arrayState) {
+	s.mu.Lock()
+	s.lockWrite(st) // want `acquires writeMu while holding Store\.mu — violates the documented lock order`
+	st.writeMu.Unlock()
+	s.mu.Unlock()
+}
+
+// a latch list returned out of the documented order is flagged at the
+// call site (and the descending acquisition it implies is too)
+func (s *Store) badLatchList() {
+	st, _ := s.lockArray("x", func(st *arrayState) []*sync.Mutex { // want `lockArray latch list acquires reorgMu after a higher-ranked latch` `acquires reorgMu while holding pendMu`
+		return []*sync.Mutex{&st.pendMu, &st.reorgMu}
+	})
+	st.reorgMu.Unlock()
+	st.pendMu.Unlock()
+}
+
+// the documented latch order, decoded from the pick literal: clean
+func (s *Store) goodLatchList() {
+	st, _ := s.lockArray("x", func(st *arrayState) []*sync.Mutex {
+		return []*sync.Mutex{&st.syncMu, &st.commitMu}
+	})
+	st.commitMu.Unlock()
+	st.syncMu.Unlock()
+}
+
+// deferred unlocks hold to function end; ascending order stays clean
+func (s *Store) withDefer(st *arrayState) {
+	st.reorgMu.Lock()
+	defer st.reorgMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (st *arrayState) hatch() {
+	st.ioMu.Lock()
+	st.writeMu.Lock() //avlint:allow-lock fixture exercising the escape hatch
+	st.writeMu.Unlock()
+	st.ioMu.Unlock()
+}
